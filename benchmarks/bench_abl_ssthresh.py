@@ -1,0 +1,51 @@
+"""Ablation: initial ssthresh = 64 KB vs (effectively) infinite.
+
+Section 3.1: with cellular paths nearly loss-free, an infinite initial
+ssthresh lets slow start blow the congestion window up until the deep
+carrier buffers inflate RTTs ("severe RTT inflation"), hurting MPTCP.
+The paper therefore pins ssthresh to 64 KB.  This benchmark quantifies
+the difference.
+
+Expected shape: infinite ssthresh inflates the cellular per-connection
+RTT well above the 64 KB setting's for multi-MB transfers.
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+
+MB = 1024 * 1024
+SEEDS = tuple(range(80, 80 + max(BENCH_REPS * 2, 4)))
+HUGE = 1 << 30
+
+
+def mean(values):
+    values = [v for v in values if v is not None]
+    return statistics.mean(values) if values else float("nan")
+
+
+def test_ablation_initial_ssthresh(benchmark):
+    def run():
+        rows = []
+        for ssthresh, label in ((64 * 1024, "64 KB"), (HUGE, "infinite")):
+            spec = FlowSpec.single_path("cell", carrier="verizon",
+                                        ssthresh=ssthresh)
+            results = [Measurement(spec, 8 * MB, seed=seed).run()
+                       for seed in SEEDS]
+            rtt = mean([r.metrics.mean_rtt("verizon") for r in results
+                        if r.completed])
+            time = mean([r.download_time for r in results])
+            rows.append([label, f"{rtt * 1000:.1f}", f"{time:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("abl_ssthresh",
+         "Ablation: initial ssthresh, SP-Verizon 8 MB",
+         [("rtt inflation",
+           ["ssthresh", "mean RTT (ms)", "mean time (s)"], rows)])
+    rtt_64k = float(rows[0][1])
+    rtt_inf = float(rows[1][1])
+    assert rtt_inf > rtt_64k * 1.3, \
+        "infinite ssthresh must inflate cellular RTTs (bufferbloat)"

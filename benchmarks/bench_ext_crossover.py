@@ -1,0 +1,62 @@
+"""Extension: locating the WiFi/LTE crossover and MPTCP's win region.
+
+Section 4 narrates a structural story: below some size WiFi's short
+RTT wins; above it, LTE's loss-free path wins; and past a further
+size MPTCP beats both by pooling.  The paper samples four sizes; this
+benchmark sweeps a geometric grid of sizes and reports where the
+crossovers actually fall in the reproduction -- the kind of structural
+result that should be robust even where absolute times are not.
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+
+KB = 1024
+SIZES = tuple(int(16 * KB * (2 ** power)) for power in range(0, 11, 2))
+# 16 KB, 64 KB, 256 KB, 1 MB, 4 MB, 16 MB
+SEEDS = tuple(range(220, 220 + max(BENCH_REPS * 2, 4)))
+
+
+def median_time(spec, size):
+    times = [Measurement(spec, size, seed=seed).run().download_time
+             for seed in SEEDS]
+    return statistics.median([t for t in times if t is not None])
+
+
+def test_ext_crossover(benchmark):
+    def run():
+        rows = []
+        wifi_spec = FlowSpec.single_path("wifi")
+        lte_spec = FlowSpec.single_path("cell", carrier="att")
+        mptcp_spec = FlowSpec.mptcp(carrier="att")
+        for size in SIZES:
+            wifi = median_time(wifi_spec, size)
+            lte = median_time(lte_spec, size)
+            mptcp = median_time(mptcp_spec, size)
+            best = min(wifi, lte)
+            rows.append([
+                f"{size // KB} KB" if size < 1024 * KB
+                else f"{size // (1024 * KB)} MB",
+                f"{wifi:.3f}", f"{lte:.3f}", f"{mptcp:.3f}",
+                "wifi" if wifi <= lte else "lte",
+                f"{(1 - mptcp / best) * 100:+.0f}%"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ext_crossover",
+         "Extension: the WiFi/LTE crossover and MPTCP's win margin",
+         [("crossover sweep",
+           ["size", "SP-WiFi (s)", "SP-LTE (s)", "MPTCP (s)",
+            "best single", "MPTCP vs best"], rows)])
+    winners = [row[4] for row in rows]
+    # WiFi wins the smallest size; LTE wins the largest: a crossover
+    # exists somewhere between (Section 4's structure).
+    assert winners[0] == "wifi"
+    assert winners[-1] == "lte"
+    # MPTCP's win margin grows toward large sizes.
+    margins = [float(row[5].rstrip("%")) for row in rows]
+    assert margins[-1] > 0, "MPTCP must beat the best path at 16 MB"
+    assert max(margins[-3:]) >= max(margins[:2])

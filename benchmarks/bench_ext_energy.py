@@ -1,0 +1,85 @@
+"""Extension: the energy cost of the second radio (the paper's stated
+future work, Section 6).
+
+Meters every radio with the standard smartphone power model while
+downloading the same object over SP-WiFi, SP-LTE and MPTCP, and
+reports the latency-energy trade-off (joules accounted until every
+radio's tail drains).
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.energy import EnergyAudit
+
+MB = 1024 * 1024
+SIZE = 4 * MB
+SEEDS = tuple(range(180, 180 + max(BENCH_REPS * 2, 4)))
+TAIL_DRAIN = 12.0
+
+
+def run(mode, seed):
+    testbed = Testbed(TestbedConfig(seed=seed))
+    audit = EnergyAudit(testbed)
+    if mode == "mptcp":
+        config = MptcpConfig()
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=lambda c:
+                      HttpServerSession.fixed(c, SIZE))
+        transport = MptcpConnection.client(
+            testbed.sim, testbed.client, testbed.client_addrs,
+            testbed.server_addrs[0], HTTP_PORT, config)
+    else:
+        config = TcpConfig()
+        PlainTcpAcceptor(testbed.sim, testbed.server, HTTP_PORT, config,
+                         RenoController, responder=lambda i: SIZE)
+        local = "client.wifi" if mode == "wifi" else "client.att"
+        transport = TcpEndpoint(testbed.sim, testbed.client, local,
+                                testbed.client.ephemeral_port(),
+                                testbed.server_addrs[0], HTTP_PORT,
+                                config, RenoController())
+    client = HttpClient(testbed.sim, transport, SIZE)
+    client.start()
+    transport.connect()
+    testbed.run(until=300.0)
+    assert client.record.complete
+    joules = audit.total_joules(
+        until=client.record.completed_at + TAIL_DRAIN)
+    return client.record.download_time, joules
+
+
+def test_ext_energy_tradeoff(benchmark):
+    def run_all():
+        rows = []
+        for mode, label in (("wifi", "SP-WiFi"), ("lte", "SP-LTE"),
+                            ("mptcp", "MPTCP")):
+            times, joules = [], []
+            for seed in SEEDS:
+                t, j = run(mode, seed)
+                times.append(t)
+                joules.append(j)
+            rows.append([label, f"{statistics.mean(times):.2f}",
+                         f"{statistics.mean(joules):.2f}",
+                         f"{statistics.mean(joules) / (SIZE / MB):.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ext_energy",
+         f"Extension: energy to download {SIZE // MB} MB "
+         f"(radio active/tail/promotion model)",
+         [("energy", ["transport", "time (s)", "energy (J)", "J/MB"],
+           rows)])
+    by_label = {row[0]: (float(row[1]), float(row[2])) for row in rows}
+    wifi_time, wifi_joules = by_label["SP-WiFi"]
+    mptcp_time, mptcp_joules = by_label["MPTCP"]
+    # The trade-off the paper anticipates: faster, but not free.
+    assert mptcp_time < wifi_time
+    assert mptcp_joules > wifi_joules * 1.5

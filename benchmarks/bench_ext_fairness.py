@@ -1,0 +1,116 @@
+"""Extension: fairness of the MPTCP controllers at a shared bottleneck.
+
+Section 4.2 explains reno's speed: "TCP New Reno performs better
+because it is more aggressive and not fair to other users", and the
+design goal of coupled/olia is to take no more at a shared bottleneck
+than one TCP would.  This benchmark measures that claim directly:
+
+a background single-path TCP download runs on the WiFi path; an MPTCP
+connection (whose WiFi subflow shares the same access bottleneck)
+starts alongside it with each controller.  We report the background
+flow's throughput relative to running alone -- the canonical
+"fairness to other users" metric.
+
+Expected shape: uncoupled reno depresses the background flow the most;
+coupled and olia leave it close to what a single competing TCP would.
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+from repro.testbed import Testbed, TestbedConfig
+
+MB = 1024 * 1024
+BACKGROUND_SIZE = 6 * MB
+FOREGROUND_SIZE = 6 * MB
+BACKGROUND_PORT = 8081
+SEEDS = tuple(range(200, 200 + max(BENCH_REPS * 2, 4)))
+
+
+def run(controller, seed, paths=2):
+    """Return the background flow's completion time.
+
+    ``controller=None`` runs the background flow alone (baseline);
+    ``controller="sp-reno"`` competes it against another plain TCP.
+    """
+    testbed = Testbed(TestbedConfig(seed=seed,
+                                    server_interfaces=2 if paths == 4
+                                    else 1))
+    tcp_config = TcpConfig()
+    # Background flow: plain TCP over WiFi on its own port.
+    PlainTcpAcceptor(testbed.sim, testbed.server, BACKGROUND_PORT,
+                     tcp_config, RenoController,
+                     responder=lambda i: BACKGROUND_SIZE)
+    background_ep = TcpEndpoint(
+        testbed.sim, testbed.client, "client.wifi",
+        testbed.client.ephemeral_port(), testbed.server_addrs[0],
+        BACKGROUND_PORT, tcp_config, RenoController(), name="bg")
+    background = HttpClient(testbed.sim, background_ep, BACKGROUND_SIZE)
+    background.start()
+    background_ep.connect()
+
+    if controller == "sp-reno":
+        PlainTcpAcceptor(testbed.sim, testbed.server, HTTP_PORT,
+                         tcp_config, RenoController,
+                         responder=lambda i: FOREGROUND_SIZE)
+        foreground_ep = TcpEndpoint(
+            testbed.sim, testbed.client, "client.wifi",
+            testbed.client.ephemeral_port(), testbed.server_addrs[0],
+            HTTP_PORT, tcp_config, RenoController(), name="fg")
+        HttpClient(testbed.sim, foreground_ep, FOREGROUND_SIZE)
+        foreground_ep.connect()
+    elif controller is not None:
+        config = MptcpConfig(controller=controller)
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=lambda c:
+                      HttpServerSession.fixed(c, FOREGROUND_SIZE))
+        connection = MptcpConnection.client(
+            testbed.sim, testbed.client, testbed.client_addrs,
+            testbed.server_addrs[0], HTTP_PORT, config)
+        HttpClient(testbed.sim, connection, FOREGROUND_SIZE)
+        connection.connect()
+
+    testbed.run(until=600.0)
+    assert background.record.complete
+    return background.record.download_time
+
+
+def test_ext_fairness(benchmark):
+    def run_all():
+        alone = {seed: run(None, seed) for seed in SEEDS}
+        rows = []
+        for controller, label in ((None, "background alone"),
+                                  ("sp-reno", "vs one plain TCP"),
+                                  ("coupled", "vs MP-2 coupled"),
+                                  ("olia", "vs MP-2 olia"),
+                                  ("reno", "vs MP-2 reno"),
+                                  ):
+            times = ([alone[seed] for seed in SEEDS]
+                     if controller is None
+                     else [run(controller, seed) for seed in SEEDS])
+            slowdown = statistics.mean(
+                times[i] / alone[seed]
+                for i, seed in enumerate(SEEDS))
+            rows.append([label, f"{statistics.mean(times):.2f}",
+                         f"{slowdown:.2f}x"])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ext_fairness",
+         "Extension: background WiFi TCP vs a competing MPTCP download",
+         [("fairness", ["competitor", "background time (s)",
+                        "slowdown vs alone"], rows)])
+    slowdowns = {row[0]: float(row[2].rstrip("x")) for row in rows}
+    # Coupled MPTCP must be no more aggressive at the WiFi bottleneck
+    # than uncoupled-reno MPTCP (the design goal).
+    assert slowdowns["vs MP-2 coupled"] <= \
+        slowdowns["vs MP-2 reno"] + 0.05
+    # And every competitor slows the background flow down somewhat.
+    assert slowdowns["vs MP-2 reno"] > 1.02

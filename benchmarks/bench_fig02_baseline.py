@@ -1,0 +1,28 @@
+"""Figure 2: baseline download times, every carrier, SP vs MPTCP.
+
+Regenerates the box-and-whisker series of Figure 2: download time for
+64 KB / 512 KB / 2 MB / 16 MB objects over SP-WiFi, SP-{ATT,VZW,Sprint}
+and 2-path MPTCP with each carrier (coupled controller).
+
+Expected shape (paper Section 4): MPTCP tracks the best single path at
+every size; WiFi wins small files; LTE wins large files; Sprint 3G is
+always the worst single path.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    baseline_campaign,
+    download_time_rows,
+)
+
+
+def test_fig02_baseline_download_times(campaign_runner):
+    spec = baseline_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = download_time_rows(results, label_by_carrier=True)
+    emit("fig02", "Figure 2: baseline download time (seconds)",
+         [("download time", headers, rows)])
+    assert rows, "figure must have data"
+    # Headline check: at 16 MB, MP-ATT's median beats SP-WiFi's.
+    medians = {(row[0], row[1]): float(row[6]) for row in rows}
+    assert medians[("16 MB", "MP-ATT")] < medians[("16 MB", "SP-WiFi")]

@@ -1,0 +1,25 @@
+"""Figure 3: fraction of traffic carried by each cellular carrier in
+the baseline MPTCP connections.
+
+Expected shape: the fraction rises with file size; LTE carriers absorb
+the majority of large transfers, Sprint 3G stays a minority carrier.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    baseline_campaign,
+    traffic_share_rows,
+)
+
+
+def test_fig03_baseline_traffic_share(campaign_runner):
+    spec = baseline_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = traffic_share_rows(results, label_by_carrier=True)
+    emit("fig03", "Figure 3: fraction of traffic on the cellular path",
+         [("cellular share", headers, rows)])
+    shares = {(row[0], row[1]): float(row[3].split("+-")[0])
+              for row in rows}
+    # Offload grows with size for AT&T, and 3G carries less than LTE.
+    assert shares[("64 KB", "MP-ATT")] < shares[("16 MB", "MP-ATT")]
+    assert shares[("16 MB", "MP-Sprint")] < shares[("16 MB", "MP-ATT")]

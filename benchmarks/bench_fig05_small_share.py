@@ -1,0 +1,25 @@
+"""Figure 5: small flows -- fraction of traffic on the cellular path.
+
+Expected shape: ~0 below 64 KB (the transfer beats the JOIN), rising
+through 512 KB, approaching/passing 50% at 4 MB; MP-4 offloads less at
+small sizes than MP-2 (two WiFi subflows finish the job first).
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    small_flows_campaign,
+    traffic_share_rows,
+)
+
+
+def test_fig05_small_flow_traffic_share(campaign_runner):
+    spec = small_flows_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = traffic_share_rows(results)
+    emit("fig05", "Figure 5: small flows, cellular traffic fraction",
+         [("cellular share", headers, rows)])
+    shares = {(row[0], row[1]): float(row[3].split("+-")[0])
+              for row in rows}
+    assert shares[("8 KB", "MP-2")] < 0.05
+    assert shares[("8 KB", "MP-2")] <= shares[("512 KB", "MP-2")]
+    assert shares[("4 MB", "MP-2")] > 0.4

@@ -1,0 +1,28 @@
+"""Figure 6: download times at the Amherst coffee shop (public WiFi).
+
+Expected shape: the loaded hotspot is unreliable -- SP-WiFi is no
+longer consistently the best path even for mid-size flows, and MPTCP
+stays close to the best available option throughout.
+"""
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.experiments.scenarios import (
+    coffee_shop_campaign,
+    download_time_rows,
+)
+
+
+def test_fig06_coffee_shop_download_times(campaign_runner):
+    spec = coffee_shop_campaign(repetitions=BENCH_REPS)
+    results = campaign_runner(spec)
+    headers, rows = download_time_rows(results)
+    emit("fig06",
+         "Figure 6: coffee-shop (public WiFi) download time (seconds)",
+         [("download time", headers, rows)])
+    medians = {(row[0], row[1]): float(row[6]) for row in rows}
+    # On the loaded hotspot, cellular wins mid-size flows outright...
+    assert medians[("512 KB", "SP-ATT")] < medians[("512 KB", "SP-WiFi")]
+    # ...and MPTCP tracks the best available path.
+    best = min(medians[("512 KB", "SP-ATT")],
+               medians[("512 KB", "SP-WiFi")])
+    assert medians[("512 KB", "MP-2")] < best * 1.25

@@ -1,0 +1,31 @@
+"""Figure 7: coffee-shop traffic share -- the lossy public hotspot
+pushes MPTCP toward the cellular path.
+
+Expected shape: at equal sizes, the cellular fraction is higher than in
+the home-WiFi runs of Figure 5 (cross-checked inside the test).
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.runner import Campaign
+from repro.experiments.scenarios import (
+    coffee_shop_campaign,
+    small_flows_campaign,
+    traffic_share_rows,
+)
+
+
+def test_fig07_coffee_shop_traffic_share(campaign_runner):
+    spec = coffee_shop_campaign(repetitions=BENCH_REPS)
+    results = campaign_runner(spec)
+    headers, rows = traffic_share_rows(results)
+    emit("fig07", "Figure 7: coffee shop, cellular traffic fraction",
+         [("cellular share", headers, rows)])
+    shares = {(row[0], row[1]): float(row[3].split("+-")[0])
+              for row in rows}
+    # Compare against the home-WiFi environment (Figure 5's campaign).
+    home_results = Campaign(
+        small_flows_campaign(repetitions=1, periods=PERIODS)).run()
+    _, home_rows = traffic_share_rows(home_results)
+    home = {(row[0], row[1]): float(row[3].split("+-")[0])
+            for row in home_rows}
+    assert shares[("512 KB", "MP-2")] > home[("512 KB", "MP-2")]

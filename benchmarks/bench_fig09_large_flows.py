@@ -1,0 +1,27 @@
+"""Figure 9: large-flow download times (4-32 MB) on AT&T, all
+controllers, 2 vs 4 paths.
+
+Expected shape: WiFi is never the best path; MPTCP beats the best
+single path; MP-4 beats MP-2; reno (unfair) is fastest among the
+controllers and olia edges out coupled for the biggest sizes.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    download_time_rows,
+    large_flows_campaign,
+)
+
+
+def test_fig09_large_flow_download_times(campaign_runner):
+    spec = large_flows_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = download_time_rows(results)
+    emit("fig09", "Figure 9: large-flow download time (seconds), AT&T",
+         [("download time", headers, rows)])
+    medians = {(row[0], row[1]): float(row[6]) for row in rows}
+    for size in ("8 MB", "32 MB"):
+        best_single = min(medians[(size, "SP-WiFi")],
+                          medians[(size, "SP-ATT")])
+        assert medians[(size, "MP-2")] < best_single * 1.05
+        assert medians[(size, "MP-4")] <= medians[(size, "MP-2")] * 1.05

@@ -1,0 +1,29 @@
+"""Figure 10: large flows -- over half the traffic rides the cellular
+path.
+
+Expected shape: for every 4-32 MB configuration the cellular fraction
+exceeds 50%: the loss-free LTE path out-earns the lossy WiFi path once
+flows live long enough to grow a window there.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    large_flows_campaign,
+    traffic_share_rows,
+)
+
+
+def test_fig10_large_flow_traffic_share(campaign_runner):
+    spec = large_flows_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = traffic_share_rows(results)
+    emit("fig10", "Figure 10: large flows, cellular traffic fraction",
+         [("cellular share", headers, rows)])
+    for row in rows:
+        fraction = float(row[3].split("+-")[0])
+        if "reno" in row[1]:
+            # Uncoupled WiFi subflows recover from losses aggressively
+            # and keep a slightly larger share of the traffic.
+            assert fraction > 0.4, f"{row[1]} at {row[0]}: {fraction}"
+        else:
+            assert fraction > 0.5, f"{row[1]} at {row[0]}: {fraction}"

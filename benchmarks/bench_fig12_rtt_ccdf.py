@@ -1,0 +1,30 @@
+"""Figure 12: packet-RTT CCDFs of MPTCP subflows per carrier and size.
+
+The figure is tabulated at fixed survival probabilities (columns
+``P>f`` give the RTT such that a fraction f of packets exceed it).
+
+Expected shape: WiFi's distribution is low (tens of ms) and tight;
+AT&T sits around 50-200 ms; Verizon and especially Sprint have heavy
+tails reaching seconds (bufferbloat).
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import latency_campaign, rtt_ccdf_rows
+
+
+def test_fig12_packet_rtt_ccdf(campaign_runner):
+    spec = latency_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = rtt_ccdf_rows(results)
+    emit("fig12", "Figure 12: packet RTT CCDF (ms) per carrier/size",
+         [("rtt ccdf", headers, rows)])
+
+    def median_rtt(carrier, path, size="16 MB"):
+        for row in rows:
+            if row[0] == carrier and row[1] == path and row[2] == size:
+                return float(row[headers.index("P>0.5")])
+        raise AssertionError(f"missing {carrier}/{path}/{size}")
+
+    # WiFi < AT&T < Sprint at the median, Sprint tail is the heaviest.
+    assert median_rtt("att", "wifi") < median_rtt("att", "att")
+    assert median_rtt("att", "att") < median_rtt("sprint", "sprint")

@@ -1,0 +1,26 @@
+"""Figure 13: out-of-order delay CCDFs at the MPTCP receive buffer.
+
+Expected shape (Section 5.2): with AT&T (and mostly Verizon) ~75% of
+packets are delivered in order; with Sprint 3G ~75% are out-of-order
+and more than 20% wait over 150 ms -- too long for real-time traffic.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import latency_campaign, ofo_ccdf_rows
+
+
+def test_fig13_out_of_order_delay_ccdf(campaign_runner):
+    spec = latency_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = ofo_ccdf_rows(results)
+    emit("fig13", "Figure 13: out-of-order delay CCDF (ms)",
+         [("ofo ccdf", headers, rows)])
+
+    def in_order_pct(carrier, size="16 MB"):
+        for row in rows:
+            if row[0] == carrier and row[1] == size:
+                return float(row[3])
+        raise AssertionError(f"missing {carrier}/{size}")
+
+    assert in_order_pct("att") > in_order_pct("sprint")
+    assert in_order_pct("sprint") < 50.0  # most Sprint packets reorder

@@ -1,0 +1,33 @@
+"""Table 2: baseline path characteristics -- per-connection loss rates
+and RTTs (mean +- standard error) of single-path TCP across file sizes.
+
+Expected shape: cellular loss ~0 (LTE) to a few percent (3G); WiFi
+1-2%; RTT grows with size on cellular (bufferbloat) and stays flat and
+low on WiFi; Sprint >> Verizon > AT&T > WiFi in RTT.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    baseline_campaign,
+    path_characteristics_rows,
+)
+
+
+def test_tab02_baseline_path_characteristics(campaign_runner):
+    spec = baseline_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = path_characteristics_rows(results)
+    emit("tab02", "Table 2: baseline loss (%) and RTT (ms), SP runs",
+         [("path characteristics", headers, rows)])
+
+    def rtt(size, path):
+        for row in rows:
+            if row[0] == size and row[1] == path:
+                return float(row[4].split("+-")[0])
+        raise AssertionError(f"missing row {size}/{path}")
+
+    # RTT orderings of Section 2.1 at the largest size.
+    assert rtt("16 MB", "WiFi") < rtt("16 MB", "ATT")
+    assert rtt("16 MB", "ATT") < rtt("16 MB", "Sprint")
+    # Bufferbloat: AT&T RTT grows with flow size.
+    assert rtt("64 KB", "ATT") < rtt("16 MB", "ATT")

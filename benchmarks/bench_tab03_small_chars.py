@@ -1,0 +1,34 @@
+"""Table 3: small-flow path characteristics (WiFi vs AT&T, SP runs).
+
+Expected shape: WiFi loss 1-2% at every size with RTT in the tens of
+ms; AT&T loss negligible with a ~60 ms base RTT that inflates as the
+flow grows (140+ ms at 4 MB in the paper).
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    path_characteristics_rows,
+    small_flows_campaign,
+)
+
+
+def test_tab03_small_flow_path_characteristics(campaign_runner):
+    spec = small_flows_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = path_characteristics_rows(results)
+    emit("tab03", "Table 3: small-flow loss (%) and RTT (ms), SP runs",
+         [("path characteristics", headers, rows)])
+
+    def cell(size, path, column):
+        for row in rows:
+            if row[0] == size and row[1] == path:
+                return row[column]
+        raise AssertionError(f"missing {size}/{path}")
+
+    # AT&T: negligible loss at small sizes.
+    assert cell("64 KB", "ATT", 3) == "~" or \
+        float(cell("64 KB", "ATT", 3).split("+-")[0]) < 0.5
+    # WiFi RTT stays far below AT&T's.
+    wifi_rtt = float(cell("4 MB", "WiFi", 4).split("+-")[0])
+    att_rtt = float(cell("4 MB", "ATT", 4).split("+-")[0])
+    assert wifi_rtt < att_rtt

@@ -1,0 +1,29 @@
+"""Table 4: coffee-shop path characteristics (public WiFi vs AT&T).
+
+Expected shape: hotspot WiFi loss is several percent -- clearly above
+the home network's -- while AT&T stays effectively loss-free.
+"""
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.experiments.scenarios import (
+    coffee_shop_campaign,
+    path_characteristics_rows,
+)
+
+
+def test_tab04_coffee_shop_path_characteristics(campaign_runner):
+    spec = coffee_shop_campaign(repetitions=BENCH_REPS)
+    results = campaign_runner(spec)
+    headers, rows = path_characteristics_rows(results)
+    emit("tab04", "Table 4: coffee-shop loss (%) and RTT (ms), SP runs",
+         [("path characteristics", headers, rows)])
+
+    def loss(size, path):
+        for row in rows:
+            if row[0] == size and row[1] == path:
+                text = row[3]
+                return 0.0 if text == "~" else float(text.split("+-")[0])
+        raise AssertionError(f"missing {size}/{path}")
+
+    assert loss("512 KB", "WiFi") > 1.0   # loaded hotspot: percent-level
+    assert loss("512 KB", "ATT") < 0.5    # LTE stays clean

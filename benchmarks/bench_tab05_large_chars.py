@@ -1,0 +1,31 @@
+"""Table 5: large-flow path characteristics (WiFi vs AT&T, SP runs).
+
+Expected shape: WiFi loss ~1.6-2.1% with stable ~25 ms RTTs; AT&T loss
+negligible with RTTs inflated into the 130-155 ms band by bufferbloat.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import (
+    large_flows_campaign,
+    path_characteristics_rows,
+)
+
+
+def test_tab05_large_flow_path_characteristics(campaign_runner):
+    spec = large_flows_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = path_characteristics_rows(results)
+    emit("tab05", "Table 5: large-flow loss (%) and RTT (ms), SP runs",
+         [("path characteristics", headers, rows)])
+
+    for row in rows:
+        size, path = row[0], row[1]
+        loss_text, rtt_text = row[3], row[4]
+        loss = 0.0 if loss_text == "~" else float(loss_text.split("+-")[0])
+        rtt = float(rtt_text.split("+-")[0])
+        if path == "WiFi":
+            assert loss > 0.5, f"WiFi at {size} should be lossy"
+            assert rtt < 80.0, f"WiFi RTT stays low ({size})"
+        else:
+            assert loss < 1.0, f"LTE at {size} stays nearly loss-free"
+            assert rtt > 60.0, f"LTE RTT includes queueing ({size})"

@@ -1,0 +1,30 @@
+"""Table 6: MPTCP per-carrier RTT and out-of-order delay statistics
+(mean +- standard error across connections).
+
+Expected shape: WiFi subflow RTTs in the tens of ms regardless of
+pairing; cellular subflow RTTs AT&T < Verizon/Sprint; OFO delay
+ordered AT&T < Verizon < Sprint, with Sprint in the hundreds of ms.
+"""
+
+from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from repro.experiments.scenarios import latency_campaign, mptcp_rtt_ofo_rows
+
+
+def test_tab06_mptcp_rtt_and_ofo(campaign_runner):
+    spec = latency_campaign(repetitions=BENCH_REPS, periods=PERIODS)
+    results = campaign_runner(spec)
+    headers, rows = mptcp_rtt_ofo_rows(results)
+    emit("tab06", "Table 6: MPTCP RTT and OFO delay (ms)",
+         [("rtt and ofo", headers, rows)])
+
+    def ofo(carrier, size="16 MB"):
+        for row in rows:
+            if row[0] == size and row[1] == carrier:
+                return float(row[4].split("+-")[0])
+        raise AssertionError(f"missing {carrier}/{size}")
+
+    assert ofo("ATT") < ofo("Sprint")
+    for row in rows:
+        if row[3] != "-":
+            wifi_rtt = float(row[3].split("+-")[0])
+            assert wifi_rtt < 120.0, "WiFi subflow RTT stays low"

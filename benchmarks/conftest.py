@@ -1,0 +1,73 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the corresponding measurement campaign once (``benchmark.pedantic``
+with a single round -- the campaign *is* the workload), prints the
+rows/series the paper reports, and writes them as CSV next to this
+file under ``benchmarks/output/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REPS``  -- repetitions per configuration cell
+  (default 2; the paper used 20 per period).
+* ``REPRO_BENCH_FULL``  -- set to 1 to run full-size experiments
+  (all four day periods, 512 MB backlog for Figure 11).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, List, Sequence, Tuple
+
+import pytest
+
+from repro.experiments.report import render_table, write_csv
+from repro.experiments.runner import Campaign, CampaignSpec, RunResult
+from repro.wireless.profiles import TimeOfDay
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Period sets: quick runs sample one period; full runs cover the day.
+PERIODS = (tuple(TimeOfDay) if BENCH_FULL
+           else (TimeOfDay.AFTERNOON,))
+
+
+def run_campaign(spec: CampaignSpec) -> List[RunResult]:
+    """Execute a campaign and sanity-check completion."""
+    campaign = Campaign(spec)
+    results = campaign.run()
+    completed = campaign.completed_fraction()
+    assert completed > 0.9, (
+        f"campaign {spec.name}: only {completed:.0%} of runs completed")
+    return results
+
+
+def emit(name: str, title: str,
+         tables: Sequence[Tuple[str, Sequence[str], Sequence[Sequence]]],
+         ) -> None:
+    """Print each (label, headers, rows) table and export it as CSV."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    for label, headers, rows in tables:
+        print()
+        print(render_table(headers, rows, title=label))
+        safe = label.lower().replace(" ", "_").replace("/", "-")
+        write_csv(OUTPUT_DIR / f"{name}_{safe}.csv", headers, rows)
+
+
+@pytest.fixture
+def campaign_runner(benchmark) -> Callable[[CampaignSpec], List[RunResult]]:
+    """Benchmark a campaign exactly once and return its results."""
+
+    def run(spec: CampaignSpec) -> List[RunResult]:
+        return benchmark.pedantic(run_campaign, args=(spec,),
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The energy cost of the second radio (the paper's future work).
+
+Section 6 closes with: "By adding another cellular path to an MPTCP
+connection, there will be an additional energy cost for activating and
+using the antenna. ... We leave this as future work."  This example
+runs that measurement: download the same object over SP-WiFi, SP-LTE
+and 2-path MPTCP, metering each radio with the standard smartphone
+power model (active/tail/promotion states), and report the
+latency-vs-joules trade-off.
+
+Run:  python examples/energy_cost.py [size_mb]
+"""
+
+import sys
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.energy import EnergyAudit
+
+MB = 1024 * 1024
+SEED = 23
+
+
+def run(mode, size):
+    testbed = Testbed(TestbedConfig(seed=SEED))
+    audit = EnergyAudit(testbed)
+    if mode == "mptcp":
+        config = MptcpConfig()
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=lambda c:
+                      HttpServerSession.fixed(c, size))
+        transport = MptcpConnection.client(
+            testbed.sim, testbed.client, testbed.client_addrs,
+            testbed.server_addrs[0], HTTP_PORT, config)
+    else:
+        config = TcpConfig()
+        PlainTcpAcceptor(testbed.sim, testbed.server, HTTP_PORT, config,
+                         RenoController, responder=lambda i: size)
+        local = ("client.wifi" if mode == "wifi" else "client.att")
+        transport = TcpEndpoint(testbed.sim, testbed.client, local,
+                                testbed.client.ephemeral_port(),
+                                testbed.server_addrs[0], HTTP_PORT,
+                                config, RenoController())
+    client = HttpClient(testbed.sim, transport, size)
+    client.start()
+    transport.connect()
+    testbed.run(until=300.0)
+    assert client.record.complete
+    # Account until the tail after the last packet has drained, the
+    # way a phone actually pays for the download.
+    return client.record, audit
+
+
+def main():
+    size = (int(sys.argv[1]) if len(sys.argv) > 1 else 4) * MB
+    print(f"Energy to download {size // MB} MB (radio model: "
+          f"active/tail/promotion):\n")
+    print(f"{'transport':10s} {'time (s)':>9s} {'energy (J)':>11s} "
+          f"{'J/MB':>7s}   breakdown")
+    for mode in ("wifi", "lte", "mptcp"):
+        record, audit = run(mode, size)
+        # Account until every radio's tail has drained after the last
+        # byte -- that is what the battery actually pays.
+        reports = audit.report(until=record.completed_at + 12.0)
+        joules = sum(r.total_joules for r in reports.values())
+        parts = ", ".join(
+            f"{addr.split('.', 1)[1]}: {r.total_joules:.1f}J "
+            f"(active {r.active_joules:.1f} + tail {r.tail_joules:.1f})"
+            for addr, r in sorted(reports.items())
+            if r.active_joules > 0)
+        label = {"wifi": "SP-WiFi", "lte": "SP-LTE",
+                 "mptcp": "MPTCP"}[mode]
+        print(f"{label:10s} {record.download_time:9.2f} {joules:11.2f} "
+              f"{joules / (size / MB):7.2f}   {parts}")
+    print("\nMPTCP finishes first but keeps two radios (and two tails)")
+    print("burning -- the trade-off the paper flags as future work.")
+
+
+if __name__ == "__main__":
+    main()

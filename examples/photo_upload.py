@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Photo backup: bulk uploads over MPTCP.
+
+The paper measures downloads; the classic *upstream* mobile workload
+is the camera-roll backup.  Uplinks are a fraction of downlinks on
+every access network (WiFi 4 vs 20 Mbit/s here, LTE 6 vs 13), which
+makes pooling even more attractive upstream: MPTCP's aggregate uplink
+beats either path alone.
+
+Uploads a burst of "photos" (3 MB each) over SP-WiFi, SP-LTE and
+2-path MPTCP and reports the per-photo and total backup times.
+
+Run:  python examples/photo_upload.py [n_photos]
+"""
+
+import statistics
+import sys
+
+from repro.app.http import HTTP_PORT
+from repro.app.upload import UploadClient, UploadServerSession
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint, TcpListener
+from repro.testbed import Testbed, TestbedConfig
+
+MB = 1024 * 1024
+PHOTO = 3 * MB
+SEED = 41
+
+
+def upload_once(mode, seed):
+    testbed = Testbed(TestbedConfig(seed=seed))
+    if mode == "mptcp":
+        config = MptcpConfig()
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=lambda c:
+                      UploadServerSession(c, PHOTO))
+        transport = MptcpConnection.client(
+            testbed.sim, testbed.client, testbed.client_addrs,
+            testbed.server_addrs[0], HTTP_PORT, config)
+    else:
+        config = TcpConfig()
+
+        def accept(packet, host):
+            segment = packet.segment
+            endpoint = TcpEndpoint(testbed.sim, host, packet.dst,
+                                   segment.dst_port, packet.src,
+                                   segment.src_port, config,
+                                   RenoController())
+            UploadServerSession(endpoint, PHOTO)
+            endpoint.accept(packet)
+
+        testbed.server.bind_listener(HTTP_PORT, TcpListener(accept))
+        local = "client.wifi" if mode == "wifi" else "client.att"
+        transport = TcpEndpoint(testbed.sim, testbed.client, local,
+                                testbed.client.ephemeral_port(),
+                                testbed.server_addrs[0], HTTP_PORT,
+                                config, RenoController())
+    client = UploadClient(testbed.sim, transport, PHOTO)
+    client.start()
+    transport.connect()
+    testbed.run(until=600.0)
+    assert client.record.complete, f"{mode} upload did not complete"
+    return client.record.upload_time
+
+
+def main():
+    n_photos = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print(f"Backing up {n_photos} photos x {PHOTO // MB} MB "
+          f"(uplink-bound):\n")
+    print(f"{'transport':10s} {'per photo':>10s} {'total':>9s}")
+    for mode, label in (("wifi", "SP-WiFi"), ("lte", "SP-LTE"),
+                        ("mptcp", "MPTCP")):
+        times = [upload_once(mode, SEED + index)
+                 for index in range(n_photos)]
+        print(f"{label:10s} {statistics.mean(times):10.2f} "
+              f"{sum(times):9.1f}")
+    print("\nUpstream, the pooled uplinks give MPTCP a clean win over")
+    print("either access network alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro: a reproduction of "A Measurement-based Study of MultiPath TCP
+Performance over Wireless Networks" (Chen et al., IMC 2013).
+
+The package is a packet-level discrete-event simulator of the paper's
+testbed -- a multi-homed server, a mobile client with WiFi plus one of
+three cellular carriers -- with a full MPTCP implementation (subflow
+establishment, DSS mapping, minRTT scheduling, shared reorder buffer,
+and the reno / coupled / olia congestion controllers), a tcptrace-style
+measurement layer, and an experiment harness that regenerates every
+table and figure in the paper's evaluation.
+
+Quick start::
+
+    from repro.experiments import FlowSpec, Measurement
+
+    spec = FlowSpec.mptcp(carrier="att", controller="coupled")
+    result = Measurement(spec, size=512 * 1024, seed=1).run()
+    print(result.download_time)
+
+See README.md for the full tour and EXPERIMENTS.md for the
+paper-vs-reproduction comparison.
+"""
+
+from repro.testbed import Testbed, TestbedConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Testbed", "TestbedConfig", "__version__"]

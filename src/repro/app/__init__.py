@@ -1,0 +1,55 @@
+"""Application-layer workloads.
+
+* :mod:`repro.app.http` -- the wget-style HTTP object download the
+  paper uses for every measurement: the client sends a fixed-size
+  request; the server answers with the requested number of bytes and
+  closes.  Works over a plain TCP endpoint or an MPTCP connection
+  (both expose ``send`` / ``close`` / ``on_receive``).
+* :mod:`repro.app.video` -- the streaming-video traffic model of
+  Section 6 / Table 7: a large prefetch followed by periodic block
+  downloads (Netflix and YouTube parameterizations included).
+"""
+
+from repro.app.http import (
+    REQUEST_SIZE,
+    DownloadRecord,
+    HttpClient,
+    HttpServerSession,
+    PlainTcpAcceptor,
+)
+from repro.app.realtime import (
+    TOLERANCE_150MS,
+    VIDEO_CALL,
+    VOIP,
+    RealtimeProfile,
+    RealtimeReport,
+    RealtimeSink,
+    RealtimeStream,
+)
+from repro.app.video import (
+    NETFLIX_ANDROID,
+    NETFLIX_IPAD,
+    YOUTUBE,
+    StreamingProfile,
+    VideoSession,
+)
+
+__all__ = [
+    "REQUEST_SIZE",
+    "DownloadRecord",
+    "HttpClient",
+    "HttpServerSession",
+    "PlainTcpAcceptor",
+    "StreamingProfile",
+    "VideoSession",
+    "NETFLIX_ANDROID",
+    "NETFLIX_IPAD",
+    "YOUTUBE",
+    "RealtimeProfile",
+    "RealtimeReport",
+    "RealtimeSink",
+    "RealtimeStream",
+    "TOLERANCE_150MS",
+    "VOIP",
+    "VIDEO_CALL",
+]

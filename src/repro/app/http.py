@@ -1,0 +1,171 @@
+"""The wget-over-HTTP workload of the paper's measurements.
+
+Section 3.1: "The client uses wget to retrieve Web objects of
+different sizes via all the available paths" from an Apache server on
+port 8080 (AT&T's port-80 proxy strips MPTCP options, hence 8080 --
+our simulated carriers are proxy-free but we keep the port).
+
+Transport-agnostic: both :class:`repro.tcp.endpoint.TcpEndpoint` and
+:class:`repro.core.connection.MptcpConnection` expose ``send(nbytes)``,
+``close()`` and the ``on_receive`` / ``on_established`` callbacks this
+module needs, so the same client/server session classes drive the
+single-path baselines and the multipath runs.
+
+Download time follows the paper's definition exactly: from the moment
+the client sends its first SYN (``connect()``) to the arrival of the
+last data byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+from repro.sim.engine import Simulator
+
+#: Bytes in one HTTP GET request (headers included); the response to a
+#: request begins once the server has received this many bytes.
+REQUEST_SIZE = 180
+
+#: The paper's server port (Apache on 8080, see module docstring).
+HTTP_PORT = 8080
+
+
+class Transport(Protocol):
+    """The little facade both TCP and MPTCP objects satisfy."""
+
+    on_receive: Optional[Callable[[int], None]]
+    on_established: Optional[Callable[[], None]]
+
+    def send(self, nbytes: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class HttpServerSession:
+    """Serves one connection: each full request gets one response.
+
+    ``responder(index)`` returns the size in bytes of the response to
+    the ``index``-th request, or ``None`` to refuse (close).  When
+    ``close_after`` requests have been answered the server closes the
+    connection (single-object downloads close after the first).
+    """
+
+    def __init__(self, transport: Transport,
+                 responder: Callable[[int], Optional[int]],
+                 request_size: int = REQUEST_SIZE,
+                 close_after: Optional[int] = 1) -> None:
+        self.transport = transport
+        self.responder = responder
+        self.request_size = request_size
+        self.close_after = close_after
+        self.requests_served = 0
+        self._received = 0
+        transport.on_receive = self._on_receive
+
+    @classmethod
+    def fixed(cls, transport: Transport, size: int,
+              request_size: int = REQUEST_SIZE) -> "HttpServerSession":
+        """A server session answering every request with ``size`` bytes."""
+        return cls(transport, lambda index: size, request_size=request_size)
+
+    def _on_receive(self, nbytes: int) -> None:
+        self._received += nbytes
+        while self._received >= self.request_size:
+            self._received -= self.request_size
+            size = self.responder(self.requests_served)
+            if size is None:
+                self.transport.close()
+                return
+            self.requests_served += 1
+            self.transport.send(size)
+            if (self.close_after is not None
+                    and self.requests_served >= self.close_after):
+                self.transport.close()
+                return
+
+
+@dataclass
+class DownloadRecord:
+    """Timing of one object download, per the paper's definition."""
+
+    size: int
+    started_at: float = 0.0
+    established_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    bytes_received: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def download_time(self) -> float:
+        """First SYN to last data byte (seconds)."""
+        if self.completed_at is None:
+            raise RuntimeError("download has not completed")
+        return self.completed_at - self.started_at
+
+
+class HttpClient:
+    """Downloads one object of a known size and records its timing."""
+
+    def __init__(self, sim: Simulator, transport: Transport, size: int,
+                 request_size: int = REQUEST_SIZE,
+                 on_complete: Optional[Callable[["DownloadRecord"], None]] = None,
+                 ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.request_size = request_size
+        self.on_complete = on_complete
+        self.record = DownloadRecord(size=size, started_at=sim.now)
+        transport.on_established = self._on_established
+        transport.on_receive = self._on_receive
+
+    def start(self) -> None:
+        """Mark the start time; call immediately before ``connect()``."""
+        self.record.started_at = self.sim.now
+
+    def _on_established(self) -> None:
+        self.record.established_at = self.sim.now
+        self.transport.send(self.request_size)
+
+    def _on_receive(self, nbytes: int) -> None:
+        self.record.bytes_received += nbytes
+        if (self.record.bytes_received >= self.record.size
+                and self.record.completed_at is None):
+            self.record.completed_at = self.sim.now
+            self.transport.close()
+            if self.on_complete is not None:
+                self.on_complete(self.record)
+
+
+class PlainTcpAcceptor:
+    """Binds a plain (single-path) TCP listener that serves HTTP.
+
+    For every inbound SYN it creates a server endpoint and attaches an
+    :class:`HttpServerSession` with the given responder.
+    """
+
+    def __init__(self, sim: Simulator, host, port: int, config,
+                 controller_factory: Callable[[], object],
+                 responder: Callable[[int], Optional[int]],
+                 request_size: int = REQUEST_SIZE) -> None:
+        from repro.tcp.endpoint import TcpEndpoint, TcpListener
+
+        self.sessions: List[HttpServerSession] = []
+
+        def accept(packet, accept_host):
+            segment = packet.segment
+            endpoint = TcpEndpoint(
+                sim, accept_host, packet.dst, segment.dst_port,
+                packet.src, segment.src_port, config,
+                controller_factory(), name="http-server")
+            session = HttpServerSession(endpoint, responder,
+                                        request_size=request_size)
+            self.sessions.append(session)
+            endpoint.accept(packet)
+
+        host.bind_listener(port, TcpListener(accept))

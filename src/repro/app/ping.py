@@ -1,0 +1,141 @@
+"""Ping: the paper's radio warm-up probe.
+
+Section 3.2: "we send two ICMP ping packets to our server before each
+measurement, and start the measurements immediately after the ping
+responses are correctly received to ensure that the cellular antenna
+is in the ready state."
+
+The simulator carries only TCP-segment-shaped packets, so ping is
+modeled as a minimal echo protocol on a dedicated port: the prober
+sends a small datagram-like segment, an :class:`EchoResponder` bound
+on the server reflects it, and RTTs are measured per probe.  Sending
+the probe exercises the cellular RRC machine exactly like ICMP would:
+the first probe triggers promotion and pays the promotion delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netsim.host import Host
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.segment import Flags, Segment
+
+#: Port conventionally used by the echo responder (RFC 862's echo is 7).
+ECHO_PORT = 7
+
+#: Payload bytes of one probe (a standard ping is 56 + 8 header).
+PROBE_SIZE = 64
+
+
+class EchoResponder:
+    """Server side: reflects every packet arriving on the echo port."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 port: int = ECHO_PORT) -> None:
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.echoes = 0
+        host.bind_listener(port, self)
+
+    def handle_syn(self, packet: Packet, host: Host) -> None:
+        # The listener interface delivers SYN-flagged packets; probes
+        # are sent with SYN so they demux here without an endpoint.
+        segment = packet.segment
+        self.echoes += 1
+        reply = Segment(src_port=self.port, dst_port=segment.src_port,
+                        seq=segment.seq, ack=segment.seq + 1,
+                        flags=Flags(syn=True, ack=True),
+                        payload_len=segment.payload_len)
+        host.send(Packet(packet.dst, packet.src, reply))
+
+
+@dataclass
+class PingResult:
+    """Outcome of one probe sequence."""
+
+    rtts: List[float] = field(default_factory=list)
+    sent: int = 0
+
+    @property
+    def received(self) -> int:
+        return len(self.rtts)
+
+    @property
+    def all_answered(self) -> bool:
+        return self.received == self.sent
+
+
+class Pinger:
+    """Client side: sends N probes and collects the echo RTTs.
+
+    The probes traverse the interface's RRC gate, so the first one
+    pays (and absorbs) the promotion delay -- which is the entire
+    point of the paper's warm-up procedure.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, local_addr: str,
+                 remote_addr: str, count: int = 2,
+                 interval: float = 0.2, port: int = ECHO_PORT,
+                 on_complete: Optional[Callable[[PingResult], None]]
+                 = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.local_addr = local_addr
+        self.remote_addr = remote_addr
+        self.count = count
+        self.interval = interval
+        self.port = port
+        self.on_complete = on_complete
+        self.result = PingResult()
+        self.local_port = host.ephemeral_port()
+        self._send_times: dict = {}
+        self._finished = False
+        host.register_endpoint(
+            (local_addr, self.local_port, remote_addr, port), self)
+
+    def start(self) -> None:
+        self._probe(0)
+
+    def _probe(self, index: int) -> None:
+        if index >= self.count:
+            return
+        segment = Segment(src_port=self.local_port, dst_port=self.port,
+                          seq=index, flags=Flags(syn=True),
+                          payload_len=PROBE_SIZE)
+        self._send_times[index] = self.sim.now
+        self.result.sent += 1
+        self.host.send(Packet(self.local_addr, self.remote_addr, segment))
+        self.sim.schedule(self.interval, lambda: self._probe(index + 1),
+                          name="ping.probe")
+
+    def handle_packet(self, packet: Packet) -> None:
+        segment = packet.segment
+        sent_at = self._send_times.pop(segment.seq, None)
+        if sent_at is None:
+            return
+        self.result.rtts.append(self.sim.now - sent_at)
+        if (not self._finished and self.result.sent >= self.count
+                and self.result.all_answered):
+            self._finished = True
+            if self.on_complete is not None:
+                self.on_complete(self.result)
+
+
+def warm_up_with_pings(testbed, on_ready: Callable[[], None],
+                       count: int = 2) -> Pinger:
+    """The paper's procedure: ping the server over the cellular path,
+    then start the measurement once the replies are in.
+
+    Use with ``TestbedConfig(warm_radio=False)`` so the promotion delay
+    is actually exercised (and absorbed) by the probes.
+    """
+    EchoResponder(testbed.sim, testbed.server)
+    pinger = Pinger(testbed.sim, testbed.client, testbed.cellular_addr,
+                    testbed.server_addrs[0], count=count,
+                    on_complete=lambda result: on_ready())
+    pinger.start()
+    return pinger

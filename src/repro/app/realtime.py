@@ -1,0 +1,134 @@
+"""Real-time (interactive) traffic over the simulated transports.
+
+Section 5.2 motivates the out-of-order-delay metric with interactive
+applications: "in Facetime or Skype, the maximum tolerable end-to-end
+latency is considered to be about 150 ms (one-way network delay plus
+the out-of-order delay)".  This module provides that workload: a
+constant-rate stream of small frames whose *per-frame delivery
+latency* (send to in-order arrival) is measured against the tolerance.
+
+The receiving side sees frames only in order (TCP semantics), so a
+frame's latency automatically includes both network delay and any
+reorder wait behind a slower path -- exactly the sum the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+
+#: The paper's interactive-latency budget (seconds).
+TOLERANCE_150MS = 0.150
+
+
+@dataclass(frozen=True)
+class RealtimeProfile:
+    """A constant-bitrate frame stream."""
+
+    name: str
+    frame_bytes: int
+    interval: float
+    frames: int
+
+    @property
+    def bitrate_bps(self) -> float:
+        return self.frame_bytes * 8.0 / self.interval
+
+
+#: A VoIP-like stream: 50 frames/s of ~200 B (~80 kbit/s).
+VOIP = RealtimeProfile(name="voip", frame_bytes=200, interval=0.02,
+                       frames=400)
+
+#: A video-call-like stream: 30 frames/s of ~4 KB (~1 Mbit/s).
+VIDEO_CALL = RealtimeProfile(name="video-call", frame_bytes=4096,
+                             interval=1.0 / 30.0, frames=240)
+
+
+class RealtimeStream:
+    """Sender side: writes one frame per interval into the transport."""
+
+    def __init__(self, sim: Simulator, transport,
+                 profile: RealtimeProfile) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.profile = profile
+        self.send_times: List[float] = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._send_frame()
+
+    def _send_frame(self) -> None:
+        if len(self.send_times) >= self.profile.frames:
+            self.transport.close()
+            return
+        self.send_times.append(self.sim.now)
+        self.transport.send(self.profile.frame_bytes)
+        self.sim.schedule(self.profile.interval, self._send_frame,
+                          name="realtime.frame")
+
+    @property
+    def finished_sending(self) -> bool:
+        return len(self.send_times) >= self.profile.frames
+
+
+@dataclass
+class RealtimeReport:
+    """Per-frame latency statistics for one stream."""
+
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def frames_delivered(self) -> int:
+        return len(self.latencies)
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def worst_latency(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
+    def fraction_within(self, budget: float = TOLERANCE_150MS) -> float:
+        """Fraction of frames delivered inside the latency budget."""
+        if not self.latencies:
+            return 0.0
+        within = sum(1 for latency in self.latencies if latency <= budget)
+        return within / len(self.latencies)
+
+
+class RealtimeSink:
+    """Receiver side: reconstructs frame boundaries from the in-order
+    byte stream and timestamps each completed frame."""
+
+    def __init__(self, sim: Simulator, transport, stream: RealtimeStream,
+                 on_finished: Optional[Callable[["RealtimeSink"], None]]
+                 = None) -> None:
+        self.sim = sim
+        self.stream = stream
+        self.report = RealtimeReport()
+        self.on_finished = on_finished
+        self._received = 0
+        transport.on_receive = self._on_receive
+
+    def _on_receive(self, nbytes: int) -> None:
+        profile = self.stream.profile
+        self._received += nbytes
+        while (self.report.frames_delivered < len(self.stream.send_times)
+               and self._received
+               >= (self.report.frames_delivered + 1) * profile.frame_bytes):
+            frame_index = self.report.frames_delivered
+            send_time = self.stream.send_times[frame_index]
+            self.report.latencies.append(self.sim.now - send_time)
+        if (self.stream.finished_sending
+                and self.report.frames_delivered >= profile.frames
+                and self.on_finished is not None):
+            callback, self.on_finished = self.on_finished, None
+            callback(self)

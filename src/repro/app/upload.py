@@ -1,0 +1,103 @@
+"""Uploads: bulk data in the client-to-server direction.
+
+The paper measures downloads, but its testbed (and this simulator's
+MPTCP implementation) is symmetric: each direction has its own data
+sequence space, DATA_ACKs and windows.  Uploads exercise the reverse
+path -- where the *uplink* rates (a fraction of the downlinks on every
+access technology) are the bottleneck, and where a phone's classic
+workload is the camera-roll photo backup.
+
+:class:`UploadClient` streams a payload to the server and waits for a
+small application-level acknowledgement; :class:`UploadServerSession`
+consumes the payload and sends that acknowledgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.app.http import REQUEST_SIZE, Transport
+from repro.sim.engine import Simulator
+
+#: Size of the server's application-level "stored OK" reply.
+ACK_SIZE = 120
+
+
+@dataclass
+class UploadRecord:
+    """Timing of one upload, mirroring the download record."""
+
+    size: int
+    started_at: float
+    established_at: Optional[float] = None
+    sent_all_at: Optional[float] = None
+    acknowledged_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.acknowledged_at is not None
+
+    @property
+    def upload_time(self) -> float:
+        """First SYN to the server's application acknowledgement."""
+        if self.acknowledged_at is None:
+            raise RuntimeError("upload has not completed")
+        return self.acknowledged_at - self.started_at
+
+
+class UploadServerSession:
+    """Server side: consume ``expected`` bytes, then acknowledge."""
+
+    def __init__(self, transport: Transport, expected: int) -> None:
+        self.transport = transport
+        self.expected = expected
+        self.received = 0
+        self.acknowledged = False
+        transport.on_receive = self._on_receive
+
+    def _on_receive(self, nbytes: int) -> None:
+        self.received += nbytes
+        if not self.acknowledged and self.received >= self.expected:
+            self.acknowledged = True
+            self.transport.send(ACK_SIZE)
+            self.transport.close()
+
+
+class UploadClient:
+    """Client side: push the payload, await the acknowledgement."""
+
+    def __init__(self, sim: Simulator, transport: Transport, size: int,
+                 on_complete: Optional[
+                     Callable[["UploadRecord"], None]] = None) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.record = UploadRecord(size=size, started_at=sim.now)
+        self.on_complete = on_complete
+        self._ack_received = 0
+        transport.on_established = self._on_established
+        transport.on_receive = self._on_receive
+
+    def start(self) -> None:
+        self.record.started_at = self.sim.now
+
+    def _on_established(self) -> None:
+        self.record.established_at = self.sim.now
+        self.transport.send(self.record.size)
+        self.record.sent_all_at = self.sim.now  # queued; wire takes time
+        self.transport.close()
+
+    def _on_receive(self, nbytes: int) -> None:
+        self._ack_received += nbytes
+        if (self._ack_received >= ACK_SIZE
+                and self.record.acknowledged_at is None):
+            self.record.acknowledged_at = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self.record)
+
+
+#: Expected upload payload preceding the server ACK: the client's
+#: stream is just the payload (no request header), so the server
+#: session is constructed with the payload size directly.
+__all__ = ["ACK_SIZE", "UploadClient", "UploadRecord",
+           "UploadServerSession"]

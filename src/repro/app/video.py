@@ -1,0 +1,214 @@
+"""Streaming-video traffic model (Section 6, Table 7).
+
+Rao et al. [CoNEXT'11] and the paper's own device measurements show
+that mobile video streaming is a *prefetch* (one large download)
+followed by *periodic block* downloads.  Table 7 gives the parameters
+the authors measured for Netflix; the text gives YouTube's.  The
+profiles below reproduce those numbers; :class:`VideoSession` drives
+the request sequence over any transport and records per-block timings
+plus playback-stall accounting -- the quantity the paper argues MPTCP's
+reorder delay can endanger.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.app.http import REQUEST_SIZE, Transport
+from repro.sim.engine import Simulator
+
+MB = 1024 * 1024
+KB = 1024
+
+
+@dataclass(frozen=True)
+class StreamingProfile:
+    """Prefetch-then-periodic-blocks parameterization.
+
+    Means and standard deviations follow Table 7 (Netflix) and the
+    Section 6 text (YouTube).  Sizes in bytes, period in seconds.
+    """
+
+    name: str
+    prefetch_mean: float
+    prefetch_std: float
+    block_mean: float
+    block_std: float
+    period_mean: float
+    period_std: float
+
+    def draw_prefetch(self, rng: random.Random) -> int:
+        return max(int(rng.gauss(self.prefetch_mean, self.prefetch_std)), KB)
+
+    def draw_block(self, rng: random.Random) -> int:
+        return max(int(rng.gauss(self.block_mean, self.block_std)), KB)
+
+    def draw_period(self, rng: random.Random) -> float:
+        return max(rng.gauss(self.period_mean, self.period_std), 0.5)
+
+
+#: Table 7, Android row: prefetch 40.6 +- 0.9 MB, block 5.2 +- 0.2 MB,
+#: period 72.0 +- 10.1 s.
+NETFLIX_ANDROID = StreamingProfile(
+    name="netflix-android",
+    prefetch_mean=40.6 * MB, prefetch_std=0.9 * MB,
+    block_mean=5.2 * MB, block_std=0.2 * MB,
+    period_mean=72.0, period_std=10.1,
+)
+
+#: Table 7, iPad row: prefetch 15.0 +- 2.6 MB, block 1.8 +- 0.5 MB,
+#: period 10.2 +- 2.7 s.
+NETFLIX_IPAD = StreamingProfile(
+    name="netflix-ipad",
+    prefetch_mean=15.0 * MB, prefetch_std=2.6 * MB,
+    block_mean=1.8 * MB, block_std=0.5 * MB,
+    period_mean=10.2, period_std=2.7,
+)
+
+#: Section 6 text: YouTube prefetches 10-15 MB then periodically
+#: transfers blocks of 64 KB-512 KB.
+YOUTUBE = StreamingProfile(
+    name="youtube",
+    prefetch_mean=12.5 * MB, prefetch_std=1.5 * MB,
+    block_mean=288 * KB, block_std=128 * KB,
+    period_mean=5.0, period_std=1.0,
+)
+
+PROFILES = {
+    profile.name: profile
+    for profile in (NETFLIX_ANDROID, NETFLIX_IPAD, YOUTUBE)
+}
+
+
+@dataclass
+class BlockRecord:
+    """One transfer (prefetch or periodic block) within a session."""
+
+    kind: str            # "prefetch" or "block"
+    size: int
+    requested_at: float
+    completed_at: Optional[float] = None
+
+    @property
+    def download_time(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("block still in flight")
+        return self.completed_at - self.requested_at
+
+
+@dataclass
+class SessionSummary:
+    """What Table 7 reports, measured from a simulated session."""
+
+    prefetch_bytes: int
+    block_bytes_mean: float
+    period_mean: float
+    blocks: int
+    stalls: int
+
+
+class VideoSession:
+    """Drives a prefetch + periodic-block workload over one transport.
+
+    The transport must already have a server session attached that
+    answers each :data:`REQUEST_SIZE`-byte request with the next block
+    (see :meth:`responder`).  Blocks are requested on a timer; if a
+    block has not finished when the next period elapses, the request is
+    issued immediately on completion and a *stall* is counted.
+    """
+
+    def __init__(self, sim: Simulator, transport: Transport,
+                 profile: StreamingProfile, rng: random.Random,
+                 n_blocks: int = 5,
+                 on_finished: Optional[Callable[["VideoSession"], None]] = None,
+                 ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.profile = profile
+        self.rng = rng
+        self.n_blocks = n_blocks
+        self.on_finished = on_finished
+        self.blocks: List[BlockRecord] = []
+        self._sizes = [profile.draw_prefetch(rng)]
+        self._sizes += [profile.draw_block(rng) for _ in range(n_blocks)]
+        self._periods = [profile.draw_period(rng) for _ in range(n_blocks)]
+        self._received_in_block = 0
+        self._next_due: Optional[float] = None
+        self.stalls = 0
+        self.finished = False
+        transport.on_established = self._request_next
+        transport.on_receive = self._on_receive
+
+    def responder(self) -> Callable[[int], Optional[int]]:
+        """Server-side responder matched to this session's draws."""
+        sizes = list(self._sizes)
+
+        def respond(index: int) -> Optional[int]:
+            return sizes[index] if index < len(sizes) else None
+
+        return respond
+
+    # ------------------------------------------------------------------
+
+    def _request_next(self) -> None:
+        index = len(self.blocks)
+        if index >= len(self._sizes):
+            self.finished = True
+            self.transport.close()
+            if self.on_finished is not None:
+                self.on_finished(self)
+            return
+        kind = "prefetch" if index == 0 else "block"
+        self.blocks.append(BlockRecord(kind=kind, size=self._sizes[index],
+                                       requested_at=self.sim.now))
+        self._received_in_block = 0
+        self.transport.send(REQUEST_SIZE)
+
+    def _on_receive(self, nbytes: int) -> None:
+        if not self.blocks or self.finished:
+            return
+        current = self.blocks[-1]
+        self._received_in_block += nbytes
+        if current.completed_at is None and \
+                self._received_in_block >= current.size:
+            current.completed_at = self.sim.now
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        index = len(self.blocks)
+        if index > self.n_blocks:
+            self._request_next()  # emits the finish path
+            return
+        # Periods are anchored to the previous request time, as the
+        # player's buffer drains in real time.
+        period = self._periods[index - 1]
+        due = self.blocks[-1].requested_at + period
+        if due <= self.sim.now:
+            self.stalls += 1
+            self._request_next()
+        else:
+            self.sim.schedule(due - self.sim.now, self._request_next,
+                              name="video.next-block")
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> SessionSummary:
+        """Aggregate the session the way Table 7 reports it."""
+        completed = [block for block in self.blocks
+                     if block.completed_at is not None]
+        prefetch = completed[0].size if completed else 0
+        periodic = [block for block in completed if block.kind == "block"]
+        block_mean = (sum(block.size for block in periodic) / len(periodic)
+                      if periodic else 0.0)
+        gaps = [later.requested_at - earlier.requested_at
+                for earlier, later in zip(self.blocks[1:], self.blocks[2:])]
+        period_mean = sum(gaps) / len(gaps) if gaps else 0.0
+        return SessionSummary(
+            prefetch_bytes=prefetch,
+            block_bytes_mean=block_mean,
+            period_mean=period_mean,
+            blocks=len(periodic),
+            stalls=self.stalls,
+        )

@@ -1,0 +1,144 @@
+"""Web page loads: the multi-object workload behind the paper's story.
+
+The introduction motivates finite flows with Web browsing: a page is
+not one object but an HTML document plus tens of embedded objects,
+"most ... no more than one MB in size, although the tail of the size
+distribution is large".  This module models a page as an HTML object
+followed by its embedded objects fetched over a persistent connection
+(HTTP/1.1 style, sequential) and measures **page load time** -- the
+application-level metric a user actually feels.
+
+A :class:`PageProfile` draws object counts and sizes from heavy-tailed
+distributions calibrated to the classic Web-measurement literature
+(median object ~10-30 KB, a few large images/scripts per page).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.app.http import REQUEST_SIZE, Transport
+from repro.sim.engine import Simulator
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class PageProfile:
+    """Distribution of a page's composition."""
+
+    name: str
+    html_mean: float = 40 * KB
+    html_sigma: float = 0.6       # lognormal sigma on the HTML size
+    objects_mean: float = 12.0    # embedded objects per page
+    object_median: float = 16 * KB
+    object_sigma: float = 1.3     # heavy tail: occasional multi-MB
+    object_cap: int = 8 * 1024 * KB
+
+    def draw_page(self, rng: random.Random) -> List[int]:
+        """Object sizes: the HTML first, then the embedded objects."""
+        import math
+        html = max(int(rng.lognormvariate(
+            math.log(self.html_mean), self.html_sigma)), 2 * KB)
+        count = max(int(rng.expovariate(1.0 / self.objects_mean)), 1)
+        objects = [min(max(int(rng.lognormvariate(
+            math.log(self.object_median), self.object_sigma)), KB),
+            self.object_cap) for _ in range(count)]
+        return [html] + objects
+
+
+#: A typical 2013 news-ish page: ~12 objects, ~400 KB median total.
+TYPICAL_PAGE = PageProfile(name="typical")
+
+#: A heavy, media-rich page: more and larger objects.
+HEAVY_PAGE = PageProfile(name="heavy", objects_mean=24.0,
+                         object_median=32 * KB, object_sigma=1.5)
+
+
+@dataclass
+class PageLoadRecord:
+    """Timing of one page load over one connection."""
+
+    sizes: List[int]
+    started_at: float
+    first_object_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    objects_loaded: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def page_load_time(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("page load has not completed")
+        return self.completed_at - self.started_at
+
+    @property
+    def time_to_first_byte(self) -> float:
+        if self.first_object_at is None:
+            raise RuntimeError("nothing received yet")
+        return self.first_object_at - self.started_at
+
+
+class PageLoader:
+    """Client side: fetches a page's objects sequentially over one
+    persistent connection (HTTP/1.1 without pipelining).
+
+    The matching server side is an
+    :class:`~repro.app.http.HttpServerSession` built with
+    :meth:`responder` and ``close_after=None``.
+    """
+
+    def __init__(self, sim: Simulator, transport: Transport,
+                 sizes: List[int],
+                 on_complete: Optional[
+                     Callable[["PageLoadRecord"], None]] = None) -> None:
+        if not sizes:
+            raise ValueError("a page needs at least one object")
+        self.sim = sim
+        self.transport = transport
+        self.record = PageLoadRecord(sizes=list(sizes),
+                                     started_at=sim.now)
+        self.on_complete = on_complete
+        self._received_in_object = 0
+        transport.on_established = self._request_next
+        transport.on_receive = self._on_receive
+
+    def responder(self) -> Callable[[int], Optional[int]]:
+        sizes = list(self.record.sizes)
+
+        def respond(index: int) -> Optional[int]:
+            return sizes[index] if index < len(sizes) else None
+
+        return respond
+
+    def _request_next(self) -> None:
+        if self.record.objects_loaded >= len(self.record.sizes):
+            self.record.completed_at = self.sim.now
+            self.transport.close()
+            if self.on_complete is not None:
+                self.on_complete(self.record)
+            return
+        self._received_in_object = 0
+        self.transport.send(REQUEST_SIZE)
+
+    def _on_receive(self, nbytes: int) -> None:
+        # Sequential fetching: exactly one object is outstanding, so
+        # arrivals always belong to sizes[objects_loaded].
+        if self.record.complete:
+            return
+        if self.record.first_object_at is None:
+            self.record.first_object_at = self.sim.now
+        self._received_in_object += nbytes
+        current = self.record.sizes[self.record.objects_loaded]
+        if self._received_in_object >= current:
+            self.record.objects_loaded += 1
+            self._request_next()

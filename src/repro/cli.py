@@ -1,0 +1,257 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Examples::
+
+    repro list                  # what can be regenerated
+    repro fig2 --reps 3         # Figure 2 rows to stdout
+    repro tab6 --csv out/       # Table 6, also exported as CSV
+    repro fig11 --full          # the true 512 MB backlog experiment
+    repro all --reps 1          # everything, quick pass
+
+Each command runs the corresponding measurement campaign (fresh
+simulations -- expect seconds to minutes depending on repetitions) and
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.report import render_table, write_csv
+from repro.experiments.runner import Campaign, CampaignSpec, RunResult
+from repro.experiments import scenarios
+from repro.wireless.profiles import TimeOfDay
+
+RowBuilder = Callable[[List[RunResult]], Tuple[List[str], List[List[str]]]]
+
+
+class Artifact:
+    """One regenerable table/figure: a campaign plus row extractors."""
+
+    def __init__(self, name: str, title: str,
+                 campaign: Callable[..., CampaignSpec],
+                 rows: Dict[str, RowBuilder],
+                 plot: Optional[Callable[[List[RunResult]], str]] = None,
+                 ) -> None:
+        self.name = name
+        self.title = title
+        self.campaign = campaign
+        self.rows = rows
+        self.plot = plot
+
+
+def _artifacts() -> Dict[str, Artifact]:
+    s = scenarios
+    artifacts = [
+        Artifact("fig2", "Figure 2: baseline download times",
+                 s.baseline_campaign,
+                 {"download time": lambda r: s.download_time_rows(
+                     r, label_by_carrier=True)},
+                 plot=lambda r: s.download_time_plot(
+                     r, label_by_carrier=True)),
+        Artifact("fig3", "Figure 3: baseline cellular traffic share",
+                 s.baseline_campaign,
+                 {"cellular share": lambda r: s.traffic_share_rows(
+                     r, label_by_carrier=True)}),
+        Artifact("tab2", "Table 2: baseline path characteristics",
+                 s.baseline_campaign,
+                 {"path characteristics": s.path_characteristics_rows}),
+        Artifact("fig4", "Figure 4: small-flow download times",
+                 s.small_flows_campaign,
+                 {"download time": s.download_time_rows},
+                 plot=s.download_time_plot),
+        Artifact("fig5", "Figure 5: small-flow cellular share",
+                 s.small_flows_campaign,
+                 {"cellular share": s.traffic_share_rows}),
+        Artifact("tab3", "Table 3: small-flow path characteristics",
+                 s.small_flows_campaign,
+                 {"path characteristics": s.path_characteristics_rows}),
+        Artifact("fig6", "Figure 6: coffee-shop download times",
+                 s.coffee_shop_campaign,
+                 {"download time": s.download_time_rows}),
+        Artifact("fig7", "Figure 7: coffee-shop cellular share",
+                 s.coffee_shop_campaign,
+                 {"cellular share": s.traffic_share_rows}),
+        Artifact("tab4", "Table 4: coffee-shop path characteristics",
+                 s.coffee_shop_campaign,
+                 {"path characteristics": s.path_characteristics_rows}),
+        Artifact("fig8", "Figure 8: simultaneous vs delayed SYN",
+                 s.simultaneous_syn_campaign,
+                 {"download time": s.syn_comparison_rows}),
+        Artifact("fig9", "Figure 9: large-flow download times",
+                 s.large_flows_campaign,
+                 {"download time": s.download_time_rows},
+                 plot=s.download_time_plot),
+        Artifact("fig10", "Figure 10: large-flow cellular share",
+                 s.large_flows_campaign,
+                 {"cellular share": s.traffic_share_rows}),
+        Artifact("tab5", "Table 5: large-flow path characteristics",
+                 s.large_flows_campaign,
+                 {"path characteristics": s.path_characteristics_rows}),
+        Artifact("fig11", "Figure 11: ~infinite backlog",
+                 s.backlog_campaign,
+                 {"download time": s.download_time_rows}),
+        Artifact("fig12", "Figure 12: packet RTT CCDFs",
+                 s.latency_campaign,
+                 {"rtt ccdf": s.rtt_ccdf_rows},
+                 plot=s.rtt_ccdf_plot),
+        Artifact("fig13", "Figure 13: out-of-order delay CCDFs",
+                 s.latency_campaign,
+                 {"ofo ccdf": s.ofo_ccdf_rows},
+                 plot=s.ofo_ccdf_plot),
+        Artifact("tab6", "Table 6: MPTCP RTT and OFO delay",
+                 s.latency_campaign,
+                 {"rtt and ofo": s.mptcp_rtt_ofo_rows}),
+    ]
+    return {artifact.name: artifact for artifact in artifacts}
+
+
+def _build_campaign(artifact: Artifact, args: argparse.Namespace
+                    ) -> CampaignSpec:
+    kwargs = {"base_seed": args.seed}
+    if artifact.name == "fig11":
+        if args.full:
+            kwargs["size"] = 512 * scenarios.MB
+        kwargs["repetitions"] = max(args.reps, 3)
+        return artifact.campaign(**kwargs)
+    kwargs["repetitions"] = args.reps
+    kwargs["periods"] = (tuple(TimeOfDay) if args.full
+                         else scenarios.QUICK_PERIODS)
+    return artifact.campaign(**kwargs)
+
+
+def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
+    spec = _build_campaign(artifact, args)
+    total = spec.total_runs()
+    print(f"\n{artifact.title}")
+    print(f"running {total} measurements "
+          f"({len(spec.specs)} configs x {len(spec.sizes)} sizes x "
+          f"{spec.repetitions} reps x {len(spec.periods)} periods)...",
+          flush=True)
+    started = time.time()
+
+    def progress(index, count, result):
+        if args.verbose:
+            status = "ok" if result.completed else "INCOMPLETE"
+            print(f"  [{index}/{count}] {result.spec.label} "
+                  f"{result.size} B: {status}", flush=True)
+
+    campaign = Campaign(spec, progress=progress)
+    results = campaign.run()
+    elapsed = time.time() - started
+    print(f"done in {elapsed:.1f}s "
+          f"({campaign.completed_fraction():.0%} completed)\n")
+    for label, builder in artifact.rows.items():
+        headers, rows = builder(results)
+        print(render_table(headers, rows, title=label))
+        print()
+        if args.csv:
+            directory = Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            safe = label.replace(" ", "_")
+            path = directory / f"{artifact.name}_{safe}.csv"
+            write_csv(path, headers, rows)
+            print(f"wrote {path}")
+    if args.plot and artifact.plot is not None:
+        print(artifact.plot(results))
+        print()
+    if args.save:
+        from repro.experiments.storage import save_results
+        written = save_results(args.save, results, append=True)
+        print(f"appended {written} results to {args.save}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into `head` etc.; exit quietly like any CLI tool.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    artifacts = _artifacts()
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Regenerate the tables and figures of 'A "
+                     "Measurement-based Study of MultiPath TCP "
+                     "Performance over Wireless Networks' (IMC 2013) "
+                     "from the packet-level simulation."))
+    parser.add_argument("artifact",
+                        choices=sorted(artifacts) + ["all", "list",
+                                                     "scorecard",
+                                                     "validate",
+                                                     "run-campaign"],
+                        help="which table/figure to regenerate; "
+                             "'scorecard' grades the claims, "
+                             "'validate' cross-checks traces against "
+                             "protocol internals, 'run-campaign' runs "
+                             "a JSON campaign definition (--file)")
+    parser.add_argument("--file", metavar="JSON",
+                        help="campaign definition for run-campaign")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per configuration cell "
+                             "(paper: 20 per period; default: 2)")
+    parser.add_argument("--full", action="store_true",
+                        help="full experiment: all four day periods; "
+                             "512 MB objects for fig11")
+    parser.add_argument("--seed", type=int, default=2013,
+                        help="campaign base seed (default 2013)")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also export rows as CSV into DIR")
+    parser.add_argument("--plot", action="store_true",
+                        help="render ASCII box plots / CCDF charts")
+    parser.add_argument("--save", metavar="FILE",
+                        help="append raw results as JSON lines to FILE")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-measurement progress")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "list":
+        for name in sorted(artifacts):
+            print(f"{name:7s} {artifacts[name].title}")
+        print("scorecard  grade every headline claim (PASS/FAIL)")
+        print("validate   cross-check traces vs protocol internals")
+        print("run-campaign  run a JSON campaign definition (--file)")
+        return 0
+    if args.artifact == "run-campaign":
+        if not args.file:
+            parser.error("run-campaign requires --file JSON")
+        from repro.experiments.campaign_file import load_campaign
+        spec = load_campaign(args.file)
+        artifact = Artifact(
+            spec.name, f"Custom campaign: {spec.name}",
+            lambda **kwargs: spec,
+            {"download time": scenarios.download_time_rows,
+             "cellular share": scenarios.traffic_share_rows},
+            plot=scenarios.download_time_plot)
+        _run_artifact(artifact, args)
+        return 0
+    if args.artifact == "scorecard":
+        from repro.experiments.scorecard import render_scorecard, \
+            run_scorecard
+        seeds = tuple(range(args.seed, args.seed + max(args.reps, 3)))
+        results = run_scorecard(seeds=seeds)
+        print(render_scorecard(results))
+        return 0 if all(result.passed for result in results) else 1
+    if args.artifact == "validate":
+        from repro.experiments.validation import render_checks, \
+            validate_transfer
+        checks = validate_transfer(seed=args.seed)
+        print(render_checks(checks))
+        return 0 if all(check.ok for check in checks) else 1
+    selected = (sorted(artifacts) if args.artifact == "all"
+                else [args.artifact])
+    for name in selected:
+        _run_artifact(artifacts[name], args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

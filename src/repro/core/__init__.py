@@ -1,0 +1,59 @@
+"""MPTCP: the paper's object of study.
+
+This package implements the Multipath TCP layer on top of
+:mod:`repro.tcp` subflows, mirroring the Linux MPTCP v0.86 release the
+paper measures:
+
+* :mod:`repro.core.options` -- MP_CAPABLE / MP_JOIN / ADD_ADDR / DSS
+  option payloads carried in TCP segments.
+* :mod:`repro.core.coupling` -- the three congestion controllers the
+  paper compares: uncoupled New Reno (``reno``), the default coupled
+  controller (``coupled``, RFC 6356 LIA) and ``olia``.
+* :mod:`repro.core.scheduler` -- packet schedulers; the default is the
+  Linux lowest-SRTT scheduler.
+* :mod:`repro.core.receive_buffer` -- the shared connection-level
+  receive buffer with data-sequence reordering and exact out-of-order
+  delay accounting (the Section 5.2 metric).
+* :mod:`repro.core.subflow` -- one TCP subflow bound into a connection.
+* :mod:`repro.core.connection` -- the MPTCP connection: DSN space,
+  DATA_ACK flow control, subflow management, optional penalization.
+* :mod:`repro.core.path_manager` -- subflow establishment policy:
+  the default delayed MP_JOIN handshake and the paper's
+  simultaneous-SYN modification (Section 4.1.2).
+"""
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.core.coupling import (
+    CongestionController,
+    CoupledController,
+    OliaController,
+    RenoController,
+    make_controller,
+)
+from repro.core.scheduler import (
+    LowestRttScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.core.receive_buffer import ConnectionReceiveBuffer
+from repro.core.connection import MptcpConfig, MptcpConnection
+from repro.core.path_manager import PathManager
+
+__all__ = [
+    "DssMapping",
+    "MptcpOptions",
+    "CongestionController",
+    "RenoController",
+    "CoupledController",
+    "OliaController",
+    "make_controller",
+    "Scheduler",
+    "LowestRttScheduler",
+    "RoundRobinScheduler",
+    "make_scheduler",
+    "ConnectionReceiveBuffer",
+    "MptcpConfig",
+    "MptcpConnection",
+    "PathManager",
+]

@@ -1,0 +1,593 @@
+"""The MPTCP connection: DSN space, subflows, flow control.
+
+One :class:`MptcpConnection` object lives at each end of a multipath
+connection (the roles are symmetric; "client" additionally runs the
+path manager, because the NATed mobile host must initiate every
+subflow).  Responsibilities:
+
+* allocating connection-level (data) sequence numbers to subflows as
+  the scheduler admits them;
+* connection-level flow control against the peer's shared receive
+  buffer (DATA_ACK plus the window advertised on subflow ACKs);
+* reordering received data by DSN in the shared receive buffer, where
+  out-of-order delay is measured;
+* DATA_FIN stream termination;
+* the optional *penalization* mechanism of Linux MPTCP v0.86 -- halving
+  the window of the subflow responsible for receive-buffer blockage --
+  which the paper explicitly removes (Section 3.1, "No subflow
+  penalty"); it is therefore **off by default** here, and available for
+  the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.coupling import make_controller
+from repro.core.options import MptcpOptions
+from repro.core.receive_buffer import ConnectionReceiveBuffer
+from repro.core.scheduler import make_scheduler
+from repro.core.subflow import Subflow
+from repro.netsim.host import Host
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint, TcpListener
+from repro.tcp.segment import Segment
+
+_tokens = itertools.count(1)
+
+
+def path_name_of(address: str) -> str:
+    """Short path label from an interface address, e.g. client.att -> att."""
+    return address.split(".", 1)[1] if "." in address else address
+
+
+@dataclass(frozen=True)
+class MptcpConfig:
+    """Connection-level knobs, defaulted to the paper's setup."""
+
+    controller: str = "coupled"
+    scheduler: str = "minrtt"
+    rcv_buffer: int = 8 * 1024 * 1024
+    penalization: bool = False
+    simultaneous_syn: bool = False
+    max_subflows: Optional[int] = None
+    #: Path names (e.g. ``("att",)``) to open in backup mode: they
+    #: carry data only while no regular subflow is operational
+    #: (Paasch et al.'s "backup mode" handover configuration).
+    backup_paths: tuple = ()
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+
+
+class MptcpConnection:
+    """One side of a Multipath TCP connection."""
+
+    def __init__(self, sim: Simulator, host: Host, role: str,
+                 remote_port: int, config: MptcpConfig, token: int,
+                 server_addrs: Optional[List[str]] = None,
+                 name: str = "mptcp") -> None:
+        if role not in ("client", "server"):
+            raise ValueError(f"bad role {role!r}")
+        self.sim = sim
+        self.host = host
+        self.role = role
+        self.remote_port = remote_port
+        self.config = config
+        self.token = token
+        self.name = name
+        #: Addresses this (server) side may advertise via ADD_ADDR.
+        self.server_addrs = list(server_addrs or [])
+
+        self.controller = make_controller(config.controller)
+        self.scheduler = make_scheduler(config.scheduler)
+        self.subflows: List[Subflow] = []
+        self.path_manager = None  # set by client-side factory
+
+        # Send-side state (connection level).
+        self.total_queued = 0
+        self.next_dsn = 0
+        self.data_acked = 0
+        self.peer_window = 64 * 1024
+        self.bytes_allocated: Dict[str, int] = {}
+        self.bytes_reinjected: Dict[str, int] = {}
+        self._close_requested = False
+        self._send_complete_handled = False
+        #: Un-DATA_ACKed DSN ranges in flight per subflow:
+        #: id(subflow) -> list of [dsn_start, dsn_end, reinjected].
+        self._outstanding: Dict[int, List[List]] = {}
+        #: DSN ranges reclaimed from a timed-out/failed subflow,
+        #: awaiting retransmission on a healthy one.
+        self._reinjection_queue: List[List[int]] = []
+        #: Redundant-scheduler copies: [start, end, target_subflow_id].
+        self._duplication_queue: List[List[int]] = []
+
+        # Receive-side state.
+        self.receive_buffer = ConnectionReceiveBuffer(
+            capacity=config.rcv_buffer, clock=lambda: self.sim.now)
+        self.receive_buffer.on_deliver = self._deliver_to_app
+        self._peer_data_fin: Optional[int] = None
+        self._peer_fin_delivered = False
+
+        # Penalization bookkeeping (per subflow id -> last penalty time).
+        self._last_penalty: Dict[int, float] = {}
+
+        # Application callbacks.
+        self.on_receive: Optional[Callable[[int], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+
+        self.established_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def client(cls, sim: Simulator, host: Host, local_addrs: List[str],
+               remote_addr: str, remote_port: int, config: MptcpConfig,
+               name: str = "mptcp-client") -> "MptcpConnection":
+        """Build a client-side connection with its path manager.
+
+        ``local_addrs[0]`` is the default path (WiFi in the paper's
+        testbed); the remaining addresses join once permitted by the
+        subflow-establishment policy.
+        """
+        from repro.core.path_manager import PathManager  # cycle guard
+        connection = cls(sim, host, "client", remote_port, config,
+                         token=next(_tokens), name=name)
+        connection.path_manager = PathManager(
+            connection, local_addrs, remote_addr,
+            simultaneous_syn=config.simultaneous_syn,
+            max_subflows=config.max_subflows)
+        return connection
+
+    def connect(self) -> None:
+        """Start the connection (client role): open the initial subflow."""
+        if self.role != "client":
+            raise RuntimeError("connect() is for the client role")
+        assert self.path_manager is not None
+        self.path_manager.start()
+
+    def open_subflow(self, local_addr: str, remote_addr: str) -> Subflow:
+        """Create and actively open one subflow (client side)."""
+        is_initial = not self.subflows
+        path_name = path_name_of(local_addr)
+        subflow = Subflow(self, path_name, is_initial,
+                          backup=(not is_initial
+                                  and path_name in self.config.backup_paths))
+        endpoint = TcpEndpoint(
+            self.sim, self.host, local_addr, self.host.ephemeral_port(),
+            remote_addr, self.remote_port, self.config.tcp,
+            self.controller, delegate=subflow,
+            name=f"{self.name}.{subflow.path_name}")
+        subflow.endpoint = endpoint
+        self.subflows.append(subflow)
+        endpoint.connect()
+        return subflow
+
+    def accept_subflow(self, packet: Packet, is_initial: bool) -> Subflow:
+        """Create one subflow in response to a received SYN (server)."""
+        segment = packet.segment
+        subflow = Subflow(self, path_name_of(packet.src), is_initial)
+        endpoint = TcpEndpoint(
+            self.sim, self.host, packet.dst, segment.dst_port,
+            packet.src, segment.src_port, self.config.tcp,
+            self.controller, delegate=subflow,
+            name=f"{self.name}.{subflow.path_name}")
+        subflow.endpoint = endpoint
+        self.subflows.append(subflow)
+        endpoint.accept(packet)
+        return subflow
+
+    def addresses_to_advertise(self) -> tuple:
+        """Extra server addresses for the initial subflow's ADD_ADDR."""
+        if self.role != "server" or not self.subflows:
+            return ()
+        initial = self.subflows[0]
+        assert initial.endpoint is not None
+        in_use = initial.endpoint.local_addr
+        return tuple(addr for addr in self.server_addrs if addr != in_use)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    def send(self, nbytes: int) -> None:
+        """Queue ``nbytes`` of connection-level data for transmission."""
+        if nbytes < 0:
+            raise ValueError("cannot send a negative byte count")
+        self.total_queued += nbytes
+        self.push()
+
+    def close(self) -> None:
+        """No more data: signal DATA_FIN once everything is delivered."""
+        self._close_requested = True
+        self.push()
+        self._check_send_complete()
+
+    @property
+    def established(self) -> bool:
+        return any(subflow.established for subflow in self.subflows)
+
+    def established_subflows(self) -> List[Subflow]:
+        return [subflow for subflow in self.subflows if subflow.established]
+
+    # ------------------------------------------------------------------
+    # Scheduler interaction
+    # ------------------------------------------------------------------
+
+    def push(self) -> None:
+        """Offer transmission opportunities in scheduler preference order."""
+        for subflow in self.scheduler.order(self.subflows):
+            subflow.pump()
+
+    def allocate(self, subflow: Subflow, max_bytes: int
+                 ) -> Optional[tuple]:
+        """Hand the next run of DSNs to ``subflow`` (or None).
+
+        Enforces connection-level flow control: no data beyond the
+        peer's DATA_ACK plus its advertised (shared-buffer) window.
+        """
+        if max_bytes <= 0:
+            return None
+        if subflow.backup and self._regular_path_available(subflow):
+            return None  # backup paths carry data only as a last resort
+        reinjection = self._serve_reinjection(subflow, max_bytes)
+        if reinjection is not None:
+            return reinjection
+        duplication = self._serve_duplication(subflow, max_bytes)
+        if duplication is not None:
+            return duplication
+        if self.next_dsn >= self.total_queued:
+            return None
+        window_limit = self.data_acked + self.peer_window
+        if self.next_dsn >= window_limit:
+            self._maybe_penalize()
+            return None
+        if not self.scheduler.admits(self.subflows, subflow):
+            # A preferred (strictly faster) subflow still has window
+            # budget: give it the data first; this subflow will be
+            # offered the remainder on the next push or ACK event.
+            # Pumping only strictly-faster subflows keeps the recursion
+            # well-founded (each hop decreases SRTT).
+            for preferred in self.scheduler.order(self.subflows):
+                if (preferred is not subflow
+                        and preferred.srtt() < subflow.srtt()
+                        and preferred.can_send()):
+                    preferred.pump()
+            return None
+        length = min(max_bytes, self.total_queued - self.next_dsn,
+                     window_limit - self.next_dsn)
+        dsn = self.next_dsn
+        self.next_dsn += length
+        self.bytes_allocated[subflow.path_name] = (
+            self.bytes_allocated.get(subflow.path_name, 0) + length)
+        self._outstanding.setdefault(id(subflow), []).append(
+            [dsn, dsn + length, False])
+        if self.scheduler.duplicates:
+            self._queue_duplicates(subflow, dsn, dsn + length)
+        return dsn, length
+
+    def _queue_duplicates(self, origin: Subflow, start: int,
+                          end: int) -> None:
+        """Redundant mode: copy the fresh range onto every other path."""
+        queued = False
+        for other in self.subflows:
+            if other is origin or not other.established:
+                continue
+            self._duplication_queue.append([start, end, id(other)])
+            queued = True
+        if queued:
+            self.push()
+
+    def _serve_duplication(self, subflow: Subflow, max_bytes: int
+                           ) -> Optional[tuple]:
+        """Hand this subflow its pending redundant copies, if any."""
+        index = 0
+        while index < len(self._duplication_queue):
+            entry = self._duplication_queue[index]
+            start = max(entry[0], self.data_acked)
+            if start >= entry[1]:
+                self._duplication_queue.pop(index)  # already delivered
+                continue
+            if entry[2] != id(subflow):
+                index += 1
+                continue
+            length = min(max_bytes, entry[1] - start)
+            if start + length >= entry[1]:
+                self._duplication_queue.pop(index)
+            else:
+                entry[0] = start + length
+            self.bytes_reinjected[subflow.path_name] = (
+                self.bytes_reinjected.get(subflow.path_name, 0) + length)
+            return start, length
+        return None
+
+    def _serve_reinjection(self, subflow: Subflow, max_bytes: int
+                           ) -> Optional[tuple]:
+        """Hand a reclaimed DSN range to a healthy subflow, if any."""
+        index = 0
+        while index < len(self._reinjection_queue):
+            entry = self._reinjection_queue[index]
+            start = max(entry[0], self.data_acked)
+            if start >= entry[1]:
+                self._reinjection_queue.pop(index)  # already acked
+                continue
+            if entry[2] == id(subflow):
+                index += 1  # never back onto the path that timed out
+                continue
+            length = min(max_bytes, entry[1] - start)
+            if start + length >= entry[1]:
+                self._reinjection_queue.pop(index)
+            else:
+                entry[0] = start + length
+            self.bytes_reinjected[subflow.path_name] = (
+                self.bytes_reinjected.get(subflow.path_name, 0) + length)
+            self._outstanding.setdefault(id(subflow), []).append(
+                [start, start + length, True])
+            return start, length
+        return None
+
+    def _reclaim_outstanding(self, subflow: Subflow) -> None:
+        """Queue the subflow's un-acknowledged DSN ranges for
+        retransmission on the other paths (MPTCP reinjection)."""
+        ranges = self._outstanding.get(id(subflow), [])
+        healthy = [other for other in self.established_subflows()
+                   if other is not subflow]
+        if not healthy:
+            return  # nowhere to reinject; subflow-level RTO carries on
+        for entry in ranges:
+            start = max(entry[0], self.data_acked)
+            if start >= entry[1] or entry[2]:
+                continue
+            entry[2] = True
+            self._reinjection_queue.append([start, entry[1], id(subflow)])
+        if self._reinjection_queue:
+            self.push()
+
+    def _fail_subflows_toward(self, dead_addrs: tuple) -> None:
+        """The peer advertised unreachable addresses: fail our subflows
+        pointed at them right away (the MP_FAIL fast path).
+
+        Freshly established subflows are spared: a stale advertisement
+        sent just before the interface recovered may arrive on a slow
+        path after the re-join completed.
+        """
+        for subflow in self.subflows:
+            endpoint = subflow.endpoint
+            if (endpoint is not None
+                    and endpoint.remote_addr in dead_addrs
+                    and endpoint.state not in ("failed", "closed")):
+                established_at = endpoint.stats.established_at
+                if (established_at is not None
+                        and self.sim.now - established_at < 1.0):
+                    continue  # younger than any plausible stale signal
+                endpoint.fail()
+
+    def _regular_path_available(self, candidate: Subflow) -> bool:
+        """Is any non-backup subflow still operational?"""
+        return any(subflow.established and not subflow.backup
+                   for subflow in self.subflows
+                   if subflow is not candidate)
+
+    def _prune_outstanding(self) -> None:
+        for ranges in self._outstanding.values():
+            while ranges and ranges[0][1] <= self.data_acked:
+                ranges.pop(0)
+
+    # ------------------------------------------------------------------
+    # Options plumbing (called by subflows)
+    # ------------------------------------------------------------------
+
+    def data_ack_value(self) -> int:
+        return self.receive_buffer.rcv_nxt
+
+    def data_fin_to_signal(self) -> Optional[int]:
+        if self._close_requested:
+            return self.total_queued
+        return None
+
+    def has_pending_data(self) -> bool:
+        """True while this side's stream could still produce data for
+        a subflow: unallocated bytes, queued reinjections/duplicates,
+        or an application that has not closed yet."""
+        if not self._close_requested:
+            return True
+        return (self.next_dsn < self.total_queued
+                or bool(self._reinjection_queue)
+                or bool(self._duplication_queue))
+
+    def dead_addrs_to_signal(self) -> tuple:
+        """Local addresses to advertise as unreachable (MP_FAIL-style)."""
+        if self.path_manager is None:
+            return ()
+        return tuple(sorted(self.path_manager.down_locals))
+
+    def receive_window(self) -> int:
+        """Shared receive buffer space, minus subflow-level stashes."""
+        subflow_buffered = sum(
+            subflow.endpoint.reassembly.buffered_bytes
+            for subflow in self.subflows if subflow.endpoint is not None)
+        return max(self.receive_buffer.free_space() - subflow_buffered, 0)
+
+    def on_segment(self, subflow: Subflow, segment: Segment) -> None:
+        """Process connection-level signalling on any received segment."""
+        advanced = False
+        if segment.flags.ack:
+            if segment.window != self.peer_window:
+                self.peer_window = segment.window
+                advanced = True
+        options = segment.options
+        if options is not None:
+            if options.data_ack is not None and options.data_ack > self.data_acked:
+                self.data_acked = options.data_ack
+                self._prune_outstanding()
+                advanced = True
+            if options.data_fin_dsn is not None:
+                self._peer_data_fin = options.data_fin_dsn
+            if options.add_addr:
+                self.on_add_addr(options.add_addr)
+            if options.dead_addrs:
+                self._fail_subflows_toward(options.dead_addrs)
+        self._check_peer_fin()
+        self._check_send_complete()
+        if advanced:
+            self.push()
+
+    # ------------------------------------------------------------------
+    # Events from subflows
+    # ------------------------------------------------------------------
+
+    def on_subflow_established(self, subflow: Subflow) -> None:
+        if self.established_at is None:
+            self.established_at = self.sim.now
+            if self.on_established is not None:
+                self.on_established()
+        if (subflow.is_initial and self.role == "client"
+                and self.path_manager is not None):
+            self.path_manager.on_initial_established()
+        self.push()
+
+    def on_add_addr(self, addrs: tuple) -> None:
+        if self.role == "client" and self.path_manager is not None:
+            self.path_manager.on_add_addr(addrs)
+
+    def on_subflow_data(self, subflow: Subflow, dsn_start: int,
+                        dsn_end: int, arrival_time: float) -> None:
+        self.receive_buffer.offer(dsn_start, dsn_end, arrival_time,
+                                  subflow.path_name)
+        self._check_peer_fin()
+
+    def on_subflow_peer_fin(self, subflow: Subflow) -> None:
+        # The peer is done with this subflow; finish our half too.
+        if subflow.endpoint is not None:
+            subflow.endpoint.close()
+
+    def on_subflow_rto(self, subflow: Subflow) -> None:
+        """A subflow timed out: reinject its data on the other paths."""
+        self._reclaim_outstanding(subflow)
+
+    def on_subflow_failed(self, subflow: Subflow) -> None:
+        """A subflow gave up entirely: reclaim and stop scheduling it."""
+        self._reclaim_outstanding(subflow)
+        if (self.role == "client" and self.path_manager is not None):
+            self.path_manager.on_subflow_failed(subflow)
+        # Tell the peer on the surviving subflows (dead-address option
+        # rides on a bare ACK -- the only traffic an idle backup path
+        # would otherwise see).
+        if self.dead_addrs_to_signal():
+            for survivor in self.established_subflows():
+                if survivor.endpoint is not None:
+                    survivor.endpoint.send_ack()
+
+    def kill_subflow(self, subflow: Subflow) -> None:
+        """Forcefully fail a subflow (OS link-down notification)."""
+        if subflow.endpoint is not None:
+            subflow.endpoint.fail()
+
+    def _deliver_to_app(self, nbytes: int) -> None:
+        if self.on_receive is not None:
+            self.on_receive(nbytes)
+
+    def _check_peer_fin(self) -> None:
+        if (self._peer_data_fin is not None and not self._peer_fin_delivered
+                and self.receive_buffer.rcv_nxt >= self._peer_data_fin):
+            self._peer_fin_delivered = True
+            if self.on_close is not None:
+                self.on_close()
+
+    def _check_send_complete(self) -> None:
+        """Once our DATA_FIN is acknowledged, close the subflows."""
+        if (self._close_requested and not self._send_complete_handled
+                and self.next_dsn >= self.total_queued
+                and self.data_acked >= self.total_queued):
+            self._send_complete_handled = True
+            for subflow in self.subflows:
+                if subflow.endpoint is not None:
+                    subflow.endpoint.close()
+
+    # ------------------------------------------------------------------
+    # Penalization (Linux v0.86 behaviour; off by default, see module doc)
+    # ------------------------------------------------------------------
+
+    def _maybe_penalize(self) -> None:
+        if not self.config.penalization:
+            return
+        candidates = [subflow for subflow in self.established_subflows()
+                      if subflow.endpoint is not None
+                      and subflow.endpoint.flight_bytes > 0]
+        if len(candidates) < 2:
+            return
+        # The subflow blocking the shared buffer is the slowest one
+        # with data outstanding.
+        slowest = max(candidates, key=lambda subflow: subflow.srtt())
+        endpoint = slowest.endpoint
+        assert endpoint is not None
+        last = self._last_penalty.get(id(slowest), -1.0)
+        if self.sim.now - last < slowest.srtt():
+            return  # at most once per RTT
+        self._last_penalty[id(slowest)] = self.sim.now
+        endpoint.ssthresh = max(endpoint.cwnd / 2.0, 2.0 * endpoint.mss)
+        endpoint.cwnd = endpoint.ssthresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MptcpConnection {self.name} {self.role} "
+                f"subflows={len(self.subflows)} "
+                f"dsn={self.next_dsn}/{self.total_queued}>")
+
+
+class MptcpListener:
+    """Server-side acceptor: MP_CAPABLE opens, MP_JOIN associates.
+
+    Joins whose token is not (yet) known are parked briefly rather than
+    dropped -- with the paper's simultaneous-SYN modification the
+    cellular JOIN can overtake the WiFi MP_CAPABLE in flight.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, port: int,
+                 config: MptcpConfig,
+                 server_addrs: Optional[List[str]] = None,
+                 on_connection: Optional[
+                     Callable[[MptcpConnection], None]] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.config = config
+        self.server_addrs = list(server_addrs or [])
+        self.on_connection = on_connection
+        self.connections: Dict[int, MptcpConnection] = {}
+        self._pending_joins: Dict[int, List[Packet]] = {}
+        host.bind_listener(port, TcpListener(self._accept))
+
+    def _accept(self, packet: Packet, host: Host) -> None:
+        options = packet.segment.options
+        if options is None or options.token is None:
+            return  # not MPTCP; a plain-TCP listener would own this port
+        if options.mp_capable:
+            self._accept_capable(packet, options)
+        elif options.mp_join:
+            self._accept_join(packet, options)
+
+    def _accept_capable(self, packet: Packet, options: MptcpOptions) -> None:
+        if options.token in self.connections:
+            return  # duplicate SYN; the endpoint will re-answer it
+        connection = MptcpConnection(
+            self.sim, self.host, "server", packet.segment.src_port,
+            self.config, token=options.token,
+            server_addrs=self.server_addrs,
+            name=f"mptcp-server-{options.token}")
+        self.connections[options.token] = connection
+        if self.on_connection is not None:
+            self.on_connection(connection)
+        connection.accept_subflow(packet, is_initial=True)
+        for pending in self._pending_joins.pop(options.token, []):
+            connection.accept_subflow(pending, is_initial=False)
+
+    def _accept_join(self, packet: Packet, options: MptcpOptions) -> None:
+        connection = self.connections.get(options.token)
+        if connection is None:
+            self._pending_joins.setdefault(options.token, []).append(packet)
+            return
+        connection.accept_subflow(packet, is_initial=False)

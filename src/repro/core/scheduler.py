@@ -1,0 +1,146 @@
+"""MPTCP packet schedulers.
+
+The scheduler decides which established subflow receives the next run
+of connection-level data when more than one has congestion-window
+space.  Linux MPTCP v0.86 (the kernel the paper measures) uses the
+lowest-SRTT scheduler: fill the fastest path's window first, then the
+next, and so on.  That policy is what produces the paper's traffic-
+share curves (Figures 3/5/10): WiFi carries everything for tiny flows,
+while large flows spill progressively more onto the loss-free cellular
+path as WiFi's window stays loss-limited.
+
+A round-robin scheduler is included for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+
+class SchedulableSubflow(Protocol):
+    """What the scheduler needs to see of a subflow."""
+
+    @property
+    def established(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def srtt(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def can_send(self) -> bool:  # pragma: no cover - protocol
+        """True when the subflow has congestion-window budget."""
+        ...
+
+
+class Scheduler:
+    """Base class: transmit preference among established subflows.
+
+    Three hooks:
+
+    * :meth:`order` -- the sequence in which the connection offers a
+      transmission opportunity to every subflow (used on push events:
+      new data queued, window opened).
+    * :meth:`admits` -- whether ``candidate`` may take the next run of
+      data *right now*; this is where minRTT bites, by refusing a slow
+      subflow while a faster one still has window budget.
+    * :attr:`duplicates` -- when true, every freshly scheduled range is
+      also queued for transmission on the *other* subflows (the
+      redundant scheduler trades bytes for latency).
+    """
+
+    name = "base"
+    duplicates = False
+
+    def order(self, subflows: Sequence[SchedulableSubflow]
+              ) -> List[SchedulableSubflow]:
+        raise NotImplementedError
+
+    def admits(self, subflows: Sequence[SchedulableSubflow],
+               candidate: SchedulableSubflow) -> bool:
+        return True
+
+
+class LowestRttScheduler(Scheduler):
+    """The Linux default: prefer the subflow with the lowest SRTT.
+
+    A subflow is only given data when no established subflow with a
+    strictly lower SRTT has congestion-window space -- the kernel's
+    per-segment "best available subflow" selection.
+    """
+
+    name = "minrtt"
+
+    def order(self, subflows: Sequence[SchedulableSubflow]
+              ) -> List[SchedulableSubflow]:
+        ready = [subflow for subflow in subflows if subflow.established]
+        ready.sort(key=lambda subflow: subflow.srtt())
+        return ready
+
+    def admits(self, subflows: Sequence[SchedulableSubflow],
+               candidate: SchedulableSubflow) -> bool:
+        candidate_rtt = candidate.srtt()
+        for subflow in subflows:
+            if subflow is candidate or not subflow.established:
+                continue
+            if subflow.srtt() < candidate_rtt and subflow.can_send():
+                return False
+        return True
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate through subflows regardless of path quality (ablation).
+
+    Purely opportunistic admission: any subflow with window space may
+    take data, so traffic spreads onto slow paths immediately.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._next_index = 0
+
+    def order(self, subflows: Sequence[SchedulableSubflow]
+              ) -> List[SchedulableSubflow]:
+        ready = [subflow for subflow in subflows if subflow.established]
+        if not ready:
+            return ready
+        start = self._next_index % len(ready)
+        self._next_index += 1
+        return ready[start:] + ready[:start]
+
+
+class RedundantScheduler(Scheduler):
+    """Send every range on every path; the receiver dedups by DSN.
+
+    The latency play for the paper's Section 5.2 problem: a packet's
+    delivery time becomes the *minimum* over paths, eliminating the
+    reorder wait behind a slow path, at the price of transmitting each
+    byte once per subflow.  (Equivalent to the 'redundant' scheduler
+    later shipped with Linux MPTCP.)
+    """
+
+    name = "redundant"
+    duplicates = True
+
+    def order(self, subflows: Sequence[SchedulableSubflow]
+              ) -> List[SchedulableSubflow]:
+        ready = [subflow for subflow in subflows if subflow.established]
+        ready.sort(key=lambda subflow: subflow.srtt())
+        return ready
+
+
+_SCHEDULERS = {
+    "minrtt": LowestRttScheduler,
+    "roundrobin": RoundRobinScheduler,
+    "redundant": RedundantScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by name: minrtt (default) or roundrobin."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{sorted(_SCHEDULERS)}") from None

@@ -1,0 +1,155 @@
+"""One MPTCP subflow: a TCP endpoint bound into a connection.
+
+The :class:`Subflow` implements the :class:`repro.tcp.endpoint.TcpDelegate`
+protocol, wiring the generic TCP machinery to the MPTCP layer:
+
+* handshakes carry MP_CAPABLE (initial subflow) or MP_JOIN (additional
+  subflows) options, plus the server's ADD_ADDR advertisement;
+* outgoing data is pulled from the connection's scheduler and stamped
+  with a DSS mapping;
+* incoming in-subflow-order data is pushed, mapping applied, into the
+  connection-level reorder buffer where out-of-order delay is measured;
+* every received segment's DATA_ACK and window update the connection's
+  send-side flow control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.tcp.endpoint import TcpEndpoint
+from repro.tcp.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.connection import MptcpConnection
+
+
+class Subflow:
+    """Delegate tying one :class:`TcpEndpoint` to an MPTCP connection."""
+
+    def __init__(self, connection: "MptcpConnection", path_name: str,
+                 is_initial: bool, backup: bool = False) -> None:
+        self.connection = connection
+        self.path_name = path_name
+        self.is_initial = is_initial
+        self.backup = backup
+        self.endpoint: Optional[TcpEndpoint] = None
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing view
+    # ------------------------------------------------------------------
+
+    @property
+    def established(self) -> bool:
+        return (self.endpoint is not None
+                and self.endpoint.state in ("established", "close_wait"))
+
+    def srtt(self) -> float:
+        assert self.endpoint is not None
+        return self.endpoint.smoothed_rtt()
+
+    def can_send(self) -> bool:
+        """True when established with congestion-window budget left."""
+        return (self.established
+                and self.endpoint.flight_bytes < int(self.endpoint.cwnd))
+
+    def pump(self) -> None:
+        """Give the subflow a chance to transmit (scheduler push)."""
+        if self.endpoint is not None:
+            self.endpoint.pump()
+
+    # ------------------------------------------------------------------
+    # TcpDelegate: handshake options
+    # ------------------------------------------------------------------
+
+    def syn_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+        if self.is_initial:
+            return MptcpOptions(mp_capable=True, token=self.connection.token)
+        return MptcpOptions(mp_join=True, token=self.connection.token,
+                            backup=self.backup)
+
+    def synack_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+        # The multi-homed server advertises its additional addresses on
+        # the initial subflow (the client is NATed, so joins must be
+        # client-initiated; see Section 2.2.1).
+        add_addr: Tuple[str, ...] = ()
+        if self.is_initial:
+            add_addr = self.connection.addresses_to_advertise()
+        if self.is_initial:
+            return MptcpOptions(mp_capable=True, token=self.connection.token,
+                                add_addr=add_addr)
+        return MptcpOptions(mp_join=True, token=self.connection.token)
+
+    def on_handshake_options(self, endpoint: TcpEndpoint,
+                             options: Optional[MptcpOptions]) -> None:
+        if options is None:
+            return
+        if options.mp_join and options.backup:
+            self.backup = True  # the peer flagged this path as backup
+        if options.add_addr:
+            self.connection.on_add_addr(options.add_addr)
+
+    def on_established(self, endpoint: TcpEndpoint) -> None:
+        self.connection.on_subflow_established(self)
+
+    # ------------------------------------------------------------------
+    # TcpDelegate: transmit path
+    # ------------------------------------------------------------------
+
+    def pull_data(self, endpoint: TcpEndpoint,
+                  max_bytes: int) -> Optional[Tuple[int, int]]:
+        return self.connection.allocate(self, max_bytes)
+
+    def data_options(self, endpoint: TcpEndpoint, ssn: int, dsn: int,
+                     length: int) -> MptcpOptions:
+        mapping = DssMapping(dsn=dsn, ssn=ssn, length=length)
+        return MptcpOptions(
+            dss=mapping,
+            data_ack=self.connection.data_ack_value(),
+            data_fin_dsn=self.connection.data_fin_to_signal(),
+            dead_addrs=self.connection.dead_addrs_to_signal())
+
+    def ack_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+        return MptcpOptions(
+            data_ack=self.connection.data_ack_value(),
+            data_fin_dsn=self.connection.data_fin_to_signal(),
+            dead_addrs=self.connection.dead_addrs_to_signal())
+
+    def receive_window(self, endpoint: TcpEndpoint) -> int:
+        return self.connection.receive_window()
+
+    # ------------------------------------------------------------------
+    # TcpDelegate: receive path
+    # ------------------------------------------------------------------
+
+    def on_data(self, endpoint: TcpEndpoint, ssn_start: int, ssn_end: int,
+                meta: Tuple[float, Optional[MptcpOptions]]) -> None:
+        arrival_time, options = meta
+        if options is None or options.dss is None:
+            return  # data without a mapping cannot be placed; drop it
+        mapping = options.dss
+        dsn_start = mapping.dsn + (ssn_start - mapping.ssn)
+        dsn_end = dsn_start + (ssn_end - ssn_start)
+        self.connection.on_subflow_data(self, dsn_start, dsn_end,
+                                        arrival_time)
+
+    def on_segment(self, endpoint: TcpEndpoint, segment: Segment) -> None:
+        self.connection.on_segment(self, segment)
+
+    def on_peer_fin(self, endpoint: TcpEndpoint) -> None:
+        self.connection.on_subflow_peer_fin(self)
+
+    def on_rto(self, endpoint: TcpEndpoint) -> None:
+        self.connection.on_subflow_rto(self)
+
+    def has_pending_data(self, endpoint: TcpEndpoint) -> bool:
+        return self.connection.has_pending_data()
+
+    def on_failed(self, endpoint: TcpEndpoint) -> None:
+        self.connection.on_subflow_failed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "initial" if self.is_initial else "join"
+        state = self.endpoint.state if self.endpoint is not None else "unbound"
+        return f"<Subflow {self.path_name} {kind} {state}>"

@@ -1,0 +1,107 @@
+"""Flow configurations: the labels on the paper's x-axes.
+
+A :class:`FlowSpec` is everything about a measurement except the file
+size and the random draw: single-path vs multipath, which carrier and
+WiFi flavor, how many paths, which congestion controller, and the
+protocol knobs the paper varies (simultaneous SYN) or we ablate
+(scheduler, penalization, ssthresh, receive buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.connection import MptcpConfig
+from repro.tcp.endpoint import TcpConfig
+
+_CARRIER_LABELS = {"att": "ATT", "verizon": "VZW", "sprint": "Sprint"}
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One transport configuration of the measurement study."""
+
+    mode: str                      # "sp" (single path) or "mp" (MPTCP)
+    carrier: str = "att"           # att | verizon | sprint
+    wifi: str = "home"             # home | public
+    interface: str = "wifi"        # sp only: wifi | cell
+    controller: str = "coupled"    # reno | coupled | olia
+    paths: int = 2                 # mp only: 2 or 4
+    simultaneous_syn: bool = False
+    scheduler: str = "minrtt"      # minrtt | roundrobin
+    penalization: bool = False
+    ssthresh: int = 64 * 1024
+    rcv_buffer: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sp", "mp"):
+            raise ValueError(f"mode must be 'sp' or 'mp', not {self.mode!r}")
+        if self.mode == "sp" and self.interface not in ("wifi", "cell"):
+            raise ValueError(f"bad sp interface {self.interface!r}")
+        if self.mode == "mp" and self.paths not in (2, 4):
+            raise ValueError("MPTCP runs use 2 or 4 paths")
+
+    # ------------------------------------------------------------------
+    # Constructors matching the paper's vocabulary
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_path(cls, interface: str, carrier: str = "att",
+                    wifi: str = "home", **kwargs) -> "FlowSpec":
+        """SP-WiFi or SP-carrier."""
+        return cls(mode="sp", interface=interface, carrier=carrier,
+                   wifi=wifi, **kwargs)
+
+    @classmethod
+    def mptcp(cls, carrier: str = "att", controller: str = "coupled",
+              paths: int = 2, wifi: str = "home", **kwargs) -> "FlowSpec":
+        """MP-2 / MP-4 over WiFi plus one cellular carrier."""
+        return cls(mode="mp", carrier=carrier, controller=controller,
+                   paths=paths, wifi=wifi, **kwargs)
+
+    def with_(self, **changes) -> "FlowSpec":
+        """A modified copy (ablations)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Labels and derived configs
+    # ------------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The figure label, e.g. 'SP-WiFi', 'MP-ATT', 'MP-4 (olia)'."""
+        if self.mode == "sp":
+            if self.interface == "wifi":
+                return "SP-WiFi"
+            return f"SP-{_CARRIER_LABELS[self.carrier]}"
+        base = f"MP-{self.paths}"
+        suffix = "" if self.controller == "coupled" else f" ({self.controller})"
+        return f"{base}{suffix}"
+
+    @property
+    def carrier_label(self) -> str:
+        return _CARRIER_LABELS[self.carrier]
+
+    @property
+    def server_interfaces(self) -> int:
+        return 2 if (self.mode == "mp" and self.paths == 4) else 1
+
+    def tcp_config(self) -> TcpConfig:
+        return TcpConfig(initial_ssthresh=self.ssthresh,
+                         rcv_buffer=self.rcv_buffer)
+
+    def mptcp_config(self) -> MptcpConfig:
+        if self.mode != "mp":
+            raise RuntimeError("mptcp_config() on a single-path spec")
+        return MptcpConfig(
+            controller=self.controller,
+            scheduler=self.scheduler,
+            rcv_buffer=self.rcv_buffer,
+            penalization=self.penalization,
+            simultaneous_syn=self.simultaneous_syn,
+            tcp=self.tcp_config(),
+        )
+
+    def __str__(self) -> str:
+        return self.label

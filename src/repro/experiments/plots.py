@@ -1,0 +1,113 @@
+"""Text-mode figures: box-and-whisker plots and CCDF charts.
+
+The paper's figures are box plots and log-scale CCDFs; these renderers
+draw recognisable ASCII versions in the terminal so `repro fig2 --plot`
+gives the *shape* at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.stats import FiveNumber
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    """Map value in [low, high] to a column in [0, width - 1]."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(max(int(round(position * (width - 1))), 0), width - 1)
+
+
+def render_boxplot(rows: Sequence[Tuple[str, FiveNumber]],
+                   width: int = 60,
+                   unit: str = "s") -> str:
+    """Horizontal box-and-whisker plot, one labelled row per summary.
+
+    ``|`` marks whisker ends, ``[`` / ``]`` the quartiles, ``*`` the
+    median; ``-`` fills the whiskers and ``=`` the box.
+    """
+    if not rows:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in rows)
+    low = min(summary.minimum for _, summary in rows)
+    high = max(summary.maximum for _, summary in rows)
+    lines: List[str] = []
+    for label, summary in rows:
+        canvas = [" "] * width
+        left = _scale(summary.minimum, low, high, width)
+        q1 = _scale(summary.q1, low, high, width)
+        median = _scale(summary.median, low, high, width)
+        q3 = _scale(summary.q3, low, high, width)
+        right = _scale(summary.maximum, low, high, width)
+        for column in range(left, right + 1):
+            canvas[column] = "-"
+        for column in range(q1, q3 + 1):
+            canvas[column] = "="
+        canvas[left] = "|"
+        canvas[right] = "|"
+        canvas[q1] = "["
+        canvas[q3] = "]"
+        canvas[median] = "*"
+        lines.append(f"{label.rjust(label_width)} {''.join(canvas)} "
+                     f"{summary.median:.3g}{unit}")
+    axis = (f"{' ' * label_width} {low:.3g}{unit}"
+            f"{' ' * max(width - 12, 1)}{high:.3g}{unit}")
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_ccdf(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 64, height: int = 16,
+                log_x: bool = True,
+                x_unit: str = "ms") -> str:
+    """A CCDF chart: one symbol per series, log-x by default.
+
+    ``series`` maps label -> [(value, survival_fraction), ...], the
+    output of :func:`repro.experiments.stats.ccdf`.
+    """
+    points = [(value, fraction)
+              for data in series.values() for value, fraction in data
+              if fraction > 0 and value > 0]
+    if not points:
+        return "(no data)"
+    xs = [value for value, _ in points]
+    x_low, x_high = min(xs), max(xs)
+    if log_x:
+        x_low, x_high = math.log10(x_low), math.log10(x_high)
+    grid = [[" "] * width for _ in range(height)]
+    symbols = "*o+x#@%&"
+    legend: List[str] = []
+    for index, (label, data) in enumerate(sorted(series.items())):
+        symbol = symbols[index % len(symbols)]
+        legend.append(f"{symbol} {label}")
+        for value, fraction in data:
+            if fraction <= 0 or value <= 0:
+                continue
+            x = math.log10(value) if log_x else value
+            column = _scale(x, x_low, x_high, width)
+            # y axis: survival 1.0 at top, ~0 at bottom (log scale).
+            y_fraction = -math.log10(max(fraction, 1e-3)) / 3.0
+            row = _scale(y_fraction, 0.0, 1.0, height)
+            grid[row][column] = symbol
+    lines = ["P[X>x] (1.0 top, 0.001 bottom, log scale)"]
+    lines += ["  |" + "".join(row) for row in grid]
+    low_text = 10 ** x_low if log_x else x_low
+    high_text = 10 ** x_high if log_x else x_high
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {low_text:.3g}{x_unit}"
+                 f"{' ' * max(width - 16, 1)}{high_text:.3g}{x_unit}"
+                 f"{' (log x)' if log_x else ''}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def boxplot_from_samples(labelled_samples: Sequence[Tuple[str, Sequence[float]]],
+                         width: int = 60, unit: str = "s") -> str:
+    """Convenience: five-number each sample set, then render."""
+    from repro.experiments.stats import five_number
+    rows = [(label, five_number(samples))
+            for label, samples in labelled_samples if samples]
+    return render_boxplot(rows, width=width, unit=unit)

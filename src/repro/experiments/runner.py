@@ -1,0 +1,226 @@
+"""Running measurements: one download, or a whole randomized campaign.
+
+:class:`Measurement` reproduces one row of the paper's methodology
+(Section 3.2): build a fresh environment, warm the cellular radio (the
+paper's pre-measurement pings), start tcpdump at both ends, download
+one object over the configured transport, and extract the metrics.
+
+:class:`Campaign` reproduces the study structure: a matrix of
+configurations x file sizes x repetitions across day periods, with the
+*order randomized per round* exactly as the paper does to decorrelate
+temporal effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConnection, MptcpListener
+from repro.core.coupling import RenoController
+from repro.experiments.config import FlowSpec
+from repro.sim.rng import derive_seed
+from repro.testbed import Testbed, TestbedConfig
+from repro.trace.capture import PacketCapture
+from repro.trace.metrics import ConnectionMetrics, connection_metrics
+from repro.wireless.profiles import TimeOfDay
+
+#: Events budget per data packet (handshake, data, ack, timers...), a
+#: runaway guard for deadlocked runs rather than a tight bound.
+_EVENTS_PER_PACKET = 60
+
+
+@dataclass
+class RunResult:
+    """Everything one measurement yields."""
+
+    spec: FlowSpec
+    size: int
+    seed: int
+    period: TimeOfDay
+    completed: bool
+    download_time: Optional[float]
+    metrics: ConnectionMetrics
+    established_at: Optional[float] = None
+    subflow_count: int = 0
+
+    @property
+    def key(self) -> Tuple[FlowSpec, int]:
+        return (self.spec, self.size)
+
+
+class Measurement:
+    """One object download in a fresh simulated environment."""
+
+    def __init__(self, spec: FlowSpec, size: int, seed: int = 0,
+                 period: TimeOfDay = TimeOfDay.AFTERNOON,
+                 timeout: Optional[float] = None,
+                 wifi_profile=None, cell_profile=None) -> None:
+        self.spec = spec
+        self.size = size
+        self.seed = seed
+        self.period = period
+        self.timeout = timeout
+        self.wifi_profile = wifi_profile
+        self.cell_profile = cell_profile
+
+    def run(self) -> RunResult:
+        spec = self.spec
+        testbed = Testbed(TestbedConfig(
+            carrier=spec.carrier, wifi=spec.wifi,
+            server_interfaces=spec.server_interfaces,
+            period=self.period, seed=self.seed,
+            wifi_profile=self.wifi_profile,
+            cell_profile=self.cell_profile))
+        server_capture = PacketCapture(testbed.server)
+        client_capture = PacketCapture(testbed.client)
+
+        if spec.mode == "sp":
+            client, connection = self._start_single_path(testbed)
+        else:
+            client, connection = self._start_mptcp(testbed)
+
+        timeout = self.timeout
+        if timeout is None:
+            # Generous: even Sprint 3G at a deeply faded ~200 kbit/s
+            # finishes within this, and stalls return early anyway.
+            timeout = 120.0 + self.size / 12_500.0
+        max_events = 200_000 + (self.size // 1448) * _EVENTS_PER_PACKET
+        testbed.run(until=timeout, max_events=max_events)
+
+        record = client.record
+        ofo = []
+        subflow_count = 0
+        if connection is not None:
+            ofo = connection.receive_buffer.metrics.delays()
+            subflow_count = len(connection.subflows)
+        metrics = connection_metrics(server_capture, client_capture,
+                                     ofo_delays=ofo)
+        if record.complete:
+            # Prefer the app-level timing (identical by construction,
+            # but robust if trailing control packets arrive later).
+            metrics.download_time = record.download_time
+        return RunResult(
+            spec=spec, size=self.size, seed=self.seed, period=self.period,
+            completed=record.complete,
+            download_time=record.download_time if record.complete else None,
+            metrics=metrics,
+            established_at=record.established_at,
+            subflow_count=subflow_count,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _start_single_path(self, testbed: Testbed):
+        from repro.tcp.endpoint import TcpEndpoint
+
+        spec = self.spec
+        tcp_config = spec.tcp_config()
+        PlainTcpAcceptor(
+            testbed.sim, testbed.server, HTTP_PORT, tcp_config,
+            RenoController, responder=lambda index: self.size)
+        local_addr = (testbed.client_addrs[0] if spec.interface == "wifi"
+                      else testbed.cellular_addr)
+        endpoint = TcpEndpoint(
+            testbed.sim, testbed.client, local_addr,
+            testbed.client.ephemeral_port(), testbed.server_addrs[0],
+            HTTP_PORT, tcp_config, RenoController(), name="sp-client")
+        client = HttpClient(testbed.sim, endpoint, self.size)
+        client.start()
+        endpoint.connect()
+        return client, None
+
+    def _start_mptcp(self, testbed: Testbed):
+        spec = self.spec
+        mptcp_config = spec.mptcp_config()
+        size = self.size
+
+        def on_connection(connection: MptcpConnection) -> None:
+            HttpServerSession.fixed(connection, size)
+
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, mptcp_config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=on_connection)
+        connection = MptcpConnection.client(
+            testbed.sim, testbed.client, testbed.client_addrs,
+            testbed.server_addrs[0], HTTP_PORT, mptcp_config)
+        client = HttpClient(testbed.sim, connection, size)
+        client.start()
+        connection.connect()
+        return client, connection
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A measurement matrix, Section 3.2 style."""
+
+    name: str
+    specs: Tuple[FlowSpec, ...]
+    sizes: Tuple[int, ...]
+    repetitions: int = 3
+    periods: Tuple[TimeOfDay, ...] = (
+        TimeOfDay.NIGHT, TimeOfDay.MORNING,
+        TimeOfDay.AFTERNOON, TimeOfDay.EVENING)
+    base_seed: int = 2013  # the paper's vintage
+
+    def total_runs(self) -> int:
+        return (len(self.specs) * len(self.sizes) * self.repetitions
+                * len(self.periods))
+
+
+class Campaign:
+    """Runs a :class:`CampaignSpec`, randomizing order per round."""
+
+    def __init__(self, spec: CampaignSpec, progress=None) -> None:
+        self.spec = spec
+        self.progress = progress
+        self.results: List[RunResult] = []
+
+    def run(self) -> List[RunResult]:
+        spec = self.spec
+        shuffler = random.Random(derive_seed(spec.base_seed,
+                                             f"{spec.name}.order"))
+        run_index = 0
+        for repetition in range(spec.repetitions):
+            for period in spec.periods:
+                # One "round": every (config, size) once, in random
+                # order, as the paper randomizes sequences per round.
+                cells = [(flow, size) for flow in spec.specs
+                         for size in spec.sizes]
+                shuffler.shuffle(cells)
+                for flow, size in cells:
+                    seed = derive_seed(
+                        spec.base_seed,
+                        f"{spec.name}:{flow.label}:{flow.carrier}:"
+                        f"{size}:{period.value}:{repetition}")
+                    result = Measurement(flow, size, seed=seed,
+                                         period=period).run()
+                    self.results.append(result)
+                    run_index += 1
+                    if self.progress is not None:
+                        self.progress(run_index, spec.total_runs(), result)
+        return self.results
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def group(self) -> Dict[Tuple[FlowSpec, int], List[RunResult]]:
+        groups: Dict[Tuple[FlowSpec, int], List[RunResult]] = {}
+        for result in self.results:
+            groups.setdefault(result.key, []).append(result)
+        return groups
+
+    def download_times(self, flow: FlowSpec, size: int) -> List[float]:
+        return [result.download_time for result in self.results
+                if result.spec == flow and result.size == size
+                and result.download_time is not None]
+
+    def completed_fraction(self) -> float:
+        if not self.results:
+            return 1.0
+        done = sum(1 for result in self.results if result.completed)
+        return done / len(self.results)

@@ -1,0 +1,206 @@
+"""The reproduction scorecard: check every headline claim, live.
+
+``repro scorecard`` runs a compact measurement set and grades each of
+the paper's headline findings (Section 1's contribution list) against
+it, printing PASS/FAIL with the numbers.  It is the user-facing
+counterpart of ``tests/integration/test_paper_claims.py``: same
+claims, smaller samples, readable output.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement, RunResult
+from repro.experiments.stats import ccdf_fraction_above
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+
+class _Lab:
+    """Runs and caches measurements for the claim checks."""
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        self.seeds = list(seeds)
+        self._cache: Dict[Tuple[FlowSpec, int, int], RunResult] = {}
+
+    def result(self, spec: FlowSpec, size: int, seed: int) -> RunResult:
+        key = (spec, size, seed)
+        if key not in self._cache:
+            self._cache[key] = Measurement(spec, size, seed=seed).run()
+        return self._cache[key]
+
+    def mean(self, spec: FlowSpec, size: int,
+             metric: Callable[[RunResult], float]) -> float:
+        values = []
+        for seed in self.seeds:
+            run = self.result(spec, size, seed)
+            if run.completed:
+                values.append(metric(run))
+        return statistics.mean(values)
+
+    def mean_time(self, spec: FlowSpec, size: int) -> float:
+        # Median, despite the name: robust to a single unlucky RTO in
+        # small samples (tiny flows especially), like the paper's
+        # box-plot medians.
+        values = [self.result(spec, size, seed).download_time
+                  for seed in self.seeds
+                  if self.result(spec, size, seed).completed]
+        return statistics.median(values)
+
+
+def _check_robustness(lab: _Lab) -> ClaimResult:
+    size = 2 * MB
+    worst_ratio = 0.0
+    for carrier in ("att", "verizon", "sprint"):
+        best = min(lab.mean_time(FlowSpec.single_path("wifi"), size),
+                   lab.mean_time(FlowSpec.single_path("cell",
+                                                      carrier=carrier),
+                                 size))
+        mptcp = lab.mean_time(FlowSpec.mptcp(carrier=carrier), size)
+        worst_ratio = max(worst_ratio, mptcp / best)
+    return ClaimResult(
+        "robustness",
+        "MPTCP stays close to the best single path (every carrier)",
+        worst_ratio < 1.5,
+        f"worst MPTCP/best-single-path ratio at 2 MB: {worst_ratio:.2f}")
+
+
+def _check_small_flows(lab: _Lab) -> ClaimResult:
+    wifi = lab.mean_time(FlowSpec.single_path("wifi"), 8 * KB)
+    att = lab.mean_time(FlowSpec.single_path("cell"), 8 * KB)
+    mptcp = lab.mean_time(FlowSpec.mptcp(), 8 * KB)
+    ok = wifi < att and mptcp < att
+    return ClaimResult(
+        "small-flows",
+        "small flows are RTT-bound: WiFi wins, MPTCP tracks WiFi",
+        ok,
+        f"8 KB means: WiFi {wifi:.3f}s, LTE {att:.3f}s, "
+        f"MPTCP {mptcp:.3f}s")
+
+
+def _check_large_flows(lab: _Lab) -> ClaimResult:
+    size = 16 * MB
+    wifi = lab.mean_time(FlowSpec.single_path("wifi"), size)
+    att = lab.mean_time(FlowSpec.single_path("cell"), size)
+    mptcp = lab.mean_time(FlowSpec.mptcp(), size)
+    ok = att < wifi and mptcp < att * 1.05
+    return ClaimResult(
+        "large-flows",
+        "large flows: loss-free LTE beats WiFi; MPTCP beats both",
+        ok,
+        f"16 MB means: WiFi {wifi:.1f}s, LTE {att:.1f}s, "
+        f"MPTCP {mptcp:.1f}s")
+
+
+def _check_offload(lab: _Lab) -> ClaimResult:
+    fractions = {
+        size: lab.mean(FlowSpec.mptcp(), size,
+                       lambda run: run.metrics.cellular_fraction)
+        for size in (64 * KB, 512 * KB, 4 * MB)}
+    ok = (fractions[64 * KB] < 0.25
+          and fractions[64 * KB] <= fractions[512 * KB]
+          <= fractions[4 * MB] and fractions[4 * MB] > 0.5)
+    text = ", ".join(f"{size // KB}KB: {frac:.0%}"
+                     for size, frac in sorted(fractions.items()))
+    return ClaimResult(
+        "offload",
+        "traffic offloads to cellular as size grows (>50% by 4 MB)",
+        ok, text)
+
+
+def _check_subflow_count(lab: _Lab) -> ClaimResult:
+    size = 512 * KB
+    two = lab.mean_time(FlowSpec.mptcp(paths=2), size)
+    four = lab.mean_time(FlowSpec.mptcp(paths=4), size)
+    return ClaimResult(
+        "four-paths",
+        "4-path MPTCP outperforms 2-path",
+        four < two * 1.1,
+        f"512 KB means: MP-2 {two:.3f}s, MP-4 {four:.3f}s")
+
+
+def _check_bufferbloat(lab: _Lab) -> ClaimResult:
+    spec = FlowSpec.single_path("cell", carrier="verizon")
+    small = lab.mean(spec, 64 * KB,
+                     lambda run: run.metrics.mean_rtt("verizon"))
+    large = lab.mean(spec, 16 * MB,
+                     lambda run: run.metrics.mean_rtt("verizon"))
+    return ClaimResult(
+        "bufferbloat",
+        "cellular RTT inflates with flow size (bufferbloat)",
+        large > small * 1.15,
+        f"Verizon mean RTT: {small * 1000:.0f} ms at 64 KB -> "
+        f"{large * 1000:.0f} ms at 16 MB")
+
+
+def _check_reordering(lab: _Lab) -> ClaimResult:
+    size = 8 * MB
+
+    def tail(run: RunResult) -> float:
+        return ccdf_fraction_above(run.metrics.ofo_delays, 0.150)
+
+    att = lab.mean(FlowSpec.mptcp(carrier="att"), size, tail)
+    sprint = lab.mean(FlowSpec.mptcp(carrier="sprint"), size, tail)
+    return ClaimResult(
+        "reordering",
+        "3G pairing reorders past the 150 ms real-time budget",
+        sprint > att and sprint > 0.05,
+        f"packets waiting >150 ms: AT&T {att:.1%}, Sprint {sprint:.1%}")
+
+
+def _check_controllers(lab: _Lab) -> ClaimResult:
+    size = 8 * MB
+    coupled = lab.mean_time(FlowSpec.mptcp(controller="coupled"), size)
+    reno = lab.mean_time(FlowSpec.mptcp(controller="reno"), size)
+    olia = lab.mean_time(FlowSpec.mptcp(controller="olia"), size)
+    ok = reno < coupled * 1.02 and olia < coupled * 1.1
+    return ClaimResult(
+        "controllers",
+        "reno fastest (unfair); olia competitive with coupled",
+        ok,
+        f"8 MB means: reno {reno:.2f}s, olia {olia:.2f}s, "
+        f"coupled {coupled:.2f}s")
+
+
+CLAIM_CHECKS = (
+    _check_robustness,
+    _check_small_flows,
+    _check_large_flows,
+    _check_offload,
+    _check_subflow_count,
+    _check_bufferbloat,
+    _check_reordering,
+    _check_controllers,
+)
+
+
+def run_scorecard(seeds: Sequence[int] = (71, 72, 73)
+                  ) -> List[ClaimResult]:
+    """Run every claim check; returns the graded list."""
+    lab = _Lab(seeds)
+    return [check(lab) for check in CLAIM_CHECKS]
+
+
+def render_scorecard(results: Sequence[ClaimResult]) -> str:
+    lines = ["Paper reproduction scorecard", "=" * 60]
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{status}] {result.claim_id}: {result.description}")
+        lines.append(f"       {result.detail}")
+    passed = sum(1 for result in results if result.passed)
+    lines.append("=" * 60)
+    lines.append(f"{passed}/{len(results)} headline claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Persisting measurement results.
+
+A measurement study accumulates runs over days (the paper's campaigns
+span March 20 - May 7); this module serializes :class:`RunResult`
+objects as JSON lines so campaigns can be saved, reloaded, merged
+across sessions, and re-aggregated by the same row extractors that
+consume fresh results.
+
+RTT sample lists can be large (tens of thousands of packets for a
+32 MB transfer); ``max_samples`` thins them with a deterministic
+stride so stored files stay manageable while CCDF shapes survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import RunResult
+from repro.trace.analyzer import FlowAnalysis
+from repro.trace.metrics import ConnectionMetrics
+from repro.wireless.profiles import TimeOfDay
+
+FORMAT_VERSION = 1
+
+
+def _thin(samples: List[float], max_samples: Optional[int]) -> List[float]:
+    if max_samples is None or len(samples) <= max_samples:
+        return list(samples)
+    stride = len(samples) / max_samples
+    return [samples[int(index * stride)] for index in range(max_samples)]
+
+
+def _analysis_to_dict(analysis: FlowAnalysis,
+                      max_samples: Optional[int]) -> dict:
+    return {
+        "local": list(analysis.local),
+        "remote": list(analysis.remote),
+        "data_packets_sent": analysis.data_packets_sent,
+        "retransmitted_packets": analysis.retransmitted_packets,
+        "payload_bytes": analysis.payload_bytes,
+        "rtt_samples": _thin(analysis.rtt_samples, max_samples),
+        "first_packet_time": analysis.first_packet_time,
+        "last_packet_time": analysis.last_packet_time,
+        "handshake_rtt": analysis.handshake_rtt,
+    }
+
+
+def _analysis_from_dict(data: dict) -> FlowAnalysis:
+    analysis = FlowAnalysis(local=tuple(data["local"]),
+                            remote=tuple(data["remote"]))
+    analysis.data_packets_sent = data["data_packets_sent"]
+    analysis.retransmitted_packets = data["retransmitted_packets"]
+    analysis.payload_bytes = data["payload_bytes"]
+    analysis.rtt_samples = list(data["rtt_samples"])
+    analysis.first_packet_time = data["first_packet_time"]
+    analysis.last_packet_time = data["last_packet_time"]
+    analysis.handshake_rtt = data["handshake_rtt"]
+    return analysis
+
+
+def result_to_dict(result: RunResult,
+                   max_samples: Optional[int] = 2000) -> dict:
+    """Serialize one run (thinning long sample lists)."""
+    metrics = result.metrics
+    return {
+        "version": FORMAT_VERSION,
+        "spec": dataclasses.asdict(result.spec),
+        "size": result.size,
+        "seed": result.seed,
+        "period": result.period.value,
+        "completed": result.completed,
+        "download_time": result.download_time,
+        "established_at": result.established_at,
+        "subflow_count": result.subflow_count,
+        "metrics": {
+            "download_time": metrics.download_time,
+            "bytes_received": metrics.bytes_received,
+            "cellular_fraction": metrics.cellular_fraction,
+            "ofo_delays": _thin(metrics.ofo_delays, max_samples),
+            "per_path": {
+                path: _analysis_to_dict(analysis, max_samples)
+                for path, analysis in metrics.per_path.items()},
+        },
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a run from its serialized form."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {data.get('version')!r}")
+    metrics_data = data["metrics"]
+    metrics = ConnectionMetrics(
+        download_time=metrics_data["download_time"],
+        bytes_received=metrics_data["bytes_received"],
+        cellular_fraction=metrics_data["cellular_fraction"],
+        per_path={path: _analysis_from_dict(analysis)
+                  for path, analysis in metrics_data["per_path"].items()},
+        ofo_delays=list(metrics_data["ofo_delays"]),
+    )
+    return RunResult(
+        spec=FlowSpec(**data["spec"]),
+        size=data["size"],
+        seed=data["seed"],
+        period=TimeOfDay(data["period"]),
+        completed=data["completed"],
+        download_time=data["download_time"],
+        metrics=metrics,
+        established_at=data["established_at"],
+        subflow_count=data["subflow_count"],
+    )
+
+
+def save_results(path: Union[str, Path], results: Iterable[RunResult],
+                 max_samples: Optional[int] = 2000,
+                 append: bool = False) -> int:
+    """Write results as JSON lines; returns the count written."""
+    mode = "a" if append else "w"
+    count = 0
+    with open(path, mode) as handle:
+        for result in results:
+            json.dump(result_to_dict(result, max_samples), handle,
+                      separators=(",", ":"))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read a JSON-lines results file back into RunResult objects."""
+    results: List[RunResult] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                results.append(result_from_dict(json.loads(line)))
+    return results
+
+
+def merge_results(*paths: Union[str, Path]) -> List[RunResult]:
+    """Concatenate several results files (multi-day campaigns)."""
+    merged: List[RunResult] = []
+    for path in paths:
+        merged.extend(load_results(path))
+    return merged

@@ -1,0 +1,34 @@
+"""Analytical transport models used to validate the simulator.
+
+The reproduction is only trustworthy if its TCP behaves like TCP; this
+subpackage provides the standard closed-form models the networking
+literature validates against:
+
+* the square-root law and the PFTK steady-state throughput formula
+  [Padhye et al., SIGCOMM'98] for loss-limited bulk transfers;
+* a slow-start latency model in the spirit of Cardwell et al. for
+  short flows (the regime that dominates the paper's small-file
+  measurements);
+* the aggregate bound for a multipath connection (sum of per-path
+  capacities under its controller).
+
+`tests/models/` cross-checks simulated transfers against these curves.
+"""
+
+from repro.models.tcp_model import (
+    download_time_estimate,
+    mptcp_aggregate_bound,
+    pftk_throughput,
+    slow_start_latency,
+    slow_start_rounds,
+    sqrt_throughput,
+)
+
+__all__ = [
+    "sqrt_throughput",
+    "pftk_throughput",
+    "slow_start_rounds",
+    "slow_start_latency",
+    "download_time_estimate",
+    "mptcp_aggregate_bound",
+]

@@ -1,0 +1,38 @@
+"""Packet-level network substrate.
+
+Models the paper's testbed topology (Figure 1): a multi-homed wired
+server, a mobile client with a WiFi interface plus one cellular
+interface, and the access networks between them.  The components are:
+
+* :class:`~repro.netsim.packet.Packet` -- an IP-level datagram carrying
+  a TCP :class:`~repro.tcp.segment.Segment`.
+* :class:`~repro.netsim.link.Link` -- a unidirectional link with a
+  serialization rate, propagation delay, finite drop-tail buffer
+  (bufferbloat lives here), random loss, optional link-layer ARQ and a
+  stochastically modulated service rate.
+* :class:`~repro.netsim.host.Host` / :class:`~repro.netsim.host.Interface`
+  -- endpoints; hosts demultiplex packets to bound protocol endpoints
+  and expose capture hooks for the tracing layer.
+* :class:`~repro.netsim.network.Network` -- address-based routing
+  between interfaces (client access link in series with server LAN).
+* :class:`~repro.netsim.nat.Nat` -- client-side NAT that drops
+  unsolicited inbound SYNs (why MPTCP subflows are client-initiated).
+"""
+
+from repro.netsim.packet import Packet
+from repro.netsim.link import ArqConfig, Link, LinkConfig, RateModulation
+from repro.netsim.host import Host, Interface
+from repro.netsim.network import Network
+from repro.netsim.nat import Nat
+
+__all__ = [
+    "Packet",
+    "Link",
+    "LinkConfig",
+    "ArqConfig",
+    "RateModulation",
+    "Host",
+    "Interface",
+    "Network",
+    "Nat",
+]

@@ -1,0 +1,239 @@
+"""Unidirectional links: serialization, propagation, buffering, loss.
+
+This is where every access-network pathology the paper measures comes
+from:
+
+* **Bufferbloat** (Section 5.1): a link has a finite *drop-tail* buffer
+  sized in bytes.  Cellular profiles use very deep buffers, so when TCP
+  grows its window the queueing delay -- occupancy divided by service
+  rate -- inflates the RTT by the 4-20x factors the paper reports.
+* **Wireless loss**: a Bernoulli per-packet loss probability models
+  WiFi's 1-3 % TCP-visible loss.
+* **Link-layer ARQ** (Section 2.1): cellular carriers retransmit
+  locally, transparent to TCP, so radio errors surface as *delay*
+  rather than loss.  :class:`ArqConfig` models this: with probability
+  ``error_rate`` a packet is delayed by a recovery time, and only a
+  small residual fraction is actually dropped.
+* **Rate variability**: cellular service rate is modulated by a seeded
+  AR(1) process (:class:`RateModulation`), producing the RTT spread and
+  heavy tails of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+import collections
+import random
+
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Link-layer local retransmission parameters.
+
+    Attributes:
+        error_rate: probability that a packet suffers a radio error.
+        recovery_min: minimum local-recovery delay (seconds).
+        recovery_max: maximum local-recovery delay (seconds).
+        residual_loss: probability, *given* a radio error, that local
+            recovery fails and the packet is dropped (TCP-visible loss).
+    """
+
+    error_rate: float = 0.0
+    recovery_min: float = 0.02
+    recovery_max: float = 0.08
+    residual_loss: float = 0.01
+
+
+@dataclass(frozen=True)
+class RateModulation:
+    """AR(1) multiplicative modulation of the link service rate.
+
+    Every ``interval`` seconds the rate multiplier ``m`` evolves as
+    ``m' = 1 + rho * (m - 1) + sigma * N(0, 1)`` and is clamped to
+    ``[floor, ceiling]``.  ``sigma = 0`` disables modulation.
+    """
+
+    rho: float = 0.9
+    sigma: float = 0.0
+    interval: float = 0.1
+    floor: float = 0.25
+    ceiling: float = 1.75
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static description of a unidirectional link."""
+
+    rate_bps: float
+    prop_delay: float
+    buffer_bytes: int
+    loss_rate: float = 0.0
+    jitter_mean: float = 0.0
+    arq: Optional[ArqConfig] = None
+    modulation: Optional[RateModulation] = None
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates; read by tests and reports."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    drops_overflow: int = 0
+    drops_loss: int = 0
+    drops_arq_residual: int = 0
+    drops_down: int = 0
+    arq_recoveries: int = 0
+    bytes_delivered: int = 0
+    peak_queue_bytes: int = 0
+
+
+class Link:
+    """A unidirectional store-and-forward link.
+
+    Packets are serialized one at a time at the (possibly modulated)
+    service rate, subject to a drop-tail buffer, then experience
+    propagation delay, optional jitter, random loss and optional ARQ
+    recovery before being handed to ``deliver``.
+    """
+
+    def __init__(self, sim: Simulator, config: LinkConfig,
+                 rng: random.Random, name: str = "link") -> None:
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self.name = name
+        self.deliver: Callable[[Packet], None] = lambda packet: None
+        self.stats = LinkStats()
+        self._queue: collections.deque[Packet] = collections.deque()
+        self._queue_bytes = 0
+        self._busy = False
+        self._rate_multiplier = 1.0
+        self._last_modulation_step = 0.0
+        self._last_delivery_time = 0.0
+        self._down = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Take the link down (all traffic black-holed) or back up.
+
+        Models WiFi disassociation / walking out of AP range: packets
+        already queued are flushed (they would be lost with the
+        association state), and new offers are dropped until the link
+        comes back.
+        """
+        self._down = down
+        if down:
+            self.stats.drops_down += len(self._queue)
+            self._queue.clear()
+            self._queue_bytes = 0
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link; it is queued, dropped, or served."""
+        self.stats.packets_offered += 1
+        if self._down:
+            self.stats.drops_down += 1
+            return
+        size = packet.wire_size
+        if self._queue_bytes + size > self.config.buffer_bytes:
+            self.stats.drops_overflow += 1
+            return
+        self._queue.append(packet)
+        self._queue_bytes += size
+        if self._queue_bytes > self.stats.peak_queue_bytes:
+            self.stats.peak_queue_bytes = self._queue_bytes
+        if not self._busy:
+            self._serve_next()
+
+    @property
+    def queue_bytes(self) -> int:
+        """Bytes currently buffered (excludes the packet in service)."""
+        return self._queue_bytes
+
+    def current_rate(self) -> float:
+        """Instantaneous service rate in bits/s after modulation."""
+        self._step_modulation()
+        return self.config.rate_bps * self._rate_multiplier
+
+    def queueing_delay_estimate(self) -> float:
+        """Time a packet arriving now would wait before service begins."""
+        return self._queue_bytes * 8.0 / self.current_rate()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _step_modulation(self) -> None:
+        modulation = self.config.modulation
+        if modulation is None or modulation.sigma == 0.0:
+            return
+        now = self.sim.now
+        steps = int((now - self._last_modulation_step) / modulation.interval)
+        if steps <= 0:
+            return
+        multiplier = self._rate_multiplier
+        for _ in range(min(steps, 10_000)):
+            noise = self.rng.gauss(0.0, modulation.sigma)
+            multiplier = 1.0 + modulation.rho * (multiplier - 1.0) + noise
+            multiplier = min(max(multiplier, modulation.floor),
+                             modulation.ceiling)
+        self._rate_multiplier = multiplier
+        self._last_modulation_step += steps * modulation.interval
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        self._queue_bytes -= packet.wire_size
+        service_time = packet.wire_size * 8.0 / self.current_rate()
+        self.sim.schedule(service_time, lambda: self._service_done(packet),
+                          name=f"{self.name}.service")
+
+    def _service_done(self, packet: Packet) -> None:
+        self._propagate(packet)
+        self._serve_next()
+
+    def _propagate(self, packet: Packet) -> None:
+        if self._down:
+            self.stats.drops_down += 1
+            return
+        config = self.config
+        delay = config.prop_delay
+        if config.jitter_mean > 0.0:
+            delay += self.rng.expovariate(1.0 / config.jitter_mean)
+        if config.loss_rate > 0.0 and self.rng.random() < config.loss_rate:
+            self.stats.drops_loss += 1
+            return
+        arq = config.arq
+        if arq is not None and arq.error_rate > 0.0:
+            if self.rng.random() < arq.error_rate:
+                if self.rng.random() < arq.residual_loss:
+                    self.stats.drops_arq_residual += 1
+                    return
+                self.stats.arq_recoveries += 1
+                delay += self.rng.uniform(arq.recovery_min, arq.recovery_max)
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.wire_size
+        # FIFO links (WiFi MAC queues, cellular RLC-AM) deliver in order:
+        # a delayed packet holds back the ones behind it.
+        delivery_time = max(self.sim.now + delay, self._last_delivery_time)
+        self._last_delivery_time = delivery_time
+        self.sim.schedule_at(delivery_time, lambda: self.deliver(packet),
+                             name=f"{self.name}.deliver")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Link {self.name} rate={self.config.rate_bps / 1e6:.1f}Mbps "
+                f"queued={self._queue_bytes}B>")

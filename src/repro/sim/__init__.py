@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the deterministic simulation substrate that
+everything else in :mod:`repro` is built on:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop: a priority
+  queue of timestamped events with stable FIFO ordering for ties,
+  cancellable timers, and a monotonically advancing simulated clock.
+* :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded
+  random streams so that, e.g., WiFi loss draws never perturb cellular
+  rate draws and experiments replay bit-for-bit given a root seed.
+
+Nothing in here knows about networking; it is a general event kernel.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RngRegistry",
+    "derive_seed",
+]

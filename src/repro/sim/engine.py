@@ -1,0 +1,172 @@
+"""The discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events
+are ``(time, sequence, callback)`` triples; the sequence number makes
+ordering total and stable (two events scheduled for the same instant
+fire in the order they were scheduled), which keeps simulations
+deterministic and therefore reproducible and testable.
+
+Time is a float measured in **seconds** of simulated time.  The engine
+never consults the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; the only supported
+    operations are :meth:`cancel` and inspecting :attr:`time` /
+    :attr:`cancelled`.  Cancellation is lazy: the entry stays in the
+    heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "name")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 name: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles promptly
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Event{label} t={self.time:.6f} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second"))
+        sim.run()
+
+    The engine supports bounded runs (``until=``), step-wise execution
+    (:meth:`step`), and a hard event-count limit as a runaway guard for
+    tests.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 name: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns an :class:`Event` handle that may be cancelled.  A
+        negative delay is an error; a zero delay fires after all events
+        already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        event = Event(self._now + delay, next(self._seq), callback, name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        The event carries exactly ``time`` (no now-relative roundoff),
+        so equal absolute times keep FIFO ordering.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._now!r}")
+        event = Event(time, next(self._seq), callback, name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was
+        empty (cancelled events are skipped transparently).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            callback = event.callback
+            event.callback = None
+            self.events_processed += 1
+            assert callback is not None
+            callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` more events have been processed.
+
+        Returns the simulated time when the run stopped.  When stopping
+        at ``until``, the clock is advanced to ``until`` even if no
+        event fires exactly there, so successive bounded runs compose.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                callback = event.callback
+                event.callback = None
+                self.events_processed += 1
+                processed += 1
+                assert callback is not None
+                callback()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={self.pending()}>"

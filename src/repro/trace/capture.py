@@ -1,0 +1,103 @@
+"""tcpdump, simulated: per-host packet capture.
+
+A :class:`PacketCapture` registers a hook on a host and appends one
+flat :class:`PacketRecord` per packet observed in either direction.
+Records are plain slotted objects (a capture of a 32 MB transfer holds
+tens of thousands), and carry everything the analyzer needs: header
+fields, SACK presence, and the MPTCP DSS numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.netsim.host import Host
+from repro.netsim.packet import Packet
+
+#: Canonical flow key: ((addr, port), (addr, port)) with the two
+#: endpoints sorted, so both directions map to the same key.
+FlowKey = Tuple[Tuple[str, int], Tuple[str, int]]
+
+
+class PacketRecord:
+    """One captured packet, flattened for analysis."""
+
+    __slots__ = ("time", "direction", "src", "dst", "src_port", "dst_port",
+                 "seq", "ack", "payload_len", "syn", "ack_flag", "fin",
+                 "window", "dsn", "dss_len", "data_ack", "packet_id",
+                 "mp_capable", "mp_join")
+
+    def __init__(self, time: float, direction: str, packet: Packet) -> None:
+        segment = packet.segment
+        self.time = time
+        self.direction = direction  # "send" or "recv"
+        self.src = packet.src
+        self.dst = packet.dst
+        self.src_port = segment.src_port
+        self.dst_port = segment.dst_port
+        self.seq = segment.seq
+        self.ack = segment.ack
+        self.payload_len = segment.payload_len
+        self.syn = segment.flags.syn
+        self.ack_flag = segment.flags.ack
+        self.fin = segment.flags.fin
+        self.window = segment.window
+        self.packet_id = packet.packet_id
+        options = segment.options
+        if options is not None and options.dss is not None:
+            self.dsn: Optional[int] = options.dss.dsn
+            self.dss_len: int = options.dss.length
+        else:
+            self.dsn = None
+            self.dss_len = 0
+        self.data_ack = options.data_ack if options is not None else None
+        self.mp_capable = options.mp_capable if options is not None \
+            else False
+        self.mp_join = options.mp_join if options is not None else False
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.payload_len + int(self.syn) + int(self.fin)
+
+    @property
+    def flow_key(self) -> FlowKey:
+        ends = sorted([(self.src, self.src_port), (self.dst, self.dst_port)])
+        return (ends[0], ends[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PacketRecord {self.direction} t={self.time:.6f} "
+                f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port} "
+                f"seq={self.seq} len={self.payload_len}>")
+
+
+class PacketCapture:
+    """Attach to a host; collect every packet it sends or receives."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.records: List[PacketRecord] = []
+        host.add_capture_hook(self._hook)
+
+    def _hook(self, direction: str, time: float, packet: Packet) -> None:
+        self.records.append(PacketRecord(time, direction, packet))
+
+    def detach(self) -> None:
+        """Stop capturing (leaves collected records intact)."""
+        self.host.remove_capture_hook(self._hook)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records)
+
+    def sent(self) -> Iterator[PacketRecord]:
+        return (record for record in self.records
+                if record.direction == "send")
+
+    def received(self) -> Iterator[PacketRecord]:
+        return (record for record in self.records
+                if record.direction == "recv")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PacketCapture {self.host.name} n={len(self.records)}>"

@@ -1,0 +1,92 @@
+"""Human-readable trace dumps, tcpdump/tcptrace style.
+
+For debugging simulations the way the authors debugged their testbed:
+:func:`dump` renders a capture one line per packet in a tcpdump-like
+format (including the MPTCP option summary), and :func:`flow_summary`
+prints the per-flow block tcptrace would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.trace.analyzer import FlowAnalysis
+from repro.trace.capture import PacketCapture, PacketRecord
+
+
+def _flags_text(record: PacketRecord) -> str:
+    letters = ""
+    if record.syn:
+        letters += "S"
+    if record.fin:
+        letters += "F"
+    if record.ack_flag:
+        letters += "."
+    return letters or "-"
+
+
+def _mptcp_text(record: PacketRecord) -> str:
+    parts: List[str] = []
+    if record.mp_capable:
+        parts.append("capable")
+    if record.mp_join:
+        parts.append("join")
+    if record.dsn is not None:
+        parts.append(f"dsn {record.dsn}:{record.dsn + record.dss_len}")
+    if record.data_ack is not None:
+        parts.append(f"dack {record.data_ack}")
+    return f" <mptcp {' '.join(parts)}>" if parts else ""
+
+
+def format_record(record: PacketRecord) -> str:
+    """One tcpdump-style line for a captured packet."""
+    direction = ">" if record.direction == "send" else "<"
+    return (f"{record.time:12.6f} {direction} "
+            f"{record.src}:{record.src_port} -> "
+            f"{record.dst}:{record.dst_port}: "
+            f"Flags [{_flags_text(record)}], "
+            f"seq {record.seq}:{record.seq + record.payload_len}, "
+            f"ack {record.ack}, win {record.window}, "
+            f"length {record.payload_len}"
+            f"{_mptcp_text(record)}")
+
+
+def dump(capture: PacketCapture, limit: Optional[int] = None,
+         data_only: bool = False) -> str:
+    """Render a capture as text; ``limit`` caps the line count."""
+    lines: List[str] = []
+    for record in capture.records:
+        if data_only and record.payload_len == 0:
+            continue
+        lines.append(format_record(record))
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... ({len(capture.records)} records total)")
+            break
+    return "\n".join(lines)
+
+
+def flow_summary(analysis: FlowAnalysis) -> str:
+    """A tcptrace-style per-flow summary block."""
+    local = f"{analysis.local[0]}:{analysis.local[1]}"
+    remote = f"{analysis.remote[0]}:{analysis.remote[1]}"
+    lines = [
+        f"flow {local} -> {remote}",
+        f"  data packets sent:       {analysis.data_packets_sent}",
+        f"  retransmitted packets:   {analysis.retransmitted_packets}",
+        f"  loss rate:               {analysis.loss_rate:.3%}",
+        f"  unique payload bytes:    {analysis.payload_bytes}",
+        f"  RTT samples:             {len(analysis.rtt_samples)}",
+    ]
+    if analysis.rtt_samples:
+        lines.append(
+            f"  RTT min/avg/max (ms):    "
+            f"{min(analysis.rtt_samples) * 1000:.1f} / "
+            f"{analysis.mean_rtt * 1000:.1f} / "
+            f"{max(analysis.rtt_samples) * 1000:.1f}")
+    if analysis.handshake_rtt is not None:
+        lines.append(f"  handshake RTT (ms):      "
+                     f"{analysis.handshake_rtt * 1000:.1f}")
+    lines.append(f"  duration (s):            {analysis.duration:.3f}")
+    lines.append(f"  throughput:              "
+                 f"{analysis.throughput_bps / 1e6:.2f} Mbit/s")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Wireless access-network models.
+
+* :mod:`repro.wireless.rrc` -- the cellular radio resource control
+  state machine: IDLE -> PROMOTING -> CONNECTED, with the promotion
+  delay that the paper works around by pinging before each measurement
+  (Section 3.2).
+* :mod:`repro.wireless.profiles` -- calibrated per-carrier path
+  profiles (AT&T LTE, Verizon LTE, Sprint 3G EVDO, home WiFi, public
+  hotspot WiFi, server Ethernet) plus time-of-day environment
+  modulation.
+"""
+
+from repro.wireless.energy import (
+    EnergyAudit,
+    EnergyMeter,
+    EnergyReport,
+    PowerProfile,
+)
+from repro.wireless.mobility import InterfaceOutage
+from repro.wireless.rrc import RadioState, RadioStateMachine
+from repro.wireless.signal import apply_signal, rate_fraction
+from repro.wireless.profiles import (
+    CARRIER_PROFILES,
+    ATT_LTE,
+    VERIZON_LTE,
+    SPRINT_EVDO,
+    HOME_WIFI,
+    PUBLIC_WIFI,
+    SERVER_ETHERNET,
+    PathProfile,
+    TimeOfDay,
+    environment_factor,
+)
+
+__all__ = [
+    "EnergyAudit",
+    "EnergyMeter",
+    "EnergyReport",
+    "PowerProfile",
+    "InterfaceOutage",
+    "RadioState",
+    "RadioStateMachine",
+    "apply_signal",
+    "rate_fraction",
+    "CARRIER_PROFILES",
+    "ATT_LTE",
+    "VERIZON_LTE",
+    "SPRINT_EVDO",
+    "HOME_WIFI",
+    "PUBLIC_WIFI",
+    "SERVER_ETHERNET",
+    "PathProfile",
+    "TimeOfDay",
+    "environment_factor",
+]

@@ -1,0 +1,65 @@
+"""Mobility events: interface outages and recoveries.
+
+Section 6 of the paper argues MPTCP's mobility story: "users move from
+one access point to another ... forcing the on-going connections to be
+either stalled or reset", while "MPTCP not only leverages multiple
+paths simultaneously ... it also provides robust data transport in a
+dynamically changing environment".  The related work it contrasts with
+(Paasch et al.) measures exactly WiFi-outage handover.
+
+:class:`InterfaceOutage` schedules a down/up window on one interface:
+both access links black-hole traffic while down, and registered
+callbacks fire on each transition so the MPTCP path manager can reopen
+subflows when the interface returns (the paper's "delayed re-use"
+problem is thereby modeled explicitly: re-use happens only when the
+client notices and re-joins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.netsim.host import Interface
+from repro.sim.engine import Simulator
+
+
+class InterfaceOutage:
+    """Schedules connectivity loss windows on one interface."""
+
+    def __init__(self, sim: Simulator, interface: Interface) -> None:
+        self.sim = sim
+        self.interface = interface
+        self.on_down: List[Callable[[], None]] = []
+        self.on_up: List[Callable[[], None]] = []
+        self.outages: List[tuple] = []
+
+    def schedule(self, down_at: float, up_at: Optional[float]) -> None:
+        """Take the interface down at ``down_at`` and (optionally) back
+        up at ``up_at`` (absolute simulated times)."""
+        if up_at is not None and up_at <= down_at:
+            raise ValueError("recovery must follow the outage")
+        self.outages.append((down_at, up_at))
+        self.sim.schedule_at(down_at, self._go_down,
+                             name="outage.down")
+        if up_at is not None:
+            self.sim.schedule_at(up_at, self._go_up, name="outage.up")
+
+    def _go_down(self) -> None:
+        self.interface.up_link.set_down(True)
+        self.interface.down_link.set_down(True)
+        for callback in self.on_down:
+            callback()
+
+    def _go_up(self) -> None:
+        self.interface.up_link.set_down(False)
+        self.interface.down_link.set_down(False)
+        for callback in self.on_up:
+            callback()
+
+    @property
+    def is_down(self) -> bool:
+        return self.interface.up_link.is_down
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<InterfaceOutage {self.interface.name} "
+                f"windows={self.outages}>")

@@ -1,0 +1,255 @@
+"""Calibrated access-network profiles for the paper's carriers.
+
+The paper measures (Tables 2/3/4/5) a consistent set of per-carrier
+path characteristics; the profiles below are calibrated so single-path
+TCP over the simulated access networks lands in the same regimes:
+
+===========  =========  ==========  ===========  ==========================
+carrier      base RTT   loss seen    rate         RTT inflation mechanism
+===========  =========  ==========  ===========  ==========================
+home WiFi    ~20 ms     1-2 %       ~20 Mbit/s   shallow buffer, lossy MAC
+public WiFi  ~25 ms     3-5 %       ~6 Mbit/s    cross-traffic + loss
+AT&T LTE     ~60 ms     ~0 %        ~16 Mbit/s   deep buffer, mild variance
+Verizon LTE  ~32 ms     ~0-1 %      ~10 Mbit/s   deep buffer, high variance
+Sprint EVDO  ~120 ms    0.3-4 %     ~1.2 Mbit/s  deep buffer, slow + wild
+===========  =========  ==========  ===========  ==========================
+
+Cellular paths carry a link-layer ARQ model (losses repaired locally,
+surfacing as delay) and an AR(1) service-rate modulation whose variance
+increases from AT&T to Verizon to Sprint; these two knobs produce both
+the near-zero TCP-visible loss and the heavy RTT tails of Figure 12.
+
+Time/space diversity (Section 3.2: four day periods, three towns) is
+modeled by :func:`environment_factor`, which derives per-run rate and
+loss multipliers from the experiment RNG; WiFi is the most sensitive
+(residential backhaul and hotspot load), cellular less so.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.netsim.link import ArqConfig, LinkConfig, RateModulation
+
+MBPS = 1e6
+MS = 1e-3
+KB = 1024
+
+
+class TimeOfDay(enum.Enum):
+    """The four measurement periods of Section 3.2."""
+
+    NIGHT = "night"          # 0-6 AM
+    MORNING = "morning"      # 6-12 AM
+    AFTERNOON = "afternoon"  # 12-6 PM
+    EVENING = "evening"      # 6-12 PM
+
+
+#: Relative WiFi contention by period (residential usage pattern): the
+#: evening is the busiest, the night nearly idle.
+_PERIOD_LOAD: Dict[TimeOfDay, float] = {
+    TimeOfDay.NIGHT: 0.70,
+    TimeOfDay.MORNING: 0.90,
+    TimeOfDay.AFTERNOON: 1.10,
+    TimeOfDay.EVENING: 1.30,
+}
+
+
+@dataclass(frozen=True)
+class EnvironmentFactors:
+    """Per-run multipliers drawn by :func:`environment_factor`."""
+
+    rate_scale: float = 1.0
+    loss_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Everything needed to instantiate one access network.
+
+    Rates are bits/second, delays seconds, buffers bytes.  The profile
+    describes the *access* segment only; the server-LAN segment is
+    :data:`SERVER_ETHERNET`.
+    """
+
+    name: str
+    technology: str
+    down_rate: float
+    up_rate: float
+    prop_delay: float
+    down_buffer: int
+    up_buffer: int
+    down_loss: float = 0.0
+    up_loss: float = 0.0
+    jitter_mean: float = 0.0
+    arq: Optional[ArqConfig] = None
+    modulation: Optional[RateModulation] = None
+    promotion_delay: float = 0.0
+    is_wifi: bool = False
+
+    @property
+    def is_cellular(self) -> bool:
+        return self.promotion_delay > 0.0
+
+    def with_environment(self, env: EnvironmentFactors) -> "PathProfile":
+        """Return a copy with per-run rate/loss multipliers applied."""
+        return replace(
+            self,
+            down_rate=self.down_rate * env.rate_scale,
+            up_rate=self.up_rate * env.rate_scale,
+            down_loss=min(self.down_loss * env.loss_scale, 0.25),
+            up_loss=min(self.up_loss * env.loss_scale, 0.25),
+        )
+
+    def link_configs(self) -> tuple[LinkConfig, LinkConfig]:
+        """Build the (uplink, downlink) configs for this access network."""
+        up = LinkConfig(
+            rate_bps=self.up_rate,
+            prop_delay=self.prop_delay,
+            buffer_bytes=self.up_buffer,
+            loss_rate=self.up_loss,
+            jitter_mean=self.jitter_mean / 2,
+            arq=self.arq,
+            modulation=self.modulation,
+        )
+        down = LinkConfig(
+            rate_bps=self.down_rate,
+            prop_delay=self.prop_delay,
+            buffer_bytes=self.down_buffer,
+            loss_rate=self.down_loss,
+            jitter_mean=self.jitter_mean,
+            arq=self.arq,
+            modulation=self.modulation,
+        )
+        return up, down
+
+
+def environment_factor(rng: random.Random, profile: PathProfile,
+                       period: TimeOfDay) -> EnvironmentFactors:
+    """Draw per-run environment multipliers for one measurement.
+
+    WiFi rate and loss fluctuate with residential/hotspot load (period
+    dependent); cellular paths fluctuate less (the paper's signal range
+    of -60..-102 dBm over three towns is folded into a mild lognormal).
+    """
+    if profile.is_wifi:
+        load = _PERIOD_LOAD[period]
+        rate_scale = rng.lognormvariate(0.0, 0.20) / (0.6 + 0.4 * load)
+        loss_scale = rng.lognormvariate(0.0, 0.35) * load
+    else:
+        rate_scale = rng.lognormvariate(0.0, 0.12)
+        loss_scale = rng.lognormvariate(0.0, 0.20)
+    return EnvironmentFactors(rate_scale=rate_scale, loss_scale=loss_scale)
+
+
+# ----------------------------------------------------------------------
+# The calibrated profiles
+# ----------------------------------------------------------------------
+
+HOME_WIFI = PathProfile(
+    name="wifi",
+    technology="802.11a/b/g (Comcast residential)",
+    down_rate=20 * MBPS,
+    up_rate=4 * MBPS,
+    prop_delay=8 * MS,
+    down_buffer=150 * KB,
+    up_buffer=96 * KB,
+    down_loss=0.013,
+    up_loss=0.002,
+    jitter_mean=1.5 * MS,
+    modulation=RateModulation(rho=0.9, sigma=0.05, interval=0.1,
+                              floor=0.4, ceiling=1.4),
+    is_wifi=True,
+)
+
+PUBLIC_WIFI = PathProfile(
+    name="public-wifi",
+    technology="802.11 hotspot (coffee shop, Comcast business)",
+    down_rate=6 * MBPS,
+    up_rate=2 * MBPS,
+    prop_delay=9 * MS,
+    down_buffer=100 * KB,
+    up_buffer=64 * KB,
+    down_loss=0.035,
+    up_loss=0.006,
+    jitter_mean=6 * MS,
+    modulation=RateModulation(rho=0.92, sigma=0.18, interval=0.1,
+                              floor=0.15, ceiling=1.6),
+    is_wifi=True,
+)
+
+ATT_LTE = PathProfile(
+    name="att",
+    technology="4G LTE (Elevate mobile hotspot)",
+    down_rate=13 * MBPS,
+    up_rate=6 * MBPS,
+    prop_delay=27 * MS,
+    down_buffer=1024 * KB,
+    up_buffer=256 * KB,
+    jitter_mean=2 * MS,
+    arq=ArqConfig(error_rate=0.02, recovery_min=0.015, recovery_max=0.05,
+                  residual_loss=0.004),
+    modulation=RateModulation(rho=0.93, sigma=0.05, interval=0.1,
+                              floor=0.45, ceiling=1.5),
+    promotion_delay=0.26,
+)
+
+VERIZON_LTE = PathProfile(
+    name="verizon",
+    technology="4G LTE (USB modem 551L)",
+    down_rate=6.5 * MBPS,
+    up_rate=3 * MBPS,
+    prop_delay=13 * MS,
+    down_buffer=1536 * KB,
+    up_buffer=256 * KB,
+    jitter_mean=4 * MS,
+    arq=ArqConfig(error_rate=0.03, recovery_min=0.02, recovery_max=0.08,
+                  residual_loss=0.02),
+    modulation=RateModulation(rho=0.98, sigma=0.10, interval=0.25,
+                              floor=0.05, ceiling=1.5),
+    promotion_delay=0.26,
+)
+
+SPRINT_EVDO = PathProfile(
+    name="sprint",
+    technology="3G EVDO (OverdrivePro mobile hotspot)",
+    down_rate=1.3 * MBPS,
+    up_rate=0.5 * MBPS,
+    prop_delay=55 * MS,
+    down_buffer=768 * KB,
+    up_buffer=128 * KB,
+    jitter_mean=8 * MS,
+    arq=ArqConfig(error_rate=0.05, recovery_min=0.04, recovery_max=0.15,
+                  residual_loss=0.05),
+    modulation=RateModulation(rho=0.97, sigma=0.12, interval=0.25,
+                              floor=0.08, ceiling=1.7),
+    promotion_delay=1.5,
+)
+
+#: The server's Gigabit-Ethernet LAN segments (two subnets at UMass),
+#: with a couple of milliseconds of campus/Internet core delay folded in.
+SERVER_ETHERNET = PathProfile(
+    name="ethernet",
+    technology="1 GigE campus LAN",
+    down_rate=1000 * MBPS,
+    up_rate=1000 * MBPS,
+    prop_delay=2.5 * MS,
+    down_buffer=2048 * KB,
+    up_buffer=2048 * KB,
+)
+
+#: Cellular carriers by the names used throughout the paper's figures.
+CARRIER_PROFILES: Dict[str, PathProfile] = {
+    "att": ATT_LTE,
+    "verizon": VERIZON_LTE,
+    "sprint": SPRINT_EVDO,
+}
+
+#: WiFi flavors by scenario name.
+WIFI_PROFILES: Dict[str, PathProfile] = {
+    "home": HOME_WIFI,
+    "public": PUBLIC_WIFI,
+}

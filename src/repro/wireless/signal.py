@@ -1,0 +1,82 @@
+"""Signal strength: from dBm to path quality.
+
+Section 3.1: "cellular reception signals of different carriers (over
+different places) are in the range between -60 dBm and -102 dBm, which
+covers good and weak signals."  The default environment lottery folds
+this into a lognormal; this module exposes the mapping explicitly so
+experiments can *sweep* signal strength (a drive test), pinning the
+location instead of sampling it.
+
+The model is a standard link-budget abstraction: received power over
+a -100 dBm noise floor gives an SNR, Shannon capacity relative to the
+capacity at the strong-signal reference (-60 dBm) scales the rate, and
+radio block-error rate (feeding the link-layer ARQ) grows as the SNR
+decays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.netsim.link import ArqConfig
+from repro.wireless.profiles import PathProfile
+
+#: The paper's observed range.
+STRONG_DBM = -60.0
+WEAK_DBM = -102.0
+
+#: Thermal-ish noise floor for a cellular carrier bandwidth.
+NOISE_FLOOR_DBM = -104.0
+
+
+def snr_db(dbm: float) -> float:
+    """Signal-to-noise ratio implied by the received power."""
+    return dbm - NOISE_FLOOR_DBM
+
+
+def rate_fraction(dbm: float) -> float:
+    """Shannon-capacity fraction relative to the strong-signal anchor.
+
+    1.0 at -60 dBm, decaying smoothly toward ~0.05-0.15 at the paper's
+    weak end; clamped to [0.02, 1.0].
+    """
+    snr_linear = 10 ** (snr_db(dbm) / 10.0)
+    reference = 10 ** (snr_db(STRONG_DBM) / 10.0)
+    fraction = math.log2(1 + snr_linear) / math.log2(1 + reference)
+    return min(max(fraction, 0.02), 1.0)
+
+
+def radio_error_rate(dbm: float, base_error: float) -> float:
+    """Block-error probability feeding the link-layer ARQ.
+
+    At the strong anchor it equals the profile's calibrated base; each
+    ~6 dB of fade roughly doubles it, capped at 35% (beyond that the
+    connection is effectively unusable, matching field experience).
+    """
+    fade_db = max(STRONG_DBM - dbm, 0.0)
+    return min(base_error * (2.0 ** (fade_db / 6.0)), 0.35)
+
+
+def apply_signal(profile: PathProfile, dbm: float) -> PathProfile:
+    """A copy of ``profile`` as it would perform at ``dbm``.
+
+    Scales both link rates by the capacity fraction and raises the ARQ
+    error rate (and its residual loss share, mildly) with the fade.
+    """
+    if not profile.is_cellular:
+        raise ValueError("signal model applies to cellular profiles")
+    fraction = rate_fraction(dbm)
+    arq = profile.arq or ArqConfig()
+    scaled_arq = dataclasses.replace(
+        arq,
+        error_rate=radio_error_rate(dbm, max(arq.error_rate, 0.005)),
+        residual_loss=min(arq.residual_loss *
+                          (1.0 + (STRONG_DBM - dbm) / 40.0), 0.5),
+    )
+    return dataclasses.replace(
+        profile,
+        down_rate=profile.down_rate * fraction,
+        up_rate=profile.up_rate * fraction,
+        arq=scaled_arq,
+    )

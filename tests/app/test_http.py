@@ -1,0 +1,128 @@
+"""Tests for the HTTP workload layer."""
+
+import pytest
+
+from repro.app.http import (
+    HTTP_PORT,
+    REQUEST_SIZE,
+    DownloadRecord,
+    HttpClient,
+    HttpServerSession,
+    PlainTcpAcceptor,
+)
+from repro.core.coupling import RenoController
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+
+from tests.conftest import build_mininet
+
+
+class FakeTransport:
+    """In-memory transport for session-level unit tests."""
+
+    def __init__(self):
+        self.on_receive = None
+        self.on_established = None
+        self.sent = []
+        self.closed = False
+
+    def send(self, nbytes):
+        self.sent.append(nbytes)
+
+    def close(self):
+        self.closed = True
+
+
+def test_server_session_answers_complete_request():
+    transport = FakeTransport()
+    HttpServerSession.fixed(transport, size=1000)
+    transport.on_receive(REQUEST_SIZE)
+    assert transport.sent == [1000]
+    assert transport.closed  # single-object server closes after reply
+
+
+def test_server_session_waits_for_full_request():
+    transport = FakeTransport()
+    HttpServerSession.fixed(transport, size=1000)
+    transport.on_receive(REQUEST_SIZE - 1)
+    assert transport.sent == []
+    transport.on_receive(1)
+    assert transport.sent == [1000]
+
+
+def test_server_session_serves_multiple_requests_when_kept_alive():
+    transport = FakeTransport()
+    sizes = [100, 200, 300]
+    HttpServerSession(transport, lambda i: sizes[i], close_after=None)
+    for _ in range(3):
+        transport.on_receive(REQUEST_SIZE)
+    assert transport.sent == sizes
+    assert not transport.closed
+
+
+def test_server_session_refuses_with_none():
+    transport = FakeTransport()
+    HttpServerSession(transport, lambda i: None, close_after=None)
+    transport.on_receive(REQUEST_SIZE)
+    assert transport.sent == []
+    assert transport.closed
+
+
+def test_server_session_close_after_n():
+    transport = FakeTransport()
+    HttpServerSession(transport, lambda i: 10, close_after=2)
+    transport.on_receive(REQUEST_SIZE)
+    assert not transport.closed
+    transport.on_receive(REQUEST_SIZE)
+    assert transport.closed
+    assert transport.sent == [10, 10]
+
+
+def test_client_sends_request_on_establishment():
+    sim = Simulator()
+    transport = FakeTransport()
+    client = HttpClient(sim, transport, size=5000)
+    transport.on_established()
+    assert transport.sent == [REQUEST_SIZE]
+    assert client.record.established_at == 0.0
+
+
+def test_client_records_completion_once():
+    sim = Simulator()
+    transport = FakeTransport()
+    completions = []
+    client = HttpClient(sim, transport, size=1000,
+                        on_complete=completions.append)
+    transport.on_established()
+    transport.on_receive(600)
+    assert not client.record.complete
+    transport.on_receive(600)
+    assert client.record.complete
+    assert transport.closed
+    transport.on_receive(1)  # stray extra byte changes nothing
+    assert len(completions) == 1
+
+
+def test_download_time_requires_completion():
+    record = DownloadRecord(size=10)
+    with pytest.raises(RuntimeError):
+        _ = record.download_time
+
+
+def test_end_to_end_over_plain_tcp():
+    net = build_mininet()
+    config = TcpConfig()
+    PlainTcpAcceptor(net.sim, net.server, HTTP_PORT, config,
+                     RenoController, responder=lambda i: 100_000)
+    endpoint = TcpEndpoint(net.sim, net.client, "client.wifi",
+                           net.client.ephemeral_port(), "server.eth0",
+                           HTTP_PORT, config, RenoController())
+    client = HttpClient(net.sim, endpoint, 100_000)
+    client.start()
+    endpoint.connect()
+    net.run(until=30.0)
+    record = client.record
+    assert record.complete
+    assert record.download_time > 0
+    assert record.established_at < record.completed_at
+    assert record.bytes_received == 100_000

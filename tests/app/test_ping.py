@@ -1,0 +1,104 @@
+"""Tests for the ping warm-up probe."""
+
+import pytest
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+from repro.app.ping import (
+    ECHO_PORT,
+    EchoResponder,
+    Pinger,
+    warm_up_with_pings,
+)
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.rrc import RadioState
+
+
+def test_ping_measures_rtt_over_wifi():
+    testbed = Testbed(TestbedConfig(seed=2, environment_jitter=False))
+    EchoResponder(testbed.sim, testbed.server)
+    pinger = Pinger(testbed.sim, testbed.client, "client.wifi",
+                    testbed.server_addrs[0], count=3)
+    pinger.start()
+    testbed.run(until=5.0)
+    result = pinger.result
+    assert result.sent == 3
+    assert result.all_answered
+    # WiFi RTT ~20 ms, well under 100 ms.
+    assert all(0.0 < rtt < 0.1 for rtt in result.rtts)
+
+
+def test_first_cold_ping_pays_promotion_delay():
+    testbed = Testbed(TestbedConfig(seed=2, warm_radio=False,
+                                    environment_jitter=False))
+    EchoResponder(testbed.sim, testbed.server)
+    pinger = Pinger(testbed.sim, testbed.client, testbed.cellular_addr,
+                    testbed.server_addrs[0], count=2)
+    pinger.start()
+    testbed.run(until=10.0)
+    result = pinger.result
+    assert result.all_answered
+    promotion = testbed.applied_profiles[
+        testbed.cellular_addr].promotion_delay
+    assert result.rtts[0] >= promotion
+    assert result.rtts[1] < result.rtts[0]
+
+
+def test_warm_up_with_pings_promotes_radio():
+    testbed = Testbed(TestbedConfig(seed=2, warm_radio=False))
+    ready = []
+    warm_up_with_pings(testbed, on_ready=lambda: ready.append(
+        testbed.sim.now))
+    testbed.run(until=10.0)
+    assert ready, "warm-up must complete"
+    radio = testbed.client.interfaces[testbed.cellular_addr].radio
+    assert radio.state is RadioState.CONNECTED
+
+
+def test_measurement_after_ping_warmup_avoids_promotion_hit():
+    """The paper's methodology end-to-end: ping first, then download;
+    the download sees no promotion delay despite a cold start."""
+    size = 64 * 1024
+
+    def run(warmup: bool) -> float:
+        testbed = Testbed(TestbedConfig(seed=4, warm_radio=False))
+        config = MptcpConfig()
+        MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                      server_addrs=testbed.server_addrs,
+                      on_connection=lambda c:
+                      HttpServerSession.fixed(c, size))
+        connection = MptcpConnection.client(
+            testbed.sim, testbed.client,
+            [testbed.cellular_addr],  # cellular-only: promotion matters
+            testbed.server_addrs[0], HTTP_PORT, config)
+        client = HttpClient(testbed.sim, connection, size)
+
+        def begin():
+            client.start()
+            connection.connect()
+
+        if warmup:
+            warm_up_with_pings(testbed, on_ready=begin)
+        else:
+            begin()
+        testbed.run(until=30.0)
+        assert client.record.complete
+        return client.record.download_time
+
+    cold = run(warmup=False)
+    warmed = run(warmup=True)
+    # Cold start pays the LTE promotion (~260 ms) inside the download.
+    assert cold > warmed + 0.15
+
+
+def test_unanswered_probe_counted():
+    testbed = Testbed(TestbedConfig(seed=2))
+    # No responder bound: probes vanish at the server.
+    pinger = Pinger(testbed.sim, testbed.client, "client.wifi",
+                    testbed.server_addrs[0], count=2)
+    pinger.start()
+    testbed.run(until=3.0)
+    assert pinger.result.sent == 2
+    assert pinger.result.received == 0
+    assert not pinger.result.all_answered

@@ -1,0 +1,91 @@
+"""Tests for the real-time frame-stream workload."""
+
+import pytest
+
+from repro.app.http import HTTP_PORT
+from repro.app.realtime import (
+    TOLERANCE_150MS,
+    VIDEO_CALL,
+    VOIP,
+    RealtimeProfile,
+    RealtimeReport,
+    RealtimeSink,
+    RealtimeStream,
+)
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.testbed import Testbed, TestbedConfig
+
+
+def test_profiles_are_sane():
+    assert VOIP.bitrate_bps == pytest.approx(200 * 8 / 0.02)
+    assert VIDEO_CALL.bitrate_bps > VOIP.bitrate_bps
+
+
+def test_report_statistics():
+    report = RealtimeReport(latencies=[0.05, 0.10, 0.30, 0.20])
+    assert report.frames_delivered == 4
+    assert report.mean_latency() == pytest.approx(0.1625)
+    assert report.worst_latency() == pytest.approx(0.30)
+    assert report.fraction_within(0.150) == pytest.approx(0.5)
+
+
+def test_empty_report():
+    report = RealtimeReport()
+    assert report.fraction_within() == 0.0
+    assert report.mean_latency() == 0.0
+
+
+def run_stream(profile, carrier="att", scheduler="minrtt", seed=21):
+    testbed = Testbed(TestbedConfig(carrier=carrier, seed=seed))
+    config = MptcpConfig(scheduler=scheduler)
+    state = {}
+
+    def on_connection(server_conn):
+        stream = RealtimeStream(testbed.sim, server_conn, profile)
+        state["stream"] = stream
+        stream.start()
+
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=on_connection)
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    sinks = {}
+
+    def attach_sink():
+        sinks["sink"] = RealtimeSink(testbed.sim, connection,
+                                     state["stream"])
+
+    connection.on_established = attach_sink
+    connection.connect()
+    testbed.run(until=profile.frames * profile.interval + 60.0)
+    return sinks["sink"].report
+
+
+def test_all_frames_delivered_in_order():
+    profile = RealtimeProfile(name="t", frame_bytes=500, interval=0.05,
+                              frames=40)
+    report = run_stream(profile)
+    assert report.frames_delivered == 40
+    # Latencies are one-way delays: positive and sub-second on LTE+WiFi.
+    assert all(0 < latency < 1.0 for latency in report.latencies)
+
+
+def test_lte_wifi_pairing_meets_budget():
+    profile = RealtimeProfile(name="t", frame_bytes=500, interval=0.05,
+                              frames=60)
+    report = run_stream(profile, carrier="att")
+    assert report.fraction_within(TOLERANCE_150MS) > 0.9
+
+
+def test_redundant_scheduler_tames_3g_pairing():
+    """Sprint+WiFi breaks the budget with minRTT, not with redundant."""
+    profile = RealtimeProfile(name="t", frame_bytes=1200, interval=0.04,
+                              frames=150)
+    minrtt = run_stream(profile, carrier="sprint", scheduler="minrtt")
+    redundant = run_stream(profile, carrier="sprint",
+                           scheduler="redundant")
+    assert redundant.fraction_within() >= minrtt.fraction_within()
+    assert redundant.worst_latency() <= minrtt.worst_latency() * 1.05

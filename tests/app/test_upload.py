@@ -1,0 +1,98 @@
+"""Tests for the upload (client-to-server) workload."""
+
+import pytest
+
+from repro.app.http import HTTP_PORT
+from repro.app.upload import ACK_SIZE, UploadClient, UploadRecord, \
+    UploadServerSession
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint, TcpListener
+from repro.testbed import Testbed, TestbedConfig
+
+KB, MB = 1024, 1024 * 1024
+
+
+def upload_over_mptcp(size, seed=31, carrier="att"):
+    testbed = Testbed(TestbedConfig(seed=seed, carrier=carrier))
+    config = MptcpConfig()
+    sessions = []
+
+    def on_connection(server_conn):
+        sessions.append(UploadServerSession(server_conn, size))
+
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=on_connection)
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = UploadClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    testbed.run(until=300.0)
+    return client.record, sessions, connection
+
+
+def test_upload_completes_and_acknowledges():
+    record, sessions, _ = upload_over_mptcp(1 * MB)
+    assert record.complete
+    assert record.upload_time > 0
+    assert sessions[0].received >= 1 * MB
+
+
+def test_upload_record_guards_incomplete():
+    record = UploadRecord(size=10, started_at=0.0)
+    with pytest.raises(RuntimeError):
+        _ = record.upload_time
+
+
+def test_upload_uses_both_uplinks():
+    """Bulk upstream data spreads over WiFi and cellular uplinks."""
+    record, sessions, connection = upload_over_mptcp(4 * MB)
+    assert record.complete
+    server_split = sessions[0].transport.receive_buffer \
+        .metrics.bytes_by_path
+    assert server_split.get("wifi", 0) > 0
+    assert server_split.get("att", 0) > 0
+    assert sum(server_split.values()) >= 4 * MB
+
+
+def test_upload_slower_than_download_of_same_size():
+    """Uplinks are a fraction of downlinks on every access network."""
+    from repro.experiments.config import FlowSpec
+    from repro.experiments.runner import Measurement
+
+    size = 2 * MB
+    download = Measurement(FlowSpec.mptcp(carrier="att"), size,
+                           seed=31).run()
+    upload_record, _, _ = upload_over_mptcp(size, seed=31)
+    assert upload_record.upload_time > download.download_time
+
+
+def test_upload_over_plain_tcp():
+    testbed = Testbed(TestbedConfig(seed=32))
+    config = TcpConfig()
+    sessions = []
+
+    def accept(packet, host):
+        segment = packet.segment
+        endpoint = TcpEndpoint(testbed.sim, host, packet.dst,
+                               segment.dst_port, packet.src,
+                               segment.src_port, config,
+                               RenoController())
+        sessions.append(UploadServerSession(endpoint, 512 * KB))
+        endpoint.accept(packet)
+
+    testbed.server.bind_listener(HTTP_PORT, TcpListener(accept))
+    endpoint = TcpEndpoint(testbed.sim, testbed.client, "client.wifi",
+                           testbed.client.ephemeral_port(),
+                           testbed.server_addrs[0], HTTP_PORT, config,
+                           RenoController())
+    client = UploadClient(testbed.sim, endpoint, 512 * KB)
+    client.start()
+    endpoint.connect()
+    testbed.run(until=60.0)
+    assert client.record.complete
+    assert sessions[0].received >= 512 * KB

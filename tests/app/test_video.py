@@ -1,0 +1,117 @@
+"""Tests for the streaming-video workload model."""
+
+import random
+
+import pytest
+
+from repro.app.http import HTTP_PORT, REQUEST_SIZE, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.app.video import (
+    NETFLIX_ANDROID,
+    NETFLIX_IPAD,
+    YOUTUBE,
+    StreamingProfile,
+    VideoSession,
+)
+from repro.core.coupling import RenoController
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+
+from tests.conftest import build_mininet
+
+MB = 1024 * 1024
+
+
+def test_profiles_match_table7():
+    assert NETFLIX_ANDROID.prefetch_mean == pytest.approx(40.6 * MB)
+    assert NETFLIX_ANDROID.block_mean == pytest.approx(5.2 * MB)
+    assert NETFLIX_ANDROID.period_mean == pytest.approx(72.0)
+    assert NETFLIX_IPAD.prefetch_mean == pytest.approx(15.0 * MB)
+    assert NETFLIX_IPAD.block_mean == pytest.approx(1.8 * MB)
+    assert NETFLIX_IPAD.period_mean == pytest.approx(10.2)
+
+
+def test_youtube_profile_in_documented_range():
+    assert 10 * MB <= YOUTUBE.prefetch_mean <= 15 * MB
+    assert 64 * 1024 <= YOUTUBE.block_mean <= 512 * 1024
+
+
+def test_draws_are_positive_and_near_mean():
+    rng = random.Random(1)
+    profile = NETFLIX_IPAD
+    prefetches = [profile.draw_prefetch(rng) for _ in range(200)]
+    assert all(p > 0 for p in prefetches)
+    mean = sum(prefetches) / len(prefetches)
+    assert mean == pytest.approx(profile.prefetch_mean, rel=0.1)
+    periods = [profile.draw_period(rng) for _ in range(200)]
+    assert all(p >= 0.5 for p in periods)
+
+
+def test_session_end_to_end_over_fast_link():
+    net = build_mininet(rate_bps=200e6, buffer_bytes=10 ** 7)
+    config = TcpConfig()
+    # Small, fast profile so the test stays quick.
+    profile = StreamingProfile(
+        name="tiny", prefetch_mean=200_000, prefetch_std=10_000,
+        block_mean=50_000, block_std=5_000,
+        period_mean=0.5, period_std=0.05)
+    rng = random.Random(7)
+    finished = []
+    endpoint = TcpEndpoint(net.sim, net.client, "client.wifi",
+                           net.client.ephemeral_port(), "server.eth0",
+                           HTTP_PORT, config, RenoController())
+    session = VideoSession(net.sim, endpoint, profile, rng, n_blocks=3,
+                           on_finished=finished.append)
+    PlainTcpAcceptor(net.sim, net.server, HTTP_PORT, config,
+                     RenoController, responder=session.responder())
+    endpoint.connect()
+    net.run(until=30.0)
+    assert finished, "session must complete"
+    assert session.finished
+    assert len(session.blocks) == 4  # prefetch + 3 blocks
+    assert all(block.completed_at is not None for block in session.blocks)
+    summary = session.summary()
+    assert summary.blocks == 3
+    assert summary.prefetch_bytes == session.blocks[0].size
+    assert summary.period_mean == pytest.approx(0.5, rel=0.4)
+
+
+def test_session_counts_stalls_on_slow_path():
+    net = build_mininet(rate_bps=1e6)  # ~1 Mbit/s: blocks outlast periods
+    config = TcpConfig()
+    profile = StreamingProfile(
+        name="heavy", prefetch_mean=400_000, prefetch_std=1_000,
+        block_mean=400_000, block_std=1_000,
+        period_mean=0.6, period_std=0.01)
+    rng = random.Random(3)
+    endpoint = TcpEndpoint(net.sim, net.client, "client.wifi",
+                           net.client.ephemeral_port(), "server.eth0",
+                           HTTP_PORT, config, RenoController())
+    session = VideoSession(net.sim, endpoint, profile, rng, n_blocks=3)
+    PlainTcpAcceptor(net.sim, net.server, HTTP_PORT, config,
+                     RenoController, responder=session.responder())
+    endpoint.connect()
+    net.run(until=60.0)
+    # Each 400 KB block needs ~3.2s on a 1 Mbit/s link but the player
+    # wants one every 0.6s: every block after the first is late.
+    assert session.stalls >= 2
+
+
+def test_summary_on_unfinished_session_is_safe():
+    sim = Simulator()
+
+    class DeadTransport:
+        on_receive = None
+        on_established = None
+
+        def send(self, n):
+            pass
+
+        def close(self):
+            pass
+
+    session = VideoSession(sim, DeadTransport(), NETFLIX_IPAD,
+                           random.Random(1), n_blocks=2)
+    summary = session.summary()
+    assert summary.blocks == 0
+    assert summary.prefetch_bytes == 0

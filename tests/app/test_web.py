@@ -1,0 +1,98 @@
+"""Tests for the Web page-load workload."""
+
+import random
+
+import pytest
+
+from repro.app.http import HTTP_PORT, HttpServerSession
+from repro.app.web import (
+    HEAVY_PAGE,
+    TYPICAL_PAGE,
+    PageLoader,
+    PageLoadRecord,
+    PageProfile,
+)
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.testbed import Testbed, TestbedConfig
+
+KB = 1024
+
+
+def test_page_draws_are_heavy_tailed_but_bounded():
+    rng = random.Random(5)
+    sizes_seen = []
+    for _ in range(200):
+        page = TYPICAL_PAGE.draw_page(rng)
+        assert len(page) >= 2  # HTML + at least one object
+        assert all(size >= KB for size in page)
+        assert all(size <= TYPICAL_PAGE.object_cap for size in page[1:])
+        sizes_seen.extend(page[1:])
+    sizes_seen.sort()
+    median = sizes_seen[len(sizes_seen) // 2]
+    assert 4 * KB < median < 64 * KB
+    assert max(sizes_seen) > 20 * median  # the heavy tail exists
+
+
+def test_heavy_profile_is_heavier():
+    rng_a, rng_b = random.Random(1), random.Random(1)
+    typical = sum(sum(TYPICAL_PAGE.draw_page(rng_a)) for _ in range(100))
+    heavy = sum(sum(HEAVY_PAGE.draw_page(rng_b)) for _ in range(100))
+    assert heavy > typical
+
+
+def test_record_accessors_guard_incomplete():
+    record = PageLoadRecord(sizes=[100], started_at=0.0)
+    with pytest.raises(RuntimeError):
+        _ = record.page_load_time
+    with pytest.raises(RuntimeError):
+        _ = record.time_to_first_byte
+
+
+def test_empty_page_rejected():
+    testbed = Testbed(TestbedConfig(seed=1))
+    with pytest.raises(ValueError):
+        PageLoader(testbed.sim, object(), [])
+
+
+def load_page(sizes, seed=61, carrier="att"):
+    testbed = Testbed(TestbedConfig(seed=seed, carrier=carrier))
+    config = MptcpConfig()
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    done = []
+    loader = PageLoader(testbed.sim, connection, sizes,
+                        on_complete=done.append)
+    MptcpListener(
+        testbed.sim, testbed.server, HTTP_PORT, config,
+        server_addrs=testbed.server_addrs,
+        on_connection=lambda server_conn: HttpServerSession(
+            server_conn, loader.responder(), close_after=None))
+    connection.connect()
+    testbed.run(until=300.0)
+    return loader.record, done
+
+
+def test_page_load_end_to_end():
+    sizes = [40 * KB, 16 * KB, 8 * KB, 200 * KB]
+    record, done = load_page(sizes)
+    assert record.complete
+    assert done and done[0] is record
+    assert record.objects_loaded == 4
+    assert 0 < record.time_to_first_byte < record.page_load_time
+    assert record.total_bytes == sum(sizes)
+
+
+def test_single_object_page():
+    record, _ = load_page([10 * KB])
+    assert record.complete
+    assert record.objects_loaded == 1
+
+
+def test_sequential_fetch_orders_objects():
+    """Objects arrive strictly one after another (HTTP/1.1, no
+    pipelining): more objects cost more round trips."""
+    few, _ = load_page([16 * KB] * 2, seed=62)
+    many, _ = load_page([16 * KB] * 10, seed=62)
+    assert many.page_load_time > few.page_load_time

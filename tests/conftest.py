@@ -1,0 +1,117 @@
+"""Shared test fixtures: small deterministic networks and transfers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import pytest
+
+from repro.core.coupling import RenoController
+from repro.netsim.host import Host, Interface
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint, TcpListener
+
+
+@dataclass
+class MiniNet:
+    """Two hosts joined by symmetric configurable access links."""
+
+    sim: Simulator
+    network: Network
+    client: Host
+    server: Host
+
+    def run(self, until: float = 60.0) -> float:
+        return self.sim.run(until=until)
+
+
+def build_mininet(rate_bps: float = 10e6, prop_delay: float = 0.01,
+                  buffer_bytes: int = 256 * 1024, loss_rate: float = 0.0,
+                  seed: int = 1) -> MiniNet:
+    """A clean two-host topology for protocol-level tests.
+
+    The loss, if any, applies to the server's *egress* access link
+    (data direction); ACKs travel lossless.
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    network = Network(sim, rng)
+    client = Host(sim, "client")
+    server = Host(sim, "server")
+    clean = LinkConfig(rate_bps=rate_bps, prop_delay=prop_delay,
+                       buffer_bytes=buffer_bytes)
+    lossy = LinkConfig(rate_bps=rate_bps, prop_delay=prop_delay,
+                       buffer_bytes=buffer_bytes, loss_rate=loss_rate)
+    network.attach(client, Interface("client.wifi", "client.wifi"),
+                   up=clean, down=clean)
+    network.attach(server, Interface("server.eth0", "server.eth0"),
+                   up=lossy, down=clean)
+    return MiniNet(sim=sim, network=network, client=client, server=server)
+
+
+@dataclass
+class TransferHarness:
+    """A plain-TCP echo-less transfer: server sends, client receives."""
+
+    net: MiniNet
+    client_ep: TcpEndpoint
+    server_ep: Optional[TcpEndpoint]
+    received: list
+
+    def server(self) -> TcpEndpoint:
+        assert self.server_ep is not None, "handshake has not completed"
+        return self.server_ep
+
+
+def start_transfer(net: MiniNet, size: int,
+                   config: Optional[TcpConfig] = None,
+                   client_config: Optional[TcpConfig] = None,
+                   on_server: Optional[Callable[[TcpEndpoint], None]] = None,
+                   ) -> TransferHarness:
+    """Open a TCP connection; the server pushes ``size`` bytes on accept."""
+    config = config or TcpConfig()
+    harness = TransferHarness(net=net, client_ep=None, server_ep=None,
+                              received=[])
+
+    def accept(packet, host):
+        segment = packet.segment
+        endpoint = TcpEndpoint(
+            net.sim, host, packet.dst, segment.dst_port,
+            packet.src, segment.src_port, config, RenoController(),
+            name="srv")
+        harness.server_ep = endpoint
+
+        def established():
+            if on_server is not None:
+                on_server(endpoint)
+            if size:
+                endpoint.send(size)
+                endpoint.close()
+
+        endpoint.on_established = established
+        endpoint.accept(packet)
+
+    net.server.bind_listener(80, TcpListener(accept))
+    client_ep = TcpEndpoint(
+        net.sim, net.client, "client.wifi", net.client.ephemeral_port(),
+        "server.eth0", 80, client_config or config, RenoController(),
+        name="cli")
+    client_ep.on_receive = harness.received.append
+    harness.client_ep = client_ep
+    client_ep.connect()
+    return harness
+
+
+@pytest.fixture
+def mininet() -> MiniNet:
+    return build_mininet()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,93 @@
+"""Tests for backup-mode subflows (MP_JOIN B-bit / MP_PRIO).
+
+Paasch et al. (cited in Section 7) evaluate MPTCP handover in "backup
+mode", where the cellular subflow is established but idle until WiFi
+fails.  These tests check that semantic end to end.
+"""
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.mobility import InterfaceOutage
+
+MB = 1024 * 1024
+
+
+def start(testbed, size, config):
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    return connection, client
+
+
+def test_backup_subflow_is_established_but_idle():
+    testbed = Testbed(TestbedConfig(seed=5))
+    config = MptcpConfig(backup_paths=("att",))
+    connection, client = start(testbed, 2 * MB, config)
+    testbed.run(until=60.0)
+    assert client.record.complete
+    cellular = [s for s in connection.subflows if s.path_name == "att"][0]
+    assert cellular.backup
+    assert cellular.established or cellular.endpoint.state == "close_wait"
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) == 0, "backup path must stay idle"
+    assert shares.get("wifi", 0) >= 2 * MB
+
+
+def test_server_learns_backup_flag_from_join():
+    testbed = Testbed(TestbedConfig(seed=5))
+    config = MptcpConfig(backup_paths=("att",))
+    state = {}
+
+    def on_connection(server_conn):
+        state["server"] = server_conn
+        HttpServerSession.fixed(server_conn, 64 * 1024)
+
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=on_connection)
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, 64 * 1024)
+    client.start()
+    connection.connect()
+    testbed.run(until=30.0)
+    server_cell = [s for s in state["server"].subflows
+                   if s.path_name == "att"]
+    assert server_cell and server_cell[0].backup
+
+
+def test_backup_engages_when_wifi_fails():
+    testbed = Testbed(TestbedConfig(seed=5))
+    config = MptcpConfig(backup_paths=("att",))
+    connection, client = start(testbed, 4 * MB, config)
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=0.8, up_at=None)
+    manager = connection.path_manager
+    outage.on_down.append(lambda: manager.on_interface_down("client.wifi"))
+    testbed.run(until=120.0)
+    assert client.record.complete
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) > 3 * MB, \
+        "the backup path must take over once WiFi is gone"
+
+
+def test_initial_subflow_never_backup():
+    """Only joins can be backup; the default path stays regular even if
+    its technology is listed."""
+    testbed = Testbed(TestbedConfig(seed=5))
+    config = MptcpConfig(backup_paths=("wifi", "att"))
+    connection, client = start(testbed, 64 * 1024, config)
+    testbed.run(until=30.0)
+    assert client.record.complete
+    initial = connection.subflows[0]
+    assert initial.path_name == "wifi" and not initial.backup

@@ -1,0 +1,204 @@
+"""Tests for the reno / coupled / olia congestion controllers."""
+
+import pytest
+
+from repro.core.coupling import (
+    CoupledController,
+    OliaController,
+    RenoController,
+    make_controller,
+)
+
+MSS = 1448
+
+
+class FakeFlow:
+    """Minimal WindowedFlow for controller math tests."""
+
+    def __init__(self, cwnd_packets: float, rtt: float,
+                 ssthresh_packets: float = 0.0):
+        self.mss = MSS
+        self.cwnd = cwnd_packets * MSS
+        self.ssthresh = ssthresh_packets * MSS
+        self._rtt = rtt
+
+    def smoothed_rtt(self, default: float = 0.5) -> float:
+        return self._rtt
+
+    @property
+    def cwnd_packets(self) -> float:
+        return self.cwnd / MSS
+
+
+def test_make_controller_by_name():
+    assert isinstance(make_controller("reno"), RenoController)
+    assert isinstance(make_controller("coupled"), CoupledController)
+    assert isinstance(make_controller("olia"), OliaController)
+
+
+def test_make_controller_unknown_name():
+    with pytest.raises(ValueError):
+        make_controller("cubic")
+
+
+def test_slow_start_grows_one_mss_per_mss_acked():
+    controller = RenoController()
+    flow = FakeFlow(cwnd_packets=10, rtt=0.05, ssthresh_packets=44)
+    controller.attach(flow)
+    controller.on_ack(flow, MSS)
+    assert flow.cwnd == 11 * MSS
+
+
+def test_slow_start_is_byte_counted():
+    controller = RenoController()
+    flow = FakeFlow(cwnd_packets=10, rtt=0.05, ssthresh_packets=44)
+    controller.attach(flow)
+    controller.on_ack(flow, 3 * MSS)  # stretch ACK: still at most 1 MSS
+    assert flow.cwnd == 11 * MSS
+
+
+def test_reno_congestion_avoidance_increase():
+    controller = RenoController()
+    flow = FakeFlow(cwnd_packets=20, rtt=0.05)  # ssthresh 0: always CA
+    controller.attach(flow)
+    before = flow.cwnd
+    controller.on_ack(flow, MSS)
+    # w += 1/w packets per packet acked.
+    assert flow.cwnd == pytest.approx(before + MSS / 20)
+
+
+def test_reno_full_window_of_acks_adds_about_one_mss():
+    controller = RenoController()
+    flow = FakeFlow(cwnd_packets=20, rtt=0.05)
+    controller.attach(flow)
+    before = flow.cwnd
+    for _ in range(20):
+        controller.on_ack(flow, MSS)
+    assert flow.cwnd == pytest.approx(before + MSS, rel=0.05)
+
+
+def test_coupled_single_flow_behaves_like_reno():
+    """With one subflow, LIA's min() term reduces to 1/w."""
+    coupled = CoupledController()
+    reno = RenoController()
+    flow_c = FakeFlow(cwnd_packets=20, rtt=0.05)
+    flow_r = FakeFlow(cwnd_packets=20, rtt=0.05)
+    coupled.attach(flow_c)
+    reno.attach(flow_r)
+    coupled.on_ack(flow_c, MSS)
+    reno.on_ack(flow_r, MSS)
+    assert flow_c.cwnd == pytest.approx(flow_r.cwnd)
+
+
+def test_coupled_increase_never_exceeds_reno():
+    """LIA is capped by the uncoupled increase on every path."""
+    for rtts in ((0.03, 0.2), (0.1, 0.1), (0.02, 0.5)):
+        for windows in ((10, 40), (25, 25), (5, 100)):
+            coupled = CoupledController()
+            flows = [FakeFlow(w, rtt) for w, rtt in zip(windows, rtts)]
+            for flow in flows:
+                coupled.attach(flow)
+            for flow in flows:
+                before = flow.cwnd
+                coupled.on_ack(flow, MSS)
+                uncoupled_increase = MSS * MSS / before
+                assert flow.cwnd - before <= uncoupled_increase + 1e-9
+
+
+def test_coupled_two_flows_grow_slower_than_two_renos():
+    coupled = CoupledController()
+    a = FakeFlow(20, 0.05)
+    b = FakeFlow(20, 0.05)
+    coupled.attach(a)
+    coupled.attach(b)
+    before = a.cwnd + b.cwnd
+    for _ in range(40):
+        coupled.on_ack(a, MSS)
+        coupled.on_ack(b, MSS)
+    coupled_growth = (a.cwnd + b.cwnd) - before
+    reno = RenoController()
+    c = FakeFlow(20, 0.05)
+    reno.attach(c)
+    single_before = c.cwnd
+    for _ in range(40):
+        reno.on_ack(c, MSS)
+    single_growth = c.cwnd - single_before
+    # Two coupled flows together grow about like ONE TCP, so their
+    # total growth must be well below two independent Renos'.
+    assert coupled_growth < 1.5 * single_growth
+
+
+def test_olia_increase_is_nonnegative():
+    olia = OliaController()
+    fast = FakeFlow(30, 0.03)
+    slow = FakeFlow(10, 0.3)
+    olia.attach(fast)
+    olia.attach(slow)
+    olia.on_sent(fast, 50 * MSS)
+    olia.on_sent(slow, 5 * MSS)
+    olia.on_loss(fast)
+    for flow in (fast, slow):
+        before = flow.cwnd
+        olia.on_ack(flow, MSS)
+        assert flow.cwnd >= before
+
+
+def test_olia_favors_best_path_not_largest_window():
+    """alpha > 0 for best paths not holding the largest window."""
+    olia = OliaController()
+    large_window = FakeFlow(40, 0.1)
+    good_but_small = FakeFlow(10, 0.1)
+    olia.attach(large_window)
+    olia.attach(good_but_small)
+    # The small-window path transfers more between losses: best path.
+    olia.on_sent(good_but_small, 1000 * MSS)
+    olia.on_loss(good_but_small)
+    olia.on_sent(good_but_small, 1000 * MSS)
+    olia.on_sent(large_window, 10 * MSS)
+    olia.on_loss(large_window)
+    olia.on_sent(large_window, 10 * MSS)
+    alphas = olia._alphas()
+    assert alphas[id(good_but_small)] > 0
+    assert alphas[id(large_window)] < 0
+    assert sum(alphas.values()) == pytest.approx(0.0)
+
+
+def test_olia_single_flow_alpha_zero():
+    olia = OliaController()
+    flow = FakeFlow(20, 0.05)
+    olia.attach(flow)
+    assert olia._alphas() == {id(flow): 0.0}
+
+
+def test_detach_removes_flow_from_coupling():
+    coupled = CoupledController()
+    a = FakeFlow(20, 0.05)
+    b = FakeFlow(20, 0.05)
+    coupled.attach(a)
+    coupled.attach(b)
+    coupled.detach(b)
+    assert coupled.flows == [a]
+    # Behaves like a single flow again.
+    reno_flow = FakeFlow(20, 0.05)
+    reno = RenoController()
+    reno.attach(reno_flow)
+    coupled.on_ack(a, MSS)
+    reno.on_ack(reno_flow, MSS)
+    assert a.cwnd == pytest.approx(reno_flow.cwnd)
+
+
+def test_attach_is_idempotent():
+    controller = RenoController()
+    flow = FakeFlow(10, 0.1)
+    controller.attach(flow)
+    controller.attach(flow)
+    assert controller.flows == [flow]
+
+
+def test_olia_detach_cleans_path_state():
+    olia = OliaController()
+    flow = FakeFlow(10, 0.1)
+    olia.attach(flow)
+    olia.on_sent(flow, MSS)
+    olia.detach(flow)
+    assert olia._paths == {}

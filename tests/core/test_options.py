@@ -1,0 +1,42 @@
+"""Tests for MPTCP option value objects."""
+
+import pytest
+
+from repro.core.options import DssMapping, MptcpOptions
+
+
+def test_dss_mapping_translation():
+    mapping = DssMapping(dsn=1000, ssn=1, length=500)
+    assert mapping.dsn_for(1) == 1000
+    assert mapping.dsn_for(251) == 1250
+    assert mapping.dsn_for(501) == 1500  # end boundary allowed
+
+
+def test_dss_mapping_rejects_out_of_range():
+    mapping = DssMapping(dsn=1000, ssn=100, length=50)
+    with pytest.raises(ValueError):
+        mapping.dsn_for(99)
+    with pytest.raises(ValueError):
+        mapping.dsn_for(151)
+
+
+def test_dss_mapping_ends():
+    mapping = DssMapping(dsn=10, ssn=20, length=5)
+    assert mapping.dsn_end == 15
+    assert mapping.ssn_end == 25
+
+
+def test_options_are_immutable():
+    options = MptcpOptions(mp_capable=True, token=7)
+    with pytest.raises(AttributeError):
+        options.token = 8
+
+
+def test_options_repr_mentions_contents():
+    options = MptcpOptions(mp_join=True, token=3,
+                           dss=DssMapping(0, 1, 10), data_ack=5)
+    text = repr(options)
+    assert "MP_JOIN" in text
+    assert "DSS" in text
+    assert "DATA_ACK=5" in text
+    assert "MP_CAPABLE" not in text

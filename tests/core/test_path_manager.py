@@ -1,0 +1,87 @@
+"""Unit tests for the path manager policy."""
+
+import pytest
+
+from repro.core.path_manager import PathManager
+
+
+class FakeConnection:
+    def __init__(self):
+        self.opened = []
+
+    def open_subflow(self, local, remote):
+        self.opened.append((local, remote))
+
+
+def test_start_opens_initial_on_default_path():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0")
+    manager.start()
+    assert connection.opened == [("client.wifi", "server.eth0")]
+
+
+def test_joins_open_after_initial_established():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0")
+    manager.start()
+    manager.on_initial_established()
+    assert connection.opened == [
+        ("client.wifi", "server.eth0"), ("client.att", "server.eth0")]
+
+
+def test_simultaneous_syn_opens_joins_at_start():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0", simultaneous_syn=True)
+    manager.start()
+    assert len(connection.opened) == 2
+
+
+def test_add_addr_expands_to_cross_product():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0")
+    manager.start()
+    manager.on_initial_established()
+    manager.on_add_addr(("server.eth1",))
+    assert set(connection.opened) == {
+        ("client.wifi", "server.eth0"), ("client.att", "server.eth0"),
+        ("client.wifi", "server.eth1"), ("client.att", "server.eth1")}
+
+
+def test_pairs_are_deduplicated():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0")
+    manager.start()
+    manager.on_initial_established()
+    manager.on_initial_established()
+    manager.on_add_addr(("server.eth0",))
+    assert len(connection.opened) == 2
+
+
+def test_max_subflows_cap():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi", "client.att"],
+                          "server.eth0", max_subflows=3)
+    manager.start()
+    manager.on_initial_established()
+    manager.on_add_addr(("server.eth1",))
+    assert len(connection.opened) == 3
+
+
+def test_requires_local_addresses():
+    with pytest.raises(ValueError):
+        PathManager(FakeConnection(), [], "server.eth0")
+
+
+def test_duplicate_add_addr_remote_tracked_once():
+    connection = FakeConnection()
+    manager = PathManager(connection, ["client.wifi"], "server.eth0")
+    manager.start()
+    manager.on_add_addr(("server.eth1",))
+    manager.on_add_addr(("server.eth1",))
+    assert connection.opened == [
+        ("client.wifi", "server.eth0"), ("client.wifi", "server.eth1")]

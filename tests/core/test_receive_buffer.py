@@ -1,0 +1,93 @@
+"""Tests for the shared receive buffer and OFO-delay accounting."""
+
+import pytest
+
+from repro.core.receive_buffer import ConnectionReceiveBuffer
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_in_order_arrival_has_zero_delay():
+    clock = Clock()
+    buffer = ConnectionReceiveBuffer(clock=clock)
+    clock.now = 1.0
+    buffer.offer(0, 1000, arrival_time=1.0, path="wifi")
+    samples = buffer.metrics.samples
+    assert len(samples) == 1
+    assert samples[0].delay == 0.0
+    assert buffer.metrics.in_order_fraction() == 1.0
+
+
+def test_reorder_delay_measured_from_arrival_to_in_order():
+    clock = Clock()
+    buffer = ConnectionReceiveBuffer(clock=clock)
+    clock.now = 1.0
+    buffer.offer(1000, 2000, arrival_time=1.0, path="wifi")  # early packet
+    clock.now = 1.25
+    buffer.offer(0, 1000, arrival_time=1.25, path="att")  # fills the hole
+    delays = {s.path: s.delay for s in buffer.metrics.samples}
+    assert delays["att"] == 0.0
+    assert delays["wifi"] == pytest.approx(0.25)
+
+
+def test_delivery_callback_fires_in_dsn_order():
+    buffer = ConnectionReceiveBuffer()
+    delivered = []
+    buffer.on_deliver = delivered.append
+    buffer.offer(500, 600, arrival_time=0.0, path="wifi")
+    buffer.offer(0, 500, arrival_time=0.1, path="att")
+    assert delivered == [500, 100]
+    assert buffer.metrics.delivered_bytes == 600
+
+
+def test_bytes_by_path_counts_unique_bytes():
+    buffer = ConnectionReceiveBuffer()
+    buffer.offer(0, 1000, arrival_time=0.0, path="wifi")
+    buffer.offer(0, 1000, arrival_time=0.1, path="att")  # pure duplicate
+    assert buffer.metrics.bytes_by_path == {"wifi": 1000}
+
+
+def test_free_space_shrinks_with_out_of_order_data():
+    buffer = ConnectionReceiveBuffer(capacity=10_000)
+    assert buffer.free_space() == 10_000
+    buffer.offer(5000, 8000, arrival_time=0.0, path="wifi")
+    assert buffer.free_space() == 7000
+    buffer.offer(0, 5000, arrival_time=0.0, path="wifi")
+    assert buffer.free_space() == 10_000  # drained to the application
+
+
+def test_peak_occupancy_tracked():
+    buffer = ConnectionReceiveBuffer()
+    buffer.offer(1000, 3000, arrival_time=0.0, path="a")
+    buffer.offer(4000, 5000, arrival_time=0.0, path="a")
+    assert buffer.metrics.peak_occupancy == 3000
+
+
+def test_rcv_nxt_is_the_data_ack_value():
+    buffer = ConnectionReceiveBuffer()
+    buffer.offer(0, 100, arrival_time=0.0, path="a")
+    assert buffer.rcv_nxt == 100
+    buffer.offer(200, 300, arrival_time=0.0, path="a")
+    assert buffer.rcv_nxt == 100
+
+
+def test_in_order_fraction_mixed():
+    clock = Clock()
+    buffer = ConnectionReceiveBuffer(clock=clock)
+    buffer.offer(1000, 2000, arrival_time=0.0, path="w")
+    clock.now = 0.5
+    buffer.offer(0, 1000, arrival_time=0.5, path="c")
+    # Two samples: one waited 0.5s, one did not wait.
+    assert buffer.metrics.in_order_fraction() == pytest.approx(0.5)
+
+
+def test_empty_buffer_in_order_fraction_is_one():
+    buffer = ConnectionReceiveBuffer()
+    assert buffer.metrics.in_order_fraction() == 1.0
+    assert buffer.metrics.delays() == []

@@ -1,0 +1,159 @@
+"""Unit tests for connection-level reinjection bookkeeping."""
+
+import pytest
+
+from repro.core.connection import MptcpConfig, MptcpConnection
+from repro.core.subflow import Subflow
+from repro.sim.engine import Simulator
+from repro.netsim.host import Host
+
+
+class FakeEndpoint:
+    """Just enough endpoint for allocation-path unit tests."""
+
+    def __init__(self, srtt=0.05, budget=True):
+        self.state = "established"
+        self._srtt = srtt
+        self._budget = budget
+        self.cwnd = 100_000.0
+        self.flight_bytes = 0 if budget else 100_000
+        self.pumped = 0
+
+    def smoothed_rtt(self, default=0.5):
+        return self._srtt
+
+    def pump(self):
+        self.pumped += 1
+
+
+def make_connection():
+    sim = Simulator()
+    host = Host(sim, "server")
+    connection = MptcpConnection(sim, host, "server", 1234,
+                                 MptcpConfig(), token=1)
+    return connection
+
+
+def add_subflow(connection, name, srtt=0.05, budget=True, backup=False):
+    subflow = Subflow(connection, name, is_initial=not connection.subflows,
+                      backup=backup)
+    subflow.endpoint = FakeEndpoint(srtt=srtt, budget=budget)
+    connection.subflows.append(subflow)
+    return subflow
+
+
+def test_allocation_tracks_outstanding_ranges():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi")
+    connection.send(5000)
+    allocation = connection.allocate(wifi, 1448)
+    assert allocation == (0, 1448)
+    assert connection._outstanding[id(wifi)] == [[0, 1448, False]]
+
+
+def test_reclaim_queues_unacked_ranges_for_other_paths():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    cell = add_subflow(connection, "att", srtt=0.2, budget=False)
+    connection.send(5000)
+    connection.allocate(wifi, 1448)
+    connection.allocate(wifi, 1448)
+    connection.on_subflow_rto(wifi)
+    # Both ranges reclaimed, excluded from the sick path.
+    assert len(connection._reinjection_queue) == 2
+    served = connection._serve_reinjection(cell, 1448)
+    assert served == (0, 1448)
+    denied = connection._serve_reinjection(wifi, 1448)
+    assert denied is None  # never back onto the path that timed out
+
+
+def test_reclaim_skips_already_acked_data():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    add_subflow(connection, "att", srtt=0.2, budget=False)
+    connection.send(5000)
+    connection.allocate(wifi, 1448)
+    connection.data_acked = 1448
+    connection._prune_outstanding()
+    connection.on_subflow_rto(wifi)
+    assert connection._reinjection_queue == []
+
+
+def test_reclaim_is_idempotent():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    add_subflow(connection, "att", srtt=0.2, budget=False)
+    connection.send(5000)
+    connection.allocate(wifi, 1448)
+    connection.on_subflow_rto(wifi)
+    connection.on_subflow_rto(wifi)  # a second RTO must not duplicate
+    assert len(connection._reinjection_queue) == 1
+
+
+def test_no_reinjection_without_alternative_path():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi")
+    connection.send(5000)
+    connection.allocate(wifi, 1448)
+    connection.on_subflow_rto(wifi)
+    assert connection._reinjection_queue == []
+
+
+def test_reinjection_served_before_new_data():
+    connection = make_connection()
+    # WiFi has no window budget, so minRTT admission lets the
+    # cellular path take both the reclaimed range and fresh data.
+    wifi = add_subflow(connection, "wifi", srtt=0.02, budget=False)
+    cell = add_subflow(connection, "att", srtt=0.2)
+    connection.send(10_000)
+    connection.allocate(wifi, 1448)   # dsn 0-1448
+    connection.on_subflow_rto(wifi)
+    allocation = connection.allocate(cell, 1448)
+    assert allocation == (0, 1448), "reclaimed range comes first"
+    fresh = connection.allocate(cell, 1448)
+    assert fresh is not None and fresh[0] == 1448
+
+
+def test_partial_reinjection_serving():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    cell = add_subflow(connection, "att", srtt=0.2)
+    connection.send(10_000)
+    connection.allocate(wifi, 4000)
+    connection.on_subflow_rto(wifi)
+    first = connection._serve_reinjection(cell, 1500)
+    second = connection._serve_reinjection(cell, 1500)
+    third = connection._serve_reinjection(cell, 1500)
+    assert first == (0, 1500)
+    assert second == (1500, 1500)
+    assert third == (3000, 1000)
+    assert connection._serve_reinjection(cell, 1500) is None
+
+
+def test_reinjected_bytes_counted_separately():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    cell = add_subflow(connection, "att", srtt=0.2)
+    connection.send(5000)
+    connection.allocate(wifi, 1448)
+    connection.on_subflow_rto(wifi)
+    connection._serve_reinjection(cell, 1448)
+    assert connection.bytes_reinjected == {"att": 1448}
+    assert connection.bytes_allocated == {"wifi": 1448}
+
+
+def test_backup_path_denied_while_regular_alive():
+    connection = make_connection()
+    add_subflow(connection, "wifi", srtt=0.02)
+    backup = add_subflow(connection, "att", srtt=0.2, backup=True)
+    connection.send(5000)
+    assert connection.allocate(backup, 1448) is None
+
+
+def test_backup_path_serves_once_regular_fails():
+    connection = make_connection()
+    wifi = add_subflow(connection, "wifi", srtt=0.02)
+    backup = add_subflow(connection, "att", srtt=0.2, backup=True)
+    connection.send(5000)
+    wifi.endpoint.state = "failed"
+    assert connection.allocate(backup, 1448) == (0, 1448)

@@ -1,0 +1,105 @@
+"""Tests for the MPTCP packet schedulers."""
+
+import pytest
+
+from repro.core.scheduler import (
+    LowestRttScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class FakeSubflow:
+    def __init__(self, name, rtt, established=True, budget=True):
+        self.name = name
+        self._rtt = rtt
+        self.established = established
+        self._budget = budget
+
+    def srtt(self):
+        return self._rtt
+
+    def can_send(self):
+        return self.established and self._budget
+
+    def __repr__(self):
+        return self.name
+
+
+def test_make_scheduler_by_name():
+    assert isinstance(make_scheduler("minrtt"), LowestRttScheduler)
+    assert isinstance(make_scheduler("roundrobin"), RoundRobinScheduler)
+
+
+def test_make_scheduler_unknown():
+    with pytest.raises(ValueError):
+        make_scheduler("blest")
+
+
+def test_minrtt_prefers_fastest_path():
+    wifi = FakeSubflow("wifi", 0.03)
+    cell = FakeSubflow("cell", 0.08)
+    order = LowestRttScheduler().order([cell, wifi])
+    assert order == [wifi, cell]
+
+
+def test_minrtt_skips_unestablished():
+    wifi = FakeSubflow("wifi", 0.03)
+    joining = FakeSubflow("cell", 0.01, established=False)
+    order = LowestRttScheduler().order([wifi, joining])
+    assert order == [wifi]
+
+
+def test_minrtt_stable_for_equal_rtts():
+    a = FakeSubflow("a", 0.05)
+    b = FakeSubflow("b", 0.05)
+    assert LowestRttScheduler().order([a, b]) == [a, b]
+
+
+def test_roundrobin_rotates():
+    scheduler = RoundRobinScheduler()
+    a, b, c = (FakeSubflow(n, 0.05) for n in "abc")
+    subflows = [a, b, c]
+    assert scheduler.order(subflows)[0] is a
+    assert scheduler.order(subflows)[0] is b
+    assert scheduler.order(subflows)[0] is c
+    assert scheduler.order(subflows)[0] is a
+
+
+def test_roundrobin_covers_all_subflows_each_call():
+    scheduler = RoundRobinScheduler()
+    subflows = [FakeSubflow(n, 0.05) for n in "abc"]
+    order = scheduler.order(subflows)
+    assert sorted(s.name for s in order) == ["a", "b", "c"]
+
+
+def test_roundrobin_empty():
+    assert RoundRobinScheduler().order([]) == []
+
+
+def test_minrtt_denies_slow_path_while_fast_has_budget():
+    wifi = FakeSubflow("wifi", 0.03, budget=True)
+    cell = FakeSubflow("cell", 0.3)
+    scheduler = LowestRttScheduler()
+    assert not scheduler.admits([wifi, cell], cell)
+    assert scheduler.admits([wifi, cell], wifi)
+
+
+def test_minrtt_admits_slow_path_once_fast_is_full():
+    wifi = FakeSubflow("wifi", 0.03, budget=False)
+    cell = FakeSubflow("cell", 0.3)
+    assert LowestRttScheduler().admits([wifi, cell], cell)
+
+
+def test_minrtt_ignores_unestablished_competitors():
+    joining = FakeSubflow("wifi", 0.03, established=False)
+    cell = FakeSubflow("cell", 0.3)
+    assert LowestRttScheduler().admits([joining, cell], cell)
+
+
+def test_roundrobin_admits_everyone():
+    wifi = FakeSubflow("wifi", 0.03, budget=True)
+    cell = FakeSubflow("cell", 0.3)
+    scheduler = RoundRobinScheduler()
+    assert scheduler.admits([wifi, cell], cell)
+    assert scheduler.admits([wifi, cell], wifi)

@@ -1,0 +1,78 @@
+"""Tests for FlowSpec labels and derived configurations."""
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+
+
+def test_single_path_labels():
+    assert FlowSpec.single_path("wifi").label == "SP-WiFi"
+    assert FlowSpec.single_path("cell", carrier="att").label == "SP-ATT"
+    assert FlowSpec.single_path("cell", carrier="verizon").label == "SP-VZW"
+    assert FlowSpec.single_path("cell", carrier="sprint").label == "SP-Sprint"
+
+
+def test_mptcp_labels_match_figures():
+    assert FlowSpec.mptcp().label == "MP-2"
+    assert FlowSpec.mptcp(controller="olia").label == "MP-2 (olia)"
+    assert FlowSpec.mptcp(controller="reno", paths=4).label == "MP-4 (reno)"
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        FlowSpec(mode="hybrid")
+    with pytest.raises(ValueError):
+        FlowSpec(mode="sp", interface="bluetooth")
+    with pytest.raises(ValueError):
+        FlowSpec(mode="mp", paths=3)
+
+
+def test_server_interfaces_follow_path_count():
+    assert FlowSpec.mptcp(paths=2).server_interfaces == 1
+    assert FlowSpec.mptcp(paths=4).server_interfaces == 2
+    assert FlowSpec.single_path("wifi").server_interfaces == 1
+
+
+def test_tcp_config_carries_paper_knobs():
+    spec = FlowSpec.mptcp(ssthresh=32 * 1024, rcv_buffer=2 ** 20)
+    tcp = spec.tcp_config()
+    assert tcp.initial_ssthresh == 32 * 1024
+    assert tcp.rcv_buffer == 2 ** 20
+
+
+def test_default_knobs_match_section_3_1():
+    spec = FlowSpec.mptcp()
+    assert spec.ssthresh == 64 * 1024
+    assert spec.rcv_buffer == 8 * 1024 * 1024
+    assert spec.penalization is False
+    assert spec.scheduler == "minrtt"
+    tcp = spec.tcp_config()
+    assert tcp.initial_window_segments == 10
+    assert tcp.use_sack is True
+
+
+def test_mptcp_config_mirrors_spec():
+    spec = FlowSpec.mptcp(controller="olia", simultaneous_syn=True,
+                          penalization=True, scheduler="roundrobin")
+    config = spec.mptcp_config()
+    assert config.controller == "olia"
+    assert config.simultaneous_syn is True
+    assert config.penalization is True
+    assert config.scheduler == "roundrobin"
+
+
+def test_mptcp_config_rejected_for_single_path():
+    with pytest.raises(RuntimeError):
+        FlowSpec.single_path("wifi").mptcp_config()
+
+
+def test_with_creates_modified_copy():
+    base = FlowSpec.mptcp()
+    changed = base.with_(controller="olia")
+    assert changed.controller == "olia"
+    assert base.controller == "coupled"
+    assert changed != base
+
+
+def test_specs_are_hashable_for_grouping():
+    assert {FlowSpec.mptcp(): 1}[FlowSpec.mptcp()] == 1

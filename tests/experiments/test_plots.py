@@ -1,0 +1,86 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.experiments.plots import (
+    boxplot_from_samples,
+    render_boxplot,
+    render_ccdf,
+)
+from repro.experiments.stats import FiveNumber, ccdf, five_number
+
+
+def summary(minimum, q1, median, q3, maximum):
+    return FiveNumber(minimum, q1, median, q3, maximum, count=10)
+
+
+def test_boxplot_contains_all_marks():
+    text = render_boxplot([("a", summary(0.0, 1.0, 2.0, 3.0, 4.0))],
+                          width=41)
+    line = text.splitlines()[0]
+    for mark in "|[*]":
+        assert mark in line
+    # Median of 0..4 lands mid-canvas.
+    assert line.index("*") > line.index("[") > line.index("|")
+    assert line.rindex("|") > line.index("]")
+
+
+def test_boxplot_aligns_labels():
+    rows = [("short", summary(0, 1, 2, 3, 4)),
+            ("a-much-longer-label", summary(0, 1, 2, 3, 4))]
+    lines = render_boxplot(rows).splitlines()
+    assert lines[0].index("|") == lines[1].index("|")
+
+
+def test_boxplot_shows_median_value_and_axis():
+    text = render_boxplot([("x", summary(1.0, 1.5, 2.0, 2.5, 3.0))],
+                          unit="s")
+    assert "2s" in text or "2.0" in text  # median annotation
+    assert text.splitlines()[-1].strip().startswith("1")
+
+
+def test_boxplot_empty():
+    assert render_boxplot([]) == "(no data)"
+
+
+def test_boxplot_degenerate_distribution():
+    text = render_boxplot([("flat", summary(2.0, 2.0, 2.0, 2.0, 2.0))])
+    assert "*" in text  # no crash on zero range
+
+
+def test_ccdf_renders_series_and_legend():
+    series = {
+        "wifi": ccdf([0.02, 0.025, 0.03, 0.04]),
+        "sprint": ccdf([0.2, 0.4, 0.8, 1.6]),
+    }
+    text = render_ccdf(series, width=40, height=8)
+    assert "* sprint" in text
+    assert "o wifi" in text
+    assert "log x" in text
+
+
+def test_ccdf_empty():
+    assert render_ccdf({}) == "(no data)"
+    assert render_ccdf({"a": []}) == "(no data)"
+
+
+def test_ccdf_orders_series_left_to_right():
+    """A series with smaller values must plot further left."""
+    series = {
+        "fast": ccdf([0.01] * 5 + [0.02] * 5),
+        "slow": ccdf([1.0] * 5 + [2.0] * 5),
+    }
+    text = render_ccdf(series, width=60, height=10)
+    body = [line for line in text.splitlines() if line.startswith("  |")]
+    fast_columns = [line.index("x") for line in body if "x" in line]
+    slow_columns = [line.index("*") for line in body if "*" in line]
+    # symbols assigned alphabetically: fast='*'? sorted() gives fast
+    # then slow -> fast='*', slow='o'.
+    star = [line.index("*") for line in body if "*" in line]
+    o_mark = [line.index("o") for line in body if "o" in line]
+    assert min(star) < min(o_mark)
+
+
+def test_boxplot_from_samples():
+    text = boxplot_from_samples([("a", [1.0, 2.0, 3.0]),
+                                 ("empty", [])])
+    assert "a " in text
+    assert "empty" not in text

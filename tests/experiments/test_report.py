@@ -1,0 +1,76 @@
+"""Tests for the report rendering helpers."""
+
+import csv
+import io
+
+from repro.experiments.report import (
+    csv_text,
+    format_bytes,
+    format_five_number,
+    format_mean_stderr,
+    format_ms,
+    format_pct,
+    format_seconds,
+    render_table,
+    write_csv,
+)
+from repro.experiments.stats import five_number
+
+
+def test_format_bytes_uses_paper_labels():
+    assert format_bytes(8 * 1024) == "8 KB"
+    assert format_bytes(512 * 1024) == "512 KB"
+    assert format_bytes(4 * 1024 * 1024) == "4 MB"
+    assert format_bytes(512 * 1024 * 1024) == "512 MB"
+    assert format_bytes(100) == "100 B"
+
+
+def test_format_seconds_and_ms():
+    assert format_seconds(1.2345) == "1.234s"
+    assert format_seconds(None) == "-"
+    assert format_ms(0.0345) == "34.5"
+    assert format_ms(None) == "-"
+
+
+def test_format_pct_negligible_tilde():
+    assert format_pct(0.0001) == "~"
+    assert format_pct(0.016) == "1.60"
+    assert format_pct(0.0) == "0.00"
+    assert format_pct(None) == "-"
+
+
+def test_format_mean_stderr():
+    assert format_mean_stderr(0.126, 0.005, scale=1000) == "126.00+-5.00"
+
+
+def test_format_five_number():
+    summary = five_number([1.0, 2.0, 3.0, 4.0, 5.0])
+    text = format_five_number(summary)
+    assert text.startswith("1.000 [")
+    assert text.endswith("] 5.000")
+
+
+def test_render_table_aligns_columns():
+    table = render_table(["name", "value"],
+                         [["wifi", 1.5], ["verizon-lte", None]],
+                         title="demo")
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert "wifi" in lines[3] and "1.500" in lines[3]
+    assert "verizon-lte" in lines[4] and "-" in lines[4]
+    # Every data row has the same width as the header row.
+    assert len({len(line) for line in lines[3:]}) == 1
+
+
+def test_csv_text_round_trips():
+    text = csv_text(["a", "b"], [[1, "x"], [2, None]])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows == [["a", "b"], ["1", "x"], ["2", ""]]
+
+
+def test_write_csv(tmp_path):
+    path = tmp_path / "out.csv"
+    write_csv(path, ["h1"], [[42]])
+    assert path.read_text().splitlines() == ["h1", "42"]

@@ -1,0 +1,51 @@
+"""Tests for the reproduction scorecard."""
+
+from repro.experiments.scorecard import (
+    CLAIM_CHECKS,
+    ClaimResult,
+    _Lab,
+    _check_offload,
+    _check_small_flows,
+    render_scorecard,
+)
+
+
+def test_claim_registry_covers_contributions():
+    """One check per Section 1 contribution bullet (and then some)."""
+    names = {check.__name__ for check in CLAIM_CHECKS}
+    assert len(names) == len(CLAIM_CHECKS) >= 7
+    for expected in ("_check_robustness", "_check_small_flows",
+                     "_check_large_flows", "_check_offload",
+                     "_check_controllers"):
+        assert expected in names
+
+
+def test_render_scorecard_format():
+    results = [
+        ClaimResult("a", "first claim", True, "detail one"),
+        ClaimResult("b", "second claim", False, "detail two"),
+    ]
+    text = render_scorecard(results)
+    assert "[PASS] a: first claim" in text
+    assert "[FAIL] b: second claim" in text
+    assert "1/2 headline claims reproduced" in text
+    assert "detail one" in text
+
+
+def test_lab_caches_measurements():
+    from repro.experiments.config import FlowSpec
+
+    lab = _Lab(seeds=[81])
+    spec = FlowSpec.single_path("wifi")
+    first = lab.result(spec, 8 * 1024, 81)
+    second = lab.result(spec, 8 * 1024, 81)
+    assert first is second
+
+
+def test_individual_checks_produce_grades():
+    lab = _Lab(seeds=[81, 82, 83])
+    small = _check_small_flows(lab)
+    assert small.claim_id == "small-flows"
+    assert small.passed, small.detail
+    offload = _check_offload(lab)
+    assert offload.passed, offload.detail

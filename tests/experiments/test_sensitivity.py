@@ -1,0 +1,57 @@
+"""Tests for the sensitivity-sweep harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.sensitivity import (
+    SweepPoint,
+    sweep_profile_field,
+    sweep_spec_field,
+)
+from repro.wireless.profiles import HOME_WIFI
+
+KB = 1024
+
+
+def test_sweep_point_statistics():
+    point = SweepPoint("x", [1.0, 3.0, 2.0])
+    assert point.mean == pytest.approx(2.0)
+    assert point.median == pytest.approx(2.0)
+
+
+def test_sweep_spec_field_varies_the_field():
+    points = sweep_spec_field(
+        FlowSpec.mptcp(carrier="att"), "ssthresh",
+        values=(16 * KB, 64 * KB), size=64 * KB, seeds=(91,))
+    assert [point.value for point in points] == [16 * KB, 64 * KB]
+    assert all(point.samples for point in points)
+
+
+def test_sweep_profile_field_wifi_loss_monotone():
+    """More WiFi loss, slower SP-WiFi downloads (medians, two seeds)."""
+    points = sweep_profile_field(
+        FlowSpec.single_path("wifi"), HOME_WIFI, "wifi", "down_loss",
+        values=(0.0, 0.08), size=512 * KB, seeds=(91, 92))
+    clean, lossy = points
+    assert clean.median < lossy.median
+
+
+def test_sweep_profile_field_validates_which():
+    with pytest.raises(ValueError):
+        sweep_profile_field(FlowSpec.mptcp(), HOME_WIFI, "uplink",
+                            "down_loss", values=(0.0,), size=8 * KB,
+                            seeds=(1,))
+
+
+def test_profile_override_reaches_testbed():
+    """A rate override must change the measured outcome."""
+    from repro.experiments.runner import Measurement
+
+    slow_wifi = dataclasses.replace(HOME_WIFI, down_rate=1e6)
+    spec = FlowSpec.single_path("wifi")
+    normal = Measurement(spec, 512 * KB, seed=93).run()
+    slowed = Measurement(spec, 512 * KB, seed=93,
+                         wifi_profile=slow_wifi).run()
+    assert slowed.download_time > normal.download_time * 1.5

@@ -1,0 +1,107 @@
+"""Tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+from repro.experiments.scenarios import download_time_rows, \
+    traffic_share_rows
+from repro.experiments.storage import (
+    load_results,
+    merge_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def sample_results():
+    return [
+        Measurement(FlowSpec.mptcp(carrier="att"), 64 * KB, seed=1).run(),
+        Measurement(FlowSpec.single_path("wifi"), 64 * KB, seed=1).run(),
+    ]
+
+
+def test_round_trip_preserves_core_fields(sample_results):
+    original = sample_results[0]
+    restored = result_from_dict(result_to_dict(original))
+    assert restored.spec == original.spec
+    assert restored.size == original.size
+    assert restored.seed == original.seed
+    assert restored.period == original.period
+    assert restored.completed == original.completed
+    assert restored.download_time == original.download_time
+    assert restored.metrics.cellular_fraction == \
+        original.metrics.cellular_fraction
+    assert set(restored.metrics.per_path) == set(original.metrics.per_path)
+    for path in original.metrics.per_path:
+        assert restored.metrics.loss_rate(path) == \
+            original.metrics.loss_rate(path)
+
+
+def test_round_trip_preserves_row_extraction(sample_results):
+    """Stored results feed the same tables as fresh ones."""
+    fresh = download_time_rows(sample_results)
+    restored = download_time_rows([
+        result_from_dict(result_to_dict(result))
+        for result in sample_results])
+    assert fresh == restored
+    assert traffic_share_rows(sample_results) == traffic_share_rows(
+        [result_from_dict(result_to_dict(r)) for r in sample_results])
+
+
+def test_sample_thinning_preserves_statistics(sample_results):
+    original = sample_results[0]
+    thinned = result_from_dict(result_to_dict(original, max_samples=10))
+    for path, analysis in original.metrics.per_path.items():
+        restored = thinned.metrics.per_path[path]
+        assert len(restored.rtt_samples) <= 10
+        if analysis.rtt_samples:
+            assert restored.mean_rtt == pytest.approx(
+                analysis.mean_rtt, rel=0.5)
+
+
+def test_save_and_load(tmp_path, sample_results):
+    path = tmp_path / "results.jsonl"
+    written = save_results(path, sample_results)
+    assert written == 2
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert loaded[0].spec == sample_results[0].spec
+
+
+def test_append_mode(tmp_path, sample_results):
+    path = tmp_path / "results.jsonl"
+    save_results(path, sample_results[:1])
+    save_results(path, sample_results[1:], append=True)
+    assert len(load_results(path)) == 2
+
+
+def test_merge(tmp_path, sample_results):
+    a = tmp_path / "day1.jsonl"
+    b = tmp_path / "day2.jsonl"
+    save_results(a, sample_results[:1])
+    save_results(b, sample_results[1:])
+    merged = merge_results(a, b)
+    assert len(merged) == 2
+
+
+def test_unknown_version_rejected(sample_results):
+    data = result_to_dict(sample_results[0])
+    data["version"] = 99
+    with pytest.raises(ValueError):
+        result_from_dict(data)
+
+
+def test_file_is_plain_json_lines(tmp_path, sample_results):
+    path = tmp_path / "results.jsonl"
+    save_results(path, sample_results)
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert record["version"] == 1
+        assert "spec" in record and "metrics" in record

@@ -1,0 +1,38 @@
+"""Tests for the self-consistency validation harness."""
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.validation import Check, render_checks, \
+    validate_transfer
+
+
+def test_validation_passes_on_healthy_simulator():
+    checks = validate_transfer(size=512 * 1024, seed=7)
+    failed = [check for check in checks if not check.ok]
+    assert not failed, render_checks(checks)
+    names = {check.name for check in checks}
+    assert "download-time" in names
+    assert "stream-conservation" in names
+    assert any(name.startswith("retransmits-") for name in names)
+
+
+def test_validation_on_lossy_pairing():
+    """Sprint + WiFi: retransmissions happen, ledgers still agree."""
+    checks = validate_transfer(FlowSpec.mptcp(carrier="sprint"),
+                               size=1024 * 1024, seed=9)
+    failed = [check for check in checks if not check.ok]
+    assert not failed, render_checks(checks)
+
+
+def test_validation_rejects_single_path_spec():
+    with pytest.raises(ValueError):
+        validate_transfer(FlowSpec.single_path("wifi"))
+
+
+def test_render_checks_format():
+    text = render_checks([Check("a", True, "fine"),
+                          Check("b", False, "broken")])
+    assert "[ok ] a: fine" in text
+    assert "[FAIL] b: broken" in text
+    assert "1/2 consistency checks passed" in text

@@ -1,0 +1,83 @@
+"""Configuration-matrix sweep: every transport x environment completes.
+
+A cheap guard that no corner of the configuration space (carrier x
+WiFi flavor x mode x controller x paths) deadlocks, crashes, or leaks
+obviously wrong metrics.  Uses small objects so the whole sweep stays
+fast.
+"""
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+SIZE = 96 * KB
+
+
+def check(result):
+    assert result.completed, f"{result.spec.label} did not complete"
+    assert result.download_time is not None and result.download_time > 0
+    assert result.metrics.bytes_received >= SIZE
+    assert 0.0 <= result.metrics.cellular_fraction <= 1.0
+    for path, analysis in result.metrics.per_path.items():
+        assert 0.0 <= analysis.loss_rate <= 1.0
+        if analysis.rtt_samples:
+            assert all(0.0 < rtt < 30.0 for rtt in analysis.rtt_samples)
+
+
+@pytest.mark.parametrize("carrier", ["att", "verizon", "sprint"])
+@pytest.mark.parametrize("wifi", ["home", "public"])
+def test_single_path_cell_matrix(carrier, wifi):
+    spec = FlowSpec.single_path("cell", carrier=carrier, wifi=wifi)
+    check(Measurement(spec, SIZE, seed=51).run())
+
+
+@pytest.mark.parametrize("wifi", ["home", "public"])
+def test_single_path_wifi_matrix(wifi):
+    spec = FlowSpec.single_path("wifi", wifi=wifi)
+    check(Measurement(spec, SIZE, seed=51).run())
+
+
+@pytest.mark.parametrize("carrier", ["att", "verizon", "sprint"])
+@pytest.mark.parametrize("controller", ["reno", "coupled", "olia"])
+def test_mptcp_controller_matrix(carrier, controller):
+    spec = FlowSpec.mptcp(carrier=carrier, controller=controller)
+    check(Measurement(spec, SIZE, seed=51).run())
+
+
+@pytest.mark.parametrize("carrier", ["att", "sprint"])
+@pytest.mark.parametrize("paths", [2, 4])
+def test_mptcp_path_count_matrix(carrier, paths):
+    spec = FlowSpec.mptcp(carrier=carrier, paths=paths)
+    result = Measurement(spec, SIZE, seed=51).run()
+    check(result)
+    assert result.subflow_count == paths
+
+
+@pytest.mark.parametrize("scheduler", ["minrtt", "roundrobin",
+                                       "redundant"])
+def test_mptcp_scheduler_matrix(scheduler):
+    spec = FlowSpec.mptcp(carrier="att", scheduler=scheduler)
+    check(Measurement(spec, SIZE, seed=51).run())
+
+
+@pytest.mark.parametrize("period", list(TimeOfDay))
+def test_period_matrix(period):
+    spec = FlowSpec.mptcp(carrier="att")
+    result = Measurement(spec, SIZE, seed=51, period=period).run()
+    check(result)
+
+
+@pytest.mark.parametrize("simultaneous", [False, True])
+def test_syn_mode_matrix(simultaneous):
+    spec = FlowSpec.mptcp(carrier="verizon",
+                          simultaneous_syn=simultaneous)
+    check(Measurement(spec, SIZE, seed=51).run())
+
+
+def test_penalization_path_runs():
+    spec = FlowSpec.mptcp(carrier="sprint", penalization=True,
+                          rcv_buffer=256 * KB)
+    check(Measurement(spec, SIZE, seed=51).run())

@@ -1,0 +1,136 @@
+"""Property-based and fuzz tests of system-level invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.segment import Segment
+from repro.tcp.endpoint import TcpConfig
+
+from tests.conftest import build_mininet, start_transfer
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=30),
+       st.data())
+def test_engine_cancellation_is_exact(delays, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(delay, lambda i=i: fired.append(i))
+              for i, delay in enumerate(delays)]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(delays) - 1)))
+    for index in to_cancel:
+        events[index].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31),
+       st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+       st.integers(min_value=2_000, max_value=50_000))
+def test_link_conserves_packets(seed, loss, buffer_kb):
+    sim = Simulator()
+    config = LinkConfig(rate_bps=5e6, prop_delay=0.005,
+                        buffer_bytes=buffer_kb, loss_rate=loss)
+    link = Link(sim, config, random.Random(seed))
+    delivered = []
+    link.deliver = delivered.append
+    n = 150
+
+    def feed(i=0):
+        if i < n:
+            link.send(Packet("a", "b", Segment(src_port=1, dst_port=2,
+                                               payload_len=500)))
+            sim.schedule(0.0005, lambda: feed(i + 1))
+
+    feed()
+    sim.run()
+    stats = link.stats
+    assert stats.packets_offered == n
+    accounted = (len(delivered) + stats.drops_overflow + stats.drops_loss
+                 + stats.drops_arq_residual + stats.drops_down)
+    assert accounted == n
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31),
+       st.floats(min_value=0.0, max_value=0.08, allow_nan=False),
+       st.integers(min_value=1, max_value=300))
+def test_tcp_delivers_exactly_once_under_random_loss(seed, loss,
+                                                     size_kb):
+    """The stream abstraction: every byte exactly once, in order,
+    for any loss pattern that eventually lets packets through."""
+    size = size_kb * 1024
+    net = build_mininet(loss_rate=loss, seed=seed)
+    harness = start_transfer(net, size=size)
+    net.run(until=600.0)
+    assert sum(harness.received) == size
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31),
+       st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+       st.floats(min_value=0.5, max_value=5.0, allow_nan=False))
+def test_mptcp_delivers_exactly_once_through_outage(seed, down_at,
+                                                    duration):
+    """Reinjection + failover must never duplicate or drop stream
+    bytes, whatever the outage timing."""
+    from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+    from repro.core.connection import MptcpConfig, MptcpConnection, \
+        MptcpListener
+    from repro.testbed import Testbed, TestbedConfig
+    from repro.wireless.mobility import InterfaceOutage
+
+    size = 1024 * 1024
+    testbed = Testbed(TestbedConfig(seed=seed % 1000))
+    config = MptcpConfig()
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=down_at, up_at=down_at + duration)
+    manager = connection.path_manager
+    outage.on_down.append(lambda: manager.on_interface_down("client.wifi"))
+    outage.on_up.append(lambda: manager.on_interface_up("client.wifi"))
+    testbed.run(until=240.0)
+    assert client.record.complete
+    assert connection.receive_buffer.metrics.delivered_bytes == size
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_mptcp_deterministic_under_seed(seed):
+    from repro.experiments.config import FlowSpec
+    from repro.experiments.runner import Measurement
+
+    spec = FlowSpec.mptcp(carrier="att")
+    a = Measurement(spec, 128 * 1024, seed=seed % 10_000).run()
+    b = Measurement(spec, 128 * 1024, seed=seed % 10_000).run()
+    assert a.download_time == b.download_time

@@ -1,0 +1,179 @@
+"""Tests for hosts, interfaces, routing, and demultiplexing."""
+
+import pytest
+
+from repro.netsim.host import Host, Interface
+from repro.netsim.nat import Nat
+from repro.netsim.packet import Packet
+from repro.tcp.segment import Flags, Segment
+
+from tests.conftest import build_mininet
+
+
+def make_segment(src_port=1000, dst_port=80, **kwargs):
+    return Segment(src_port=src_port, dst_port=dst_port, **kwargs)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+class RecordingListener:
+    def __init__(self):
+        self.syns = []
+
+    def handle_syn(self, packet, host):
+        self.syns.append(packet)
+
+
+def test_routing_delivers_between_hosts():
+    net = build_mininet()
+    sink = RecordingSink()
+    net.server.register_endpoint(("server.eth0", 80, "client.wifi", 1000),
+                                 sink)
+    packet = Packet("client.wifi", "server.eth0", make_segment())
+    net.client.send(packet)
+    net.run()
+    assert sink.packets == [packet]
+
+
+def test_unroutable_destination_is_black_holed():
+    net = build_mininet()
+    packet = Packet("client.wifi", "nowhere.iface", make_segment())
+    net.client.send(packet)
+    net.run()  # must not raise
+    assert net.server.packets_received == 0
+
+
+def test_send_requires_owning_interface():
+    net = build_mininet()
+    packet = Packet("server.eth0", "client.wifi", make_segment())
+    with pytest.raises(ValueError):
+        net.client.send(packet)
+
+
+def test_listener_receives_unmatched_syn():
+    net = build_mininet()
+    listener = RecordingListener()
+    net.server.bind_listener(80, listener)
+    syn = Packet("client.wifi", "server.eth0",
+                 make_segment(flags=Flags(syn=True)))
+    net.client.send(syn)
+    net.run()
+    assert len(listener.syns) == 1
+
+
+def test_non_syn_without_endpoint_is_refused():
+    net = build_mininet()
+    listener = RecordingListener()
+    net.server.bind_listener(80, listener)
+    data = Packet("client.wifi", "server.eth0",
+                  make_segment(flags=Flags(ack=True), payload_len=10))
+    net.client.send(data)
+    net.run()
+    assert listener.syns == []
+    assert net.server.packets_refused == 1
+
+
+def test_endpoint_match_takes_precedence_over_listener():
+    net = build_mininet()
+    listener = RecordingListener()
+    sink = RecordingSink()
+    net.server.bind_listener(80, listener)
+    net.server.register_endpoint(("server.eth0", 80, "client.wifi", 1000),
+                                 sink)
+    syn = Packet("client.wifi", "server.eth0",
+                 make_segment(flags=Flags(syn=True)))
+    net.client.send(syn)
+    net.run()
+    assert sink.packets and not listener.syns
+
+
+def test_duplicate_listener_binding_rejected():
+    net = build_mininet()
+    net.server.bind_listener(80, RecordingListener())
+    with pytest.raises(ValueError):
+        net.server.bind_listener(80, RecordingListener())
+
+
+def test_duplicate_endpoint_binding_rejected():
+    net = build_mininet()
+    key = ("server.eth0", 80, "client.wifi", 1000)
+    net.server.register_endpoint(key, RecordingSink())
+    with pytest.raises(ValueError):
+        net.server.register_endpoint(key, RecordingSink())
+
+
+def test_unregister_endpoint_allows_rebinding():
+    net = build_mininet()
+    key = ("server.eth0", 80, "client.wifi", 1000)
+    net.server.register_endpoint(key, RecordingSink())
+    net.server.unregister_endpoint(key)
+    net.server.register_endpoint(key, RecordingSink())
+
+
+def test_capture_hooks_see_both_directions():
+    net = build_mininet()
+    events = []
+    net.client.add_capture_hook(
+        lambda direction, time, packet: events.append(direction))
+    sink = RecordingSink()
+    net.server.register_endpoint(("server.eth0", 80, "client.wifi", 1000),
+                                 sink)
+    net.client.send(Packet("client.wifi", "server.eth0", make_segment()))
+    net.run()
+    # Nothing comes back, so the client capture sees only the send.
+    assert events == ["send"]
+
+
+def test_ephemeral_ports_are_unique():
+    net = build_mininet()
+    ports = {net.client.ephemeral_port() for _ in range(100)}
+    assert len(ports) == 100
+
+
+def test_duplicate_interface_address_rejected():
+    net = build_mininet()
+    with pytest.raises(ValueError):
+        net.network.attach(net.client,
+                           Interface("dup", "client.wifi"),
+                           up=net.client.interfaces["client.wifi"]
+                           .up_link.config,
+                           down=net.client.interfaces["client.wifi"]
+                           .down_link.config)
+
+
+def test_nat_blocks_unsolicited_inbound_syn():
+    net = build_mininet()
+    net.client.interfaces["client.wifi"].nat = Nat()
+    listener = RecordingListener()
+    net.client.bind_listener(9999, listener)
+    syn = Packet("server.eth0", "client.wifi",
+                 make_segment(src_port=80, dst_port=9999,
+                              flags=Flags(syn=True)))
+    net.server.send(syn)
+    net.run()
+    assert listener.syns == []
+    assert net.client.packets_refused == 1
+
+
+def test_nat_allows_reply_to_outbound_flow():
+    net = build_mininet()
+    net.client.interfaces["client.wifi"].nat = Nat()
+    sink = RecordingSink()
+    net.client.register_endpoint(("client.wifi", 1000, "server.eth0", 80),
+                                 sink)
+    out = Packet("client.wifi", "server.eth0",
+                 make_segment(src_port=1000, dst_port=80,
+                              flags=Flags(syn=True)))
+    net.client.send(out)
+    reply = Packet("server.eth0", "client.wifi",
+                   make_segment(src_port=80, dst_port=1000,
+                                flags=Flags(syn=True, ack=True)))
+    net.server.send(reply)
+    net.run()
+    assert len(sink.packets) == 1

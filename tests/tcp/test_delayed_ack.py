@@ -1,0 +1,83 @@
+"""Tests for the delayed-acknowledgement option."""
+
+import pytest
+
+from repro.tcp.endpoint import TcpConfig
+
+from tests.conftest import build_mininet, start_transfer
+
+DELACK = TcpConfig(delayed_ack=True)
+
+
+def test_delayed_acks_halve_ack_count():
+    def acks_for(config):
+        net = build_mininet()
+        harness = start_transfer(net, size=200_000, config=TcpConfig(),
+                                 client_config=config)
+        net.run(until=30.0)
+        assert sum(harness.received) == 200_000
+        return harness.client_ep.stats.acks_sent
+
+    per_packet = acks_for(TcpConfig())
+    delayed = acks_for(DELACK)
+    assert delayed < per_packet * 0.7
+    assert delayed > per_packet * 0.3  # roughly every other segment
+
+
+def test_transfer_correct_with_delayed_acks():
+    net = build_mininet(loss_rate=0.02, seed=8)
+    harness = start_transfer(net, size=300_000, config=TcpConfig(),
+                             client_config=DELACK)
+    net.run(until=60.0)
+    assert sum(harness.received) == 300_000
+
+
+def test_single_segment_acked_after_timer():
+    net = build_mininet()
+    harness = start_transfer(net, size=1000, config=TcpConfig(),
+                             client_config=DELACK)
+    net.run(until=10.0)
+    # The lone data segment must still be acknowledged (timer path),
+    # so the server's retransmission count stays zero.
+    assert sum(harness.received) == 1000
+    assert harness.server().stats.retransmitted_packets == 0
+
+
+def test_out_of_order_arrival_acks_immediately():
+    """Dupacks must not be delayed or fast retransmit would die."""
+    net = build_mininet()
+    downlink = net.client.interfaces["client.wifi"].down_link
+    original = downlink.send
+    state = {"count": 0}
+
+    def drop_one(packet):
+        if packet.segment.payload_len > 0:
+            state["count"] += 1
+            if state["count"] == 15:
+                return
+        original(packet)
+
+    downlink.send = drop_one
+    harness = start_transfer(net, size=150_000, config=TcpConfig(),
+                             client_config=DELACK)
+    net.run(until=30.0)
+    assert sum(harness.received) == 150_000
+    server = harness.server()
+    assert server.stats.fast_retransmits >= 1
+    assert server.stats.timeouts == 0
+
+
+def test_delayed_ack_slows_slow_start_slightly():
+    """Fewer ACKs -> slower byte-counted window growth."""
+
+    def time_for(config):
+        net = build_mininet(rate_bps=100e6, buffer_bytes=10 ** 7)
+        harness = start_transfer(net, size=500_000, config=TcpConfig(),
+                                 client_config=config)
+        net.run(until=30.0)
+        assert sum(harness.received) == 500_000
+        return harness.client_ep.stats.established_at, net.sim.now
+
+    _, fast = time_for(TcpConfig())
+    _, slow = time_for(DELACK)
+    assert slow >= fast * 0.95  # never faster; typically a bit slower

@@ -1,0 +1,210 @@
+"""End-to-end tests of the TCP endpoint over a clean mini network."""
+
+import pytest
+
+from repro.tcp.endpoint import TcpConfig
+
+from tests.conftest import build_mininet, start_transfer
+
+
+def test_three_way_handshake_establishes_both_ends():
+    net = build_mininet()
+    harness = start_transfer(net, size=0)
+    net.run(until=1.0)
+    assert harness.client_ep.state == "established"
+    assert harness.server().state == "established"
+
+
+def test_handshake_takes_one_rtt():
+    net = build_mininet(prop_delay=0.05)  # RTT 0.2s client<->server
+    harness = start_transfer(net, size=0)
+    net.run(until=1.0)
+    established = harness.client_ep.stats.established_at
+    # 2 one-way trips x (client access + server access) = ~0.2s + service.
+    assert established == pytest.approx(0.2, abs=0.01)
+
+
+def test_handshake_seeds_rtt_estimator():
+    net = build_mininet()
+    harness = start_transfer(net, size=0)
+    net.run(until=1.0)
+    assert harness.client_ep.rto_estimator.samples >= 1
+    assert 0.0 < harness.client_ep.smoothed_rtt() < 0.1
+
+
+def test_lossless_transfer_delivers_exact_byte_count():
+    net = build_mininet()
+    harness = start_transfer(net, size=100_000)
+    net.run(until=10.0)
+    assert sum(harness.received) == 100_000
+
+
+def test_transfer_is_deterministic():
+    def run_once():
+        net = build_mininet(seed=42, loss_rate=0.02)
+        harness = start_transfer(net, size=200_000)
+        net.run(until=30.0)
+        return (sum(harness.received),
+                harness.server().stats.retransmitted_packets, net.sim.now)
+
+    assert run_once() == run_once()
+
+
+def test_transfer_survives_random_loss():
+    net = build_mininet(loss_rate=0.05, seed=11)
+    harness = start_transfer(net, size=300_000)
+    net.run(until=60.0)
+    assert sum(harness.received) == 300_000
+    server = harness.server()
+    assert server.stats.retransmitted_packets > 0
+    assert server.stats.loss_rate > 0.01
+
+
+def test_no_spurious_retransmissions_on_clean_path():
+    net = build_mininet()
+    harness = start_transfer(net, size=500_000)
+    net.run(until=30.0)
+    server = harness.server()
+    assert server.stats.retransmitted_packets == 0
+    assert server.stats.timeouts == 0
+
+
+def test_fin_reaches_client_after_all_data():
+    net = build_mininet()
+    closed = []
+    harness = start_transfer(net, size=50_000)
+    harness.client_ep.on_close = lambda: closed.append(True)
+    net.run(until=10.0)
+    assert closed == [True]
+    assert sum(harness.received) == 50_000
+
+
+def test_initial_window_is_ten_segments():
+    config = TcpConfig()
+    net = build_mininet()
+    harness = start_transfer(net, size=1_000_000, config=config)
+    net.run(until=0.001)  # nothing established yet
+    assert harness.client_ep.cwnd == 10 * config.mss
+
+
+def test_slow_start_doubles_window_per_round():
+    net = build_mininet()
+    harness = start_transfer(net, size=2_000_000)
+    net.run(until=0.3)
+    server = harness.server()
+    # Past a few RTTs the window must exceed the initial 10 segments,
+    # but stay at or near ssthresh (64 KB) once reached.
+    assert server.cwnd > 10 * server.mss
+
+
+def test_ssthresh_initialized_from_config():
+    config = TcpConfig(initial_ssthresh=32 * 1024)
+    net = build_mininet()
+    harness = start_transfer(net, size=0, config=config)
+    net.run(until=1.0)
+    assert harness.server().ssthresh == 32 * 1024
+
+
+def test_congestion_avoidance_beyond_ssthresh_is_gradual():
+    net = build_mininet(rate_bps=100e6, buffer_bytes=10 ** 7)
+    harness = start_transfer(net, size=20_000_000)
+    net.run(until=2.0)
+    server = harness.server()
+    mss = server.mss
+    # cwnd passed ssthresh (64 KB) but cannot have doubled many times
+    # since: CA adds ~1 MSS per RTT (RTT ~0.04s -> ~50 rounds max).
+    assert server.cwnd > 64 * 1024
+    assert server.cwnd < 64 * 1024 + 60 * mss
+
+
+def test_syn_retransmission_on_lost_syn():
+    net = build_mininet()
+    # Lose the very first client->server packet: monkey-patch the
+    # client uplink to drop packet one.
+    uplink = net.client.interfaces["client.wifi"].up_link
+    original = uplink.send
+    dropped = []
+
+    def drop_first(packet):
+        if not dropped:
+            dropped.append(packet)
+            return
+        original(packet)
+
+    uplink.send = drop_first
+    harness = start_transfer(net, size=1000)
+    net.run(until=5.0)
+    assert harness.client_ep.state in ("established", "close_wait")
+    assert sum(harness.received) == 1000
+    # The handshake needed a retransmitted SYN after ~1s.
+    assert harness.client_ep.stats.established_at > 1.0
+
+
+def test_receiver_window_limits_sender():
+    config = TcpConfig(rcv_buffer=8 * 1024 * 1024)
+    tiny_rcv = TcpConfig(rcv_buffer=20_000)
+    net = build_mininet()
+    # Server uses the big config; client advertises a tiny buffer.
+    harness = start_transfer(net, size=1_000_000, config=config,
+                             client_config=tiny_rcv)
+    net.run(until=0.5)
+    server = harness.server()
+    # In-flight data never exceeds the client's advertised window.
+    assert server.snd_nxt - server.snd_una <= 20_000 + server.mss
+
+
+def test_zero_byte_send_is_noop():
+    net = build_mininet()
+    harness = start_transfer(net, size=0)
+    net.run(until=1.0)
+    harness.server().send(0)
+    net.run(until=2.0)
+    assert sum(harness.received) == 0
+
+
+def test_negative_send_rejected():
+    net = build_mininet()
+    harness = start_transfer(net, size=0)
+    net.run(until=1.0)
+    with pytest.raises(ValueError):
+        harness.server().send(-1)
+
+
+def test_connect_twice_rejected():
+    net = build_mininet()
+    harness = start_transfer(net, size=0)
+    with pytest.raises(RuntimeError):
+        harness.client_ep.connect()
+
+
+def test_loss_rate_statistic_matches_definition():
+    net = build_mininet(loss_rate=0.03, seed=21)
+    harness = start_transfer(net, size=400_000)
+    net.run(until=60.0)
+    server = harness.server()
+    stats = server.stats
+    assert stats.loss_rate == pytest.approx(
+        stats.retransmitted_packets / stats.data_packets_sent)
+
+
+def test_rto_recovers_from_tail_loss():
+    """Drop the last packets of the transfer (no dupacks possible)."""
+    net = build_mininet()
+    downlink = net.client.interfaces["client.wifi"].down_link
+    original = downlink.send
+    state = {"count": 0}
+
+    def drop_late(packet):
+        if packet.segment.payload_len > 0:
+            state["count"] += 1
+            # Drop every data packet from #42 on, first time around:
+            # the tail of a ~46-packet transfer, so no dupacks follow.
+            if state["count"] >= 42 and state["count"] <= 46:
+                return
+        original(packet)
+
+    downlink.send = drop_late
+    harness = start_transfer(net, size=64_000)
+    net.run(until=30.0)
+    assert sum(harness.received) == 64_000
+    assert harness.server().stats.timeouts >= 1

@@ -1,0 +1,83 @@
+"""Tests for the RFC 6298 RTO estimator."""
+
+import pytest
+
+from repro.tcp.rto import RtoEstimator
+
+
+def test_initial_rto_before_samples():
+    estimator = RtoEstimator(initial_rto=1.0)
+    assert estimator.rto == 1.0
+    assert estimator.srtt is None
+
+
+def test_first_sample_initializes_per_rfc():
+    estimator = RtoEstimator(min_rto=0.0)
+    estimator.sample(0.1)
+    assert estimator.srtt == pytest.approx(0.1)
+    assert estimator.rttvar == pytest.approx(0.05)
+    assert estimator.rto == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_subsequent_samples_smooth():
+    estimator = RtoEstimator(min_rto=0.0)
+    estimator.sample(0.1)
+    estimator.sample(0.2)
+    # rttvar = 3/4*0.05 + 1/4*|0.1-0.2| = 0.0625
+    assert estimator.rttvar == pytest.approx(0.0625)
+    # srtt = 7/8*0.1 + 1/8*0.2 = 0.1125
+    assert estimator.srtt == pytest.approx(0.1125)
+    assert estimator.rto == pytest.approx(0.1125 + 4 * 0.0625)
+
+
+def test_min_rto_clamp():
+    estimator = RtoEstimator(min_rto=0.2)
+    estimator.sample(0.001)  # a sub-millisecond LAN RTT
+    assert estimator.rto == 0.2
+
+
+def test_max_rto_clamp():
+    estimator = RtoEstimator(max_rto=60.0)
+    estimator.sample(100.0)
+    assert estimator.rto == 60.0
+
+
+def test_backoff_doubles_and_caps():
+    estimator = RtoEstimator(min_rto=0.0, max_rto=60.0)
+    estimator.sample(1.0)
+    base = estimator.rto
+    estimator.backoff()
+    assert estimator.rto == pytest.approx(2 * base)
+    for _ in range(20):
+        estimator.backoff()
+    assert estimator.rto == 60.0
+
+
+def test_sample_resets_backoff():
+    estimator = RtoEstimator(min_rto=0.0)
+    estimator.sample(1.0)
+    estimator.backoff()
+    estimator.backoff()
+    estimator.sample(1.0)
+    # rttvar = 3/4 * 0.5 + 1/4 * 0 = 0.375; rto = 1.0 + 4 * 0.375.
+    assert estimator.rto == pytest.approx(2.5)
+
+
+def test_negative_sample_rejected():
+    estimator = RtoEstimator()
+    with pytest.raises(ValueError):
+        estimator.sample(-0.1)
+
+
+def test_smoothed_rtt_default():
+    estimator = RtoEstimator()
+    assert estimator.smoothed_rtt(default=0.3) == 0.3
+    estimator.sample(0.05)
+    assert estimator.smoothed_rtt() == pytest.approx(0.05)
+
+
+def test_sample_counter():
+    estimator = RtoEstimator()
+    for _ in range(5):
+        estimator.sample(0.1)
+    assert estimator.samples == 5

@@ -1,0 +1,48 @@
+"""Tests for segment value objects."""
+
+from repro.tcp.segment import Flags, Segment
+
+
+def test_payload_consumes_sequence_space():
+    segment = Segment(src_port=1, dst_port=2, seq=100, payload_len=500)
+    assert segment.seq_space == 500
+    assert segment.end_seq == 600
+
+
+def test_syn_and_fin_consume_one_each():
+    syn = Segment(src_port=1, dst_port=2, seq=0, flags=Flags(syn=True))
+    assert syn.seq_space == 1
+    assert syn.end_seq == 1
+    fin = Segment(src_port=1, dst_port=2, seq=10, flags=Flags(fin=True))
+    assert fin.seq_space == 1
+    data_fin = Segment(src_port=1, dst_port=2, seq=10, payload_len=100,
+                       flags=Flags(fin=True, ack=True))
+    assert data_fin.seq_space == 101
+
+
+def test_pure_ack_detection():
+    pure = Segment(src_port=1, dst_port=2, flags=Flags(ack=True))
+    assert pure.is_pure_ack
+    with_data = Segment(src_port=1, dst_port=2, flags=Flags(ack=True),
+                        payload_len=1)
+    assert not with_data.is_pure_ack
+    synack = Segment(src_port=1, dst_port=2,
+                     flags=Flags(syn=True, ack=True))
+    assert not synack.is_pure_ack
+    fin = Segment(src_port=1, dst_port=2, flags=Flags(fin=True, ack=True))
+    assert not fin.is_pure_ack
+
+
+def test_flags_render_readably():
+    assert str(Flags(syn=True, ack=True)) == "syn|ack"
+    assert str(Flags()) == "none"
+
+
+def test_segments_are_immutable_values():
+    segment = Segment(src_port=1, dst_port=2)
+    try:
+        segment.seq = 5
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,114 @@
+"""Tests for the tcptrace-style analyzer on synthetic record streams."""
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.tcp.segment import Flags, Segment
+from repro.trace.analyzer import analyze_flow
+from repro.trace.capture import PacketRecord
+
+
+def rec(time, direction, src, dst, seq=0, ack=0, payload=0, syn=False,
+        ack_flag=False, fin=False, src_port=80, dst_port=1000):
+    segment = Segment(src_port=src_port, dst_port=dst_port, seq=seq,
+                      ack=ack, payload_len=payload,
+                      flags=Flags(syn=syn, ack=ack_flag, fin=fin))
+    return PacketRecord(time, direction, Packet(src, dst, segment))
+
+
+S, C = "server.eth0", "client.wifi"
+
+
+def data(time, seq, payload=1000):
+    return rec(time, "send", S, C, seq=seq, payload=payload, ack_flag=True)
+
+
+def ack(time, number):
+    return rec(time, "recv", C, S, ack=number, ack_flag=True,
+               src_port=1000, dst_port=80)
+
+
+def test_clean_flow_rtt_and_loss():
+    records = [
+        data(0.0, 1), ack(0.05, 1001),
+        data(0.1, 1001), ack(0.16, 2001),
+    ]
+    analysis = analyze_flow(records, S)
+    assert analysis.data_packets_sent == 2
+    assert analysis.retransmitted_packets == 0
+    assert analysis.loss_rate == 0.0
+    assert analysis.rtt_samples == [pytest.approx(0.05),
+                                    pytest.approx(0.06)]
+    assert analysis.mean_rtt == pytest.approx(0.055)
+
+
+def test_retransmission_detected_and_counted():
+    records = [
+        data(0.0, 1),
+        data(0.5, 1),  # same sequence again: a retransmission
+        ack(0.6, 1001),
+    ]
+    analysis = analyze_flow(records, S)
+    assert analysis.data_packets_sent == 2
+    assert analysis.retransmitted_packets == 1
+    assert analysis.loss_rate == pytest.approx(0.5)
+
+
+def test_karn_excludes_retransmitted_ranges_from_rtt():
+    records = [
+        data(0.0, 1),
+        data(0.5, 1),
+        ack(0.6, 1001),  # matches the retransmission; must not sample
+        data(0.7, 1001),
+        ack(0.75, 2001),
+    ]
+    analysis = analyze_flow(records, S)
+    assert analysis.rtt_samples == [pytest.approx(0.05)]
+
+
+def test_cumulative_ack_covers_multiple_packets():
+    records = [
+        data(0.0, 1), data(0.001, 1001), data(0.002, 2001),
+        ack(0.06, 3001),
+    ]
+    analysis = analyze_flow(records, S)
+    assert len(analysis.rtt_samples) == 3
+    assert analysis.rtt_samples[0] == pytest.approx(0.06)
+    assert analysis.rtt_samples[2] == pytest.approx(0.058)
+
+
+def test_ack_below_end_seq_does_not_sample():
+    records = [data(0.0, 1, payload=1000), ack(0.05, 500)]
+    analysis = analyze_flow(records, S)
+    assert analysis.rtt_samples == []
+
+
+def test_handshake_rtt_from_syn_exchange():
+    records = [
+        rec(0.0, "send", S, C, syn=True),
+        rec(0.04, "recv", C, S, syn=True, ack_flag=True, ack=1,
+            src_port=1000, dst_port=80),
+    ]
+    analysis = analyze_flow(records, S)
+    assert analysis.handshake_rtt == pytest.approx(0.04)
+
+
+def test_payload_bytes_count_first_transmissions_only():
+    records = [data(0.0, 1), data(0.5, 1), ack(0.6, 1001)]
+    analysis = analyze_flow(records, S)
+    assert analysis.payload_bytes == 1000
+
+
+def test_throughput_and_duration():
+    records = [data(0.0, 1), data(1.0, 1001), ack(2.0, 2001)]
+    analysis = analyze_flow(records, S)
+    assert analysis.duration == pytest.approx(2.0)
+    assert analysis.throughput_bps == pytest.approx(2000 * 8 / 2.0)
+
+
+def test_empty_records():
+    analysis = analyze_flow([], S)
+    assert analysis.data_packets_sent == 0
+    assert analysis.loss_rate == 0.0
+    assert analysis.mean_rtt == 0.0
+    assert analysis.throughput_bps == 0.0

@@ -1,0 +1,76 @@
+"""Tests for the packet capture layer."""
+
+from repro.netsim.packet import Packet
+from repro.trace.capture import PacketCapture
+from repro.tcp.segment import Flags, Segment
+
+from tests.conftest import build_mininet
+
+
+class Sink:
+    def handle_packet(self, packet):
+        pass
+
+
+def send(net, payload=100, flags=None):
+    segment = Segment(src_port=1000, dst_port=80, payload_len=payload,
+                      flags=flags or Flags())
+    net.client.send(Packet("client.wifi", "server.eth0", segment))
+
+
+def test_capture_records_sends_and_receives():
+    net = build_mininet()
+    client_cap = PacketCapture(net.client)
+    server_cap = PacketCapture(net.server)
+    net.server.register_endpoint(("server.eth0", 80, "client.wifi", 1000),
+                                 Sink())
+    send(net)
+    net.run()
+    assert [r.direction for r in client_cap.records] == ["send"]
+    assert [r.direction for r in server_cap.records] == ["recv"]
+    assert client_cap.records[0].packet_id == \
+        server_cap.records[0].packet_id
+
+
+def test_records_flatten_header_fields():
+    net = build_mininet()
+    capture = PacketCapture(net.client)
+    send(net, payload=123, flags=Flags(syn=True))
+    net.run()
+    record = capture.records[0]
+    assert record.src == "client.wifi"
+    assert record.dst == "server.eth0"
+    assert record.payload_len == 123
+    assert record.syn and not record.fin
+    assert record.end_seq == 124  # payload + SYN
+
+
+def test_flow_key_is_direction_agnostic():
+    net = build_mininet()
+    capture = PacketCapture(net.client)
+    send(net)
+    net.run()
+    record = capture.records[0]
+    key = record.flow_key
+    assert key == ((("client.wifi"), 1000), (("server.eth0"), 80))
+
+
+def test_detach_stops_recording():
+    net = build_mininet()
+    capture = PacketCapture(net.client)
+    send(net)
+    capture.detach()
+    send(net)
+    net.run()
+    assert len(capture) == 1
+
+
+def test_iteration_and_direction_filters():
+    net = build_mininet()
+    capture = PacketCapture(net.client)
+    send(net)
+    send(net)
+    net.run()
+    assert len(list(capture)) == 2
+    assert len(list(capture.sent())) == 2
+    assert len(list(capture.received())) == 0

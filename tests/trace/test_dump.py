@@ -1,0 +1,80 @@
+"""Tests for the tcpdump/tcptrace-style text rendering."""
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.netsim.packet import Packet
+from repro.tcp.segment import Flags, Segment
+from repro.trace.analyzer import FlowAnalysis
+from repro.trace.capture import PacketCapture, PacketRecord
+from repro.trace.dump import dump, flow_summary, format_record
+
+
+class FakeCapture:
+    def __init__(self, records):
+        self.records = records
+
+
+def rec(time=1.0, payload=100, syn=False, ack=True, options=None):
+    segment = Segment(src_port=4000, dst_port=8080, seq=1, ack=55,
+                      payload_len=payload,
+                      flags=Flags(syn=syn, ack=ack), window=8192,
+                      options=options)
+    return PacketRecord(time, "send",
+                        Packet("client.wifi", "server.eth0", segment))
+
+
+def test_format_record_fields():
+    line = format_record(rec())
+    assert "client.wifi:4000 -> server.eth0:8080" in line
+    assert "seq 1:101" in line
+    assert "ack 55" in line
+    assert "win 8192" in line
+    assert "length 100" in line
+
+
+def test_format_record_flags():
+    assert "[S.]" in format_record(rec(syn=True))
+    assert "[.]" in format_record(rec())
+
+
+def test_format_record_mptcp_options():
+    options = MptcpOptions(dss=DssMapping(dsn=500, ssn=1, length=100),
+                           data_ack=321)
+    line = format_record(rec(options=options))
+    assert "dsn 500:600" in line
+    assert "dack 321" in line
+
+
+def test_dump_limit_and_filter():
+    records = [rec(time=float(i), payload=0 if i % 2 else 100)
+               for i in range(10)]
+    text = dump(FakeCapture(records), limit=3)
+    assert text.count("\n") == 3  # 3 lines + truncation marker
+    assert "records total" in text
+    data_text = dump(FakeCapture(records), data_only=True)
+    assert data_text.count("length 100") == 5
+    assert "length 0" not in data_text
+
+
+def test_flow_summary_block():
+    analysis = FlowAnalysis(local=("server.eth0", 8080),
+                            remote=("client.wifi", 4000))
+    analysis.data_packets_sent = 10
+    analysis.retransmitted_packets = 1
+    analysis.payload_bytes = 9000
+    analysis.rtt_samples = [0.02, 0.04]
+    analysis.handshake_rtt = 0.021
+    analysis.first_packet_time = 0.0
+    analysis.last_packet_time = 2.0
+    text = flow_summary(analysis)
+    assert "data packets sent:       10" in text
+    assert "10.000%" in text
+    assert "20.0 / 30.0 / 40.0" in text
+    assert "handshake RTT (ms):      21.0" in text
+    assert "0.04 Mbit/s" in text
+
+
+def test_flow_summary_without_samples():
+    analysis = FlowAnalysis(local=("a", 1), remote=("b", 2))
+    text = flow_summary(analysis)
+    assert "RTT samples:             0" in text
+    assert "min/avg/max" not in text

@@ -1,0 +1,92 @@
+"""Tests for the time-series probe."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.trace.timeseries import Series, TimeSeriesProbe
+
+from tests.conftest import build_mininet, start_transfer
+
+
+def test_probe_samples_on_period():
+    sim = Simulator()
+    clock = {"value": 0.0}
+    probe = TimeSeriesProbe(sim, period=0.5)
+    probe.track("v", lambda: clock["value"])
+    sim.schedule(1.2, lambda: clock.__setitem__("value", 7.0))
+    probe.start()
+    sim.schedule(3.0, probe.stop)
+    sim.run(until=5.0)
+    series = probe.series["v"]
+    assert series.times[:4] == [0.0, 0.5, 1.0, 1.5]
+    assert series.at(1.0) == 0.0
+    assert series.at(1.5) == 7.0
+    assert series.maximum() == 7.0
+
+
+def test_probe_stops_cleanly():
+    sim = Simulator()
+    probe = TimeSeriesProbe(sim, period=0.1)
+    probe.track("x", lambda: 1.0)
+    probe.start()
+    sim.schedule(0.35, probe.stop)
+    sim.run(until=10.0)
+    assert len(probe.series["x"]) == 4  # t = 0.0, 0.1, 0.2, 0.3
+    assert sim.now == 10.0
+
+
+def test_duplicate_name_rejected():
+    probe = TimeSeriesProbe(Simulator())
+    probe.track("x", lambda: 0.0)
+    with pytest.raises(ValueError):
+        probe.track("x", lambda: 1.0)
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(ValueError):
+        TimeSeriesProbe(Simulator(), period=0.0)
+
+
+def test_to_rows_aligns_series():
+    sim = Simulator()
+    probe = TimeSeriesProbe(sim, period=1.0)
+    probe.track("a", lambda: 1.0).track("b", lambda: 2.0)
+    probe.start()
+    sim.schedule(2.5, probe.stop)
+    sim.run(until=5.0)
+    headers, rows = probe.to_rows()
+    assert headers == ["time", "a", "b"]
+    assert rows == [[0.0, 1.0, 2.0], [1.0, 1.0, 2.0], [2.0, 1.0, 2.0]]
+
+
+def test_sparkline_shape():
+    series_probe = TimeSeriesProbe(Simulator(), period=1.0)
+    series_probe.series["x"] = Series("x", times=[0, 1, 2],
+                                      values=[0.0, 5.0, 10.0])
+    series_probe._getters["x"] = lambda: 0.0
+    line = series_probe.sparkline("x")
+    assert line.startswith("x: [")
+    assert "min=0" in line and "max=10" in line
+
+
+def test_sparkline_empty():
+    probe = TimeSeriesProbe(Simulator())
+    probe.track("x", lambda: 0.0)
+    assert "(no samples)" in probe.sparkline("x")
+
+
+def test_cwnd_trajectory_shows_slow_start():
+    """Instrument a real transfer: cwnd must rise from IW toward
+    ssthresh during the opening seconds."""
+    net = build_mininet(rate_bps=50e6, buffer_bytes=10 ** 7)
+    harness = start_transfer(net, size=2_000_000)
+    probe = TimeSeriesProbe(net.sim, period=0.02)
+    probe.track("cwnd", lambda: (harness.server_ep.cwnd
+                                 if harness.server_ep else 0.0))
+    probe.start()
+    net.run(until=2.0)
+    series = probe.series["cwnd"]
+    assert series.maximum() > 10 * 1448  # grew past the initial window
+    early = series.at(0.1) or 0.0
+    late = series.at(1.5) or 0.0
+    assert late >= early

@@ -1,0 +1,139 @@
+"""Tests for the radio energy model."""
+
+import pytest
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.energy import (
+    EVDO_POWER,
+    LTE_POWER,
+    WIFI_POWER,
+    EnergyAudit,
+    EnergyMeter,
+    PowerProfile,
+)
+
+SIMPLE = PowerProfile(name="t", idle_w=0.01, active_w=1.0, tail_s=2.0,
+                      promotion_w=2.0, promotion_s=0.5)
+
+
+def test_single_burst_accounting():
+    sim = Simulator()
+    meter = EnergyMeter(sim, "client.x", SIMPLE)
+    sim.schedule(1.0, meter.on_activity)
+    sim.schedule(3.0, meter.on_activity)  # gaps < tail merge
+    sim.run()
+    report = meter.report(until=10.0)
+    assert report.active_time == pytest.approx(2.0)   # 1.0 -> 3.0
+    assert report.tail_time == pytest.approx(2.0)     # full tail
+    assert report.active_joules == pytest.approx(2.0)
+    assert report.tail_joules == pytest.approx(2.0)
+    # idle: 10 - 2 active - 2 tail = 6 s at 0.01 W.
+    assert report.idle_joules == pytest.approx(0.06)
+
+
+def test_separate_bursts_pay_tail_twice():
+    sim = Simulator()
+    meter = EnergyMeter(sim, "client.x", SIMPLE)
+    for t in (1.0, 1.5, 10.0, 10.5):
+        sim.schedule(t, meter.on_activity)
+    sim.run()
+    report = meter.report(until=20.0)
+    assert report.active_time == pytest.approx(1.0)  # 0.5 + 0.5
+    assert report.tail_time == pytest.approx(4.0)    # two full tails
+
+
+def test_tail_truncated_at_window_end():
+    sim = Simulator()
+    meter = EnergyMeter(sim, "client.x", SIMPLE)
+    sim.schedule(1.0, meter.on_activity)
+    sim.run()
+    report = meter.report(until=1.5)
+    assert report.tail_time == pytest.approx(0.5)
+
+
+def test_promotion_energy():
+    sim = Simulator()
+    meter = EnergyMeter(sim, "client.x", SIMPLE)
+    meter.on_promotion()
+    meter.on_promotion()
+    report = meter.report(until=5.0)
+    assert report.promotions == 2
+    assert report.promotion_joules == pytest.approx(2 * 0.5 * 2.0)
+
+
+def test_idle_meter_burns_idle_power_only():
+    sim = Simulator()
+    meter = EnergyMeter(sim, "client.x", SIMPLE)
+    report = meter.report(until=100.0)
+    assert report.active_joules == 0.0
+    assert report.total_joules == pytest.approx(1.0)  # 100 s x 0.01 W
+
+
+def test_power_profile_ordering():
+    """LTE burns more than WiFi; tails dominate cellular cost."""
+    assert LTE_POWER.active_w > WIFI_POWER.active_w
+    assert LTE_POWER.tail_s > WIFI_POWER.tail_s
+    assert EVDO_POWER.promotion_s > LTE_POWER.promotion_s
+
+
+def run_sp_wifi(size, seed=11):
+    testbed = Testbed(TestbedConfig(seed=seed))
+    audit = EnergyAudit(testbed)
+    config = TcpConfig()
+    PlainTcpAcceptor(testbed.sim, testbed.server, HTTP_PORT, config,
+                     RenoController, responder=lambda i: size)
+    endpoint = TcpEndpoint(testbed.sim, testbed.client, "client.wifi",
+                           testbed.client.ephemeral_port(),
+                           testbed.server_addrs[0], HTTP_PORT, config,
+                           RenoController())
+    client = HttpClient(testbed.sim, endpoint, size)
+    client.start()
+    endpoint.connect()
+    testbed.run(until=120.0)
+    assert client.record.complete
+    return audit, client.record
+
+
+def run_mptcp(size, seed=11):
+    testbed = Testbed(TestbedConfig(seed=seed))
+    audit = EnergyAudit(testbed)
+    config = MptcpConfig()
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    testbed.run(until=120.0)
+    assert client.record.complete
+    return audit, client.record
+
+
+def test_mptcp_costs_more_energy_than_wifi_alone():
+    """The Section 6 trade-off: the second radio is not free."""
+    size = 4 * 1024 * 1024
+    wifi_audit, wifi_record = run_sp_wifi(size)
+    mptcp_audit, mptcp_record = run_mptcp(size)
+    wifi_joules = wifi_audit.total_joules(until=wifi_record.completed_at)
+    mptcp_joules = mptcp_audit.total_joules(
+        until=mptcp_record.completed_at)
+    assert mptcp_record.download_time < wifi_record.download_time
+    assert mptcp_joules > wifi_joules
+
+
+def test_audit_reports_both_interfaces():
+    audit, record = run_mptcp(512 * 1024)
+    reports = audit.report(until=record.completed_at)
+    assert set(reports) == {"client.wifi", "client.att"}
+    assert reports["client.wifi"].active_joules > 0
+    assert reports["client.att"].active_joules > 0

@@ -1,0 +1,149 @@
+"""Tests for interface outages and MPTCP handover behaviour."""
+
+import pytest
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
+    PlainTcpAcceptor
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.core.coupling import RenoController
+from repro.tcp.endpoint import TcpConfig, TcpEndpoint
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.mobility import InterfaceOutage
+
+MB = 1024 * 1024
+
+
+def start_mptcp_download(testbed, size, config=None):
+    config = config or MptcpConfig()
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    return connection, client
+
+
+def wire_outage(testbed, connection, down_at, up_at):
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=down_at, up_at=up_at)
+    manager = connection.path_manager
+    outage.on_down.append(
+        lambda: manager.on_interface_down("client.wifi"))
+    if up_at is not None:
+        outage.on_up.append(
+            lambda: manager.on_interface_up("client.wifi"))
+    return outage
+
+
+def test_outage_black_holes_traffic():
+    testbed = Testbed(TestbedConfig(seed=1))
+    iface = testbed.client.interfaces["client.wifi"]
+    outage = InterfaceOutage(testbed.sim, iface)
+    outage.schedule(down_at=0.5, up_at=2.0)
+    testbed.run(until=1.0)
+    assert outage.is_down
+    assert iface.up_link.is_down and iface.down_link.is_down
+    testbed.run(until=3.0)
+    assert not outage.is_down
+
+
+def test_outage_callbacks_fire():
+    testbed = Testbed(TestbedConfig(seed=1))
+    iface = testbed.client.interfaces["client.wifi"]
+    outage = InterfaceOutage(testbed.sim, iface)
+    events = []
+    outage.on_down.append(lambda: events.append(("down", testbed.sim.now)))
+    outage.on_up.append(lambda: events.append(("up", testbed.sim.now)))
+    outage.schedule(down_at=1.0, up_at=2.5)
+    testbed.run(until=5.0)
+    assert events == [("down", 1.0), ("up", 2.5)]
+
+
+def test_recovery_must_follow_outage():
+    testbed = Testbed(TestbedConfig(seed=1))
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    with pytest.raises(ValueError):
+        outage.schedule(down_at=2.0, up_at=1.0)
+
+
+def test_mptcp_survives_wifi_outage():
+    """The core handover claim: the download completes on cellular."""
+    testbed = Testbed(TestbedConfig(seed=3))
+    connection, client = start_mptcp_download(testbed, 4 * MB)
+    wire_outage(testbed, connection, down_at=0.8, up_at=None)
+    testbed.run(until=120.0)
+    assert client.record.complete
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) > 3 * MB
+
+
+def test_mptcp_reuses_wifi_after_recovery():
+    testbed = Testbed(TestbedConfig(seed=3))
+    connection, client = start_mptcp_download(testbed, 8 * MB)
+    wire_outage(testbed, connection, down_at=0.8, up_at=3.0)
+    testbed.run(until=120.0)
+    assert client.record.complete
+    # A fresh WiFi subflow was opened after recovery...
+    wifi_subflows = [s for s in connection.subflows
+                     if s.path_name == "wifi"]
+    assert len(wifi_subflows) == 2
+    states = {s.endpoint.state for s in wifi_subflows}
+    assert "failed" in states
+    # ...and it carried data again.
+    post_recovery = connection.receive_buffer.metrics.bytes_by_path
+    assert post_recovery.get("wifi", 0) > 0
+
+
+def test_link_down_signal_fails_subflow_immediately():
+    testbed = Testbed(TestbedConfig(seed=3))
+    connection, client = start_mptcp_download(testbed, 4 * MB)
+    wire_outage(testbed, connection, down_at=0.8, up_at=None)
+    testbed.run(until=0.81)
+    wifi = [s for s in connection.subflows if s.path_name == "wifi"][0]
+    assert wifi.endpoint.state == "failed"
+
+
+def test_single_path_tcp_stalls_through_outage():
+    """The contrast the paper draws: SP-WiFi cannot make progress."""
+    testbed = Testbed(TestbedConfig(seed=3))
+    config = TcpConfig()
+    PlainTcpAcceptor(testbed.sim, testbed.server, HTTP_PORT, config,
+                     RenoController, responder=lambda i: 4 * MB)
+    endpoint = TcpEndpoint(testbed.sim, testbed.client, "client.wifi",
+                           testbed.client.ephemeral_port(),
+                           testbed.server_addrs[0], HTTP_PORT, config,
+                           RenoController())
+    client = HttpClient(testbed.sim, endpoint, 4 * MB)
+    client.start()
+    endpoint.connect()
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=0.8, up_at=6.0)
+    testbed.run(until=60.0)
+    mptcp_testbed = Testbed(TestbedConfig(seed=3))
+    connection, mptcp_client = start_mptcp_download(mptcp_testbed, 4 * MB)
+    wire_outage(mptcp_testbed, connection, down_at=0.8, up_at=6.0)
+    mptcp_testbed.run(until=60.0)
+    assert mptcp_client.record.complete
+    # SP either failed outright or took far longer than MPTCP.
+    if client.record.complete:
+        assert client.record.download_time > \
+            mptcp_client.record.download_time * 1.5
+
+
+def test_reinjection_keeps_stream_exactly_once():
+    """Despite duplicate DSN transmission, the app sees each byte once."""
+    testbed = Testbed(TestbedConfig(seed=9))
+    connection, client = start_mptcp_download(testbed, 2 * MB)
+    wire_outage(testbed, connection, down_at=0.4, up_at=None)
+    testbed.run(until=60.0)
+    assert client.record.complete
+    assert client.record.bytes_received == 2 * MB
+    assert connection.receive_buffer.metrics.delivered_bytes == 2 * MB

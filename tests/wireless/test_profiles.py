@@ -1,0 +1,121 @@
+"""Tests for the carrier profiles and environment modulation."""
+
+import random
+
+import pytest
+
+from repro.wireless.profiles import (
+    ATT_LTE,
+    CARRIER_PROFILES,
+    HOME_WIFI,
+    PUBLIC_WIFI,
+    SERVER_ETHERNET,
+    SPRINT_EVDO,
+    VERIZON_LTE,
+    WIFI_PROFILES,
+    EnvironmentFactors,
+    TimeOfDay,
+    environment_factor,
+)
+
+
+def test_all_three_carriers_registered():
+    assert set(CARRIER_PROFILES) == {"att", "verizon", "sprint"}
+    assert set(WIFI_PROFILES) == {"home", "public"}
+
+
+def test_paper_path_orderings():
+    """The qualitative facts of Section 2.1 / Table 2."""
+    # WiFi: shortest RTT, highest loss.
+    assert HOME_WIFI.prop_delay < ATT_LTE.prop_delay
+    assert HOME_WIFI.down_loss > ATT_LTE.down_loss
+    # Cellular: near-lossless to TCP (loss handled by ARQ).
+    for profile in (ATT_LTE, VERIZON_LTE, SPRINT_EVDO):
+        assert profile.down_loss == 0.0
+        assert profile.arq is not None
+    # 3G is the slowest and has the largest base RTT among cellular.
+    assert SPRINT_EVDO.down_rate < VERIZON_LTE.down_rate < ATT_LTE.down_rate
+    assert SPRINT_EVDO.prop_delay > ATT_LTE.prop_delay
+    # Public hotspot is worse than home WiFi.
+    assert PUBLIC_WIFI.down_loss > HOME_WIFI.down_loss
+    assert PUBLIC_WIFI.down_rate < HOME_WIFI.down_rate
+
+
+def test_cellular_profiles_have_promotion_delay():
+    for profile in CARRIER_PROFILES.values():
+        assert profile.promotion_delay > 0
+        assert profile.is_cellular
+    assert not HOME_WIFI.is_cellular
+    assert HOME_WIFI.is_wifi and not ATT_LTE.is_wifi
+
+
+def test_rate_variability_ordering():
+    """Variance grows AT&T < Verizon, Sprint (Section 5.1)."""
+    assert ATT_LTE.modulation.sigma < VERIZON_LTE.modulation.sigma
+    assert ATT_LTE.modulation.sigma < SPRINT_EVDO.modulation.sigma
+
+
+def test_link_configs_mirror_profile():
+    up, down = ATT_LTE.link_configs()
+    assert up.rate_bps == ATT_LTE.up_rate
+    assert down.rate_bps == ATT_LTE.down_rate
+    assert down.buffer_bytes == ATT_LTE.down_buffer
+    assert up.prop_delay == down.prop_delay == ATT_LTE.prop_delay
+    assert down.arq is ATT_LTE.arq
+
+
+def test_with_environment_scales_rates_and_losses():
+    env = EnvironmentFactors(rate_scale=0.5, loss_scale=2.0)
+    scaled = HOME_WIFI.with_environment(env)
+    assert scaled.down_rate == pytest.approx(HOME_WIFI.down_rate * 0.5)
+    assert scaled.down_loss == pytest.approx(HOME_WIFI.down_loss * 2.0)
+    # Other fields untouched.
+    assert scaled.prop_delay == HOME_WIFI.prop_delay
+    assert scaled.down_buffer == HOME_WIFI.down_buffer
+
+
+def test_with_environment_clamps_loss():
+    env = EnvironmentFactors(rate_scale=1.0, loss_scale=1000.0)
+    scaled = HOME_WIFI.with_environment(env)
+    assert scaled.down_loss <= 0.25
+
+
+def test_environment_factor_deterministic_per_seed():
+    a = environment_factor(random.Random(1), HOME_WIFI, TimeOfDay.EVENING)
+    b = environment_factor(random.Random(1), HOME_WIFI, TimeOfDay.EVENING)
+    assert a == b
+
+
+def test_environment_factor_positive():
+    rng = random.Random(2)
+    for period in TimeOfDay:
+        for profile in (HOME_WIFI, ATT_LTE, SPRINT_EVDO):
+            env = environment_factor(rng, profile, period)
+            assert env.rate_scale > 0
+            assert env.loss_scale > 0
+
+
+def test_wifi_evening_is_more_loaded_than_night():
+    """Average over draws: evening raises loss, lowers rate for WiFi."""
+    rng = random.Random(3)
+    nights = [environment_factor(rng, HOME_WIFI, TimeOfDay.NIGHT)
+              for _ in range(300)]
+    evenings = [environment_factor(rng, HOME_WIFI, TimeOfDay.EVENING)
+                for _ in range(300)]
+    mean = lambda values: sum(values) / len(values)
+    assert mean([env.loss_scale for env in evenings]) > \
+        mean([env.loss_scale for env in nights])
+    assert mean([env.rate_scale for env in evenings]) < \
+        mean([env.rate_scale for env in nights])
+
+
+def test_cellular_environment_is_period_insensitive():
+    a = environment_factor(random.Random(4), ATT_LTE, TimeOfDay.NIGHT)
+    b = environment_factor(random.Random(4), ATT_LTE, TimeOfDay.EVENING)
+    assert a == b
+
+
+def test_server_ethernet_is_effectively_ideal():
+    assert SERVER_ETHERNET.down_rate >= 1e9
+    assert SERVER_ETHERNET.down_loss == 0.0
+    assert SERVER_ETHERNET.arq is None

@@ -1,0 +1,83 @@
+"""Tests for the cellular RRC state machine."""
+
+from repro.sim.engine import Simulator
+from repro.wireless.rrc import RadioState, RadioStateMachine
+
+
+def test_starts_idle():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.5)
+    assert radio.state is RadioState.IDLE
+
+
+def test_request_while_idle_waits_for_promotion():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.5)
+    fired = []
+    radio.request(lambda: fired.append(sim.now))
+    assert radio.state is RadioState.PROMOTING
+    sim.run(until=2.0)  # bounded: don't run into the demotion timer
+    assert fired == [1.5]
+    assert radio.state is RadioState.CONNECTED
+
+
+def test_requests_queue_during_promotion():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.0)
+    fired = []
+    radio.request(lambda: fired.append("a"))
+    radio.request(lambda: fired.append("b"))
+    assert radio.promotions == 1  # only one promotion in flight
+    sim.run(until=2.0)
+    assert fired == ["a", "b"]
+
+
+def test_request_while_connected_is_immediate():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.0)
+    radio.warm_up()
+    fired = []
+    radio.request(lambda: fired.append(sim.now))
+    assert fired == [0.0]
+
+
+def test_warm_up_skips_promotion_delay():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=2.0)
+    radio.warm_up()
+    assert radio.state is RadioState.CONNECTED
+    assert radio.promotions == 0
+
+
+def test_inactivity_demotes_to_idle():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.0,
+                              inactivity_timeout=5.0)
+    radio.warm_up()
+    sim.run(until=6.0)
+    assert radio.state is RadioState.IDLE
+
+
+def test_touch_resets_demotion_timer():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.0,
+                              inactivity_timeout=5.0)
+    radio.warm_up()
+    sim.schedule(4.0, radio.touch)
+    sim.run(until=8.0)
+    assert radio.state is RadioState.CONNECTED
+    sim.run(until=10.0)
+    assert radio.state is RadioState.IDLE
+
+
+def test_repromotion_after_demotion():
+    sim = Simulator()
+    radio = RadioStateMachine(sim, promotion_delay=1.0,
+                              inactivity_timeout=2.0)
+    radio.warm_up()
+    sim.run(until=3.0)  # demoted
+    fired = []
+    radio.request(lambda: fired.append(sim.now))
+    sim.run(until=5.0)
+    assert fired == [4.0]
+    assert radio.promotions == 1

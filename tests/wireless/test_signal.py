@@ -1,0 +1,87 @@
+"""Tests for the signal-strength model."""
+
+import pytest
+
+from repro.wireless.profiles import ATT_LTE, HOME_WIFI
+from repro.wireless.signal import (
+    STRONG_DBM,
+    WEAK_DBM,
+    apply_signal,
+    radio_error_rate,
+    rate_fraction,
+    snr_db,
+)
+
+
+def test_snr_positive_across_paper_range():
+    assert snr_db(STRONG_DBM) > snr_db(WEAK_DBM) > 0
+
+
+def test_rate_fraction_anchored_and_monotone():
+    assert rate_fraction(STRONG_DBM) == pytest.approx(1.0)
+    values = [rate_fraction(dbm) for dbm in (-60, -70, -80, -90, -102)]
+    assert values == sorted(values, reverse=True)
+    assert 0.02 <= values[-1] < 0.3
+
+
+def test_rate_fraction_clamped():
+    assert rate_fraction(-30.0) == 1.0
+    assert rate_fraction(-140.0) == 0.02
+
+
+def test_radio_error_rate_grows_with_fade():
+    base = 0.02
+    strong = radio_error_rate(STRONG_DBM, base)
+    weak = radio_error_rate(WEAK_DBM, base)
+    assert strong == pytest.approx(base)
+    assert weak > strong * 10
+    assert weak <= 0.35
+
+
+def test_apply_signal_scales_profile():
+    weak = apply_signal(ATT_LTE, -90.0)
+    assert weak.down_rate < ATT_LTE.down_rate
+    assert weak.up_rate < ATT_LTE.up_rate
+    assert weak.arq.error_rate > ATT_LTE.arq.error_rate
+    # Untouched fields survive.
+    assert weak.prop_delay == ATT_LTE.prop_delay
+    assert weak.promotion_delay == ATT_LTE.promotion_delay
+
+
+def test_apply_signal_strong_is_nearly_identity():
+    strong = apply_signal(ATT_LTE, STRONG_DBM)
+    assert strong.down_rate == pytest.approx(ATT_LTE.down_rate)
+    assert strong.arq.error_rate == pytest.approx(ATT_LTE.arq.error_rate)
+
+
+def test_apply_signal_rejects_wifi():
+    with pytest.raises(ValueError):
+        apply_signal(HOME_WIFI, -70.0)
+
+
+def test_weak_signal_slows_downloads_end_to_end():
+    from repro.experiments.config import FlowSpec
+    from repro.experiments.runner import Measurement
+
+    spec = FlowSpec.single_path("cell", carrier="att")
+    size = 512 * 1024
+    strong = Measurement(spec, size, seed=55,
+                         cell_profile=apply_signal(ATT_LTE, -62.0)).run()
+    weak = Measurement(spec, size, seed=55,
+                       cell_profile=apply_signal(ATT_LTE, -98.0)).run()
+    assert strong.completed and weak.completed
+    assert weak.download_time > strong.download_time * 1.5
+
+
+def test_mptcp_absorbs_a_weak_cellular_signal():
+    """With WiFi healthy, MPTCP barely notices a faded cellular path."""
+    from repro.experiments.config import FlowSpec
+    from repro.experiments.runner import Measurement
+
+    spec = FlowSpec.mptcp(carrier="att")
+    size = 512 * 1024
+    strong = Measurement(spec, size, seed=55,
+                         cell_profile=apply_signal(ATT_LTE, -62.0)).run()
+    weak = Measurement(spec, size, seed=55,
+                       cell_profile=apply_signal(ATT_LTE, -98.0)).run()
+    assert weak.download_time < strong.download_time * 2.5
