@@ -5,7 +5,7 @@ Expected shape: at equal sizes, the cellular fraction is higher than in
 the home-WiFi runs of Figure 5 (cross-checked inside the test).
 """
 
-from benchmarks.conftest import BENCH_REPS, PERIODS, emit
+from benchmarks.conftest import BENCH_JOBS, BENCH_REPS, PERIODS, emit
 from repro.experiments.runner import Campaign
 from repro.experiments.scenarios import (
     coffee_shop_campaign,
@@ -24,7 +24,8 @@ def test_fig07_coffee_shop_traffic_share(campaign_runner):
               for row in rows}
     # Compare against the home-WiFi environment (Figure 5's campaign).
     home_results = Campaign(
-        small_flows_campaign(repetitions=1, periods=PERIODS)).run()
+        small_flows_campaign(repetitions=1, periods=PERIODS),
+        jobs=BENCH_JOBS).run()
     _, home_rows = traffic_share_rows(home_results)
     home = {(row[0], row[1]): float(row[3].split("+-")[0])
             for row in home_rows}

@@ -12,6 +12,11 @@ Environment knobs:
   (default 2; the paper used 20 per period).
 * ``REPRO_BENCH_FULL``  -- set to 1 to run full-size experiments
   (all four day periods, 512 MB backlog for Figure 11).
+* ``REPRO_BENCH_JOBS``  -- worker processes per campaign (default:
+  one per CPU core; results are bit-identical to a serial run).
+* ``REPRO_BENCH_JOURNAL`` -- path of a resume journal: completed
+  runs are streamed there and skipped on re-invocation, so an
+  interrupted benchmark session picks up where it left off.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))  # 0 = all cores
+BENCH_JOURNAL = os.environ.get("REPRO_BENCH_JOURNAL") or None
 
 #: Period sets: quick runs sample one period; full runs cover the day.
 PERIODS = (tuple(TimeOfDay) if BENCH_FULL
@@ -38,7 +45,7 @@ PERIODS = (tuple(TimeOfDay) if BENCH_FULL
 
 def run_campaign(spec: CampaignSpec) -> List[RunResult]:
     """Execute a campaign and sanity-check completion."""
-    campaign = Campaign(spec)
+    campaign = Campaign(spec, jobs=BENCH_JOBS, journal=BENCH_JOURNAL)
     results = campaign.run()
     completed = campaign.completed_fraction()
     assert completed > 0.9, (

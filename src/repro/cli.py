@@ -7,6 +7,9 @@ Examples::
     repro tab6 --csv out/       # Table 6, also exported as CSV
     repro fig11 --full          # the true 512 MB backlog experiment
     repro all --reps 1          # everything, quick pass
+    repro fig2 --jobs 4         # fan runs out over 4 worker processes
+    repro fig9 --jobs 0 --resume fig9.journal
+                                # all cores; interrupt + re-run resumes
 
 Each command runs the corresponding measurement campaign (fresh
 simulations -- expect seconds to minutes depending on repetitions) and
@@ -140,7 +143,8 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
             print(f"  [{index}/{count}] {result.spec.label} "
                   f"{result.size} B: {status}", flush=True)
 
-    campaign = Campaign(spec, progress=progress)
+    campaign = Campaign(spec, progress=progress, jobs=args.jobs,
+                        journal=args.resume)
     results = campaign.run()
     elapsed = time.time() - started
     print(f"done in {elapsed:.1f}s "
@@ -203,6 +207,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
                              "512 MB objects for fig11")
     parser.add_argument("--seed", type=int, default=2013,
                         help="campaign base seed (default 2013)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run measurements across N worker "
+                             "processes (0 = one per CPU core); "
+                             "results are bit-identical to a serial "
+                             "run (default 1)")
+    parser.add_argument("--resume", metavar="FILE",
+                        help="journal completed runs to FILE and, on "
+                             "re-invocation, skip cells already "
+                             "recorded there instead of recomputing")
     parser.add_argument("--csv", metavar="DIR",
                         help="also export rows as CSV into DIR")
     parser.add_argument("--plot", action="store_true",
@@ -213,6 +226,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
                         help="print per-measurement progress")
     args = parser.parse_args(argv)
 
+    if args.resume:
+        directory = Path(args.resume).resolve().parent
+        if not directory.is_dir():
+            parser.error(f"--resume: directory {directory} does not exist")
     if args.artifact == "list":
         for name in sorted(artifacts):
             print(f"{name:7s} {artifacts[name].title}")

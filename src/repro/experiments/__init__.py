@@ -9,6 +9,9 @@
   :class:`Campaign` runs a randomized measurement matrix the way
   Section 3.2 does (shuffled configuration order per round, multiple
   day periods).
+* :mod:`repro.experiments.parallel` -- fans campaign cells out over
+  worker processes and reassembles them in serial order
+  (deterministic), with a resume journal that skips completed cells.
 * :mod:`repro.experiments.stats` -- five-number (box-and-whisker)
   summaries, mean +- standard error, and CCDFs.
 * :mod:`repro.experiments.report` -- ASCII tables / text "figures" and
@@ -18,7 +21,15 @@
 """
 
 from repro.experiments.config import FlowSpec
-from repro.experiments.runner import Campaign, CampaignSpec, Measurement, RunResult
+from repro.experiments.parallel import execute_plan
+from repro.experiments.runner import (
+    Campaign,
+    CampaignSpec,
+    Measurement,
+    RunDescriptor,
+    RunResult,
+    run_key,
+)
 from repro.experiments.stats import (
     FiveNumber,
     ccdf,
@@ -43,6 +54,7 @@ from repro.experiments.report import (
     write_csv,
 )
 from repro.experiments.storage import (
+    ResultJournal,
     load_results,
     merge_results,
     save_results,
@@ -52,8 +64,12 @@ __all__ = [
     "FlowSpec",
     "Measurement",
     "RunResult",
+    "RunDescriptor",
+    "run_key",
     "Campaign",
     "CampaignSpec",
+    "execute_plan",
+    "ResultJournal",
     "FiveNumber",
     "five_number",
     "mean_stderr",

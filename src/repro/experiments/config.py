@@ -9,7 +9,7 @@ protocol knobs the paper varies (simultaneous SYN) or we ablate
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.core.connection import MptcpConfig
@@ -82,6 +82,19 @@ class FlowSpec:
     @property
     def carrier_label(self) -> str:
         return _CARRIER_LABELS[self.carrier]
+
+    @property
+    def identity(self) -> str:
+        """Canonical string of *every* field, for seed derivation and
+        resume-journal keys.
+
+        ``label`` alone is ambiguous: an ablation can put two specs with
+        the same label and carrier but different scheduler or ssthresh
+        in one campaign, and anything keyed on the label would silently
+        collide.
+        """
+        values = asdict(self)
+        return ";".join(f"{name}={values[name]}" for name in sorted(values))
 
     @property
     def server_interfaces(self) -> int:

@@ -33,6 +33,15 @@ from repro.wireless.profiles import TimeOfDay
 _EVENTS_PER_PACKET = 60
 
 
+def run_key(spec: FlowSpec, size: int, seed: int, period: TimeOfDay) -> str:
+    """The resume-journal key of one campaign cell.
+
+    Built from the spec's full :attr:`FlowSpec.identity` so ablation
+    specs sharing a label never collide.
+    """
+    return f"{spec.identity}|{size}|{seed}|{period.value}"
+
+
 @dataclass
 class RunResult:
     """Everything one measurement yields."""
@@ -154,6 +163,36 @@ class Measurement:
 
 
 @dataclass(frozen=True)
+class RunDescriptor:
+    """One campaign cell as plain picklable data.
+
+    Worker processes receive these instead of live :class:`Measurement`
+    objects; :meth:`run` rebuilds the measurement on the other side.
+    ``index`` is the cell's position in the serial execution order, so
+    out-of-order parallel completions can be reassembled exactly.
+    """
+
+    index: int
+    spec: FlowSpec
+    size: int
+    seed: int
+    period: TimeOfDay
+    wifi_profile: Optional[object] = None
+    cell_profile: Optional[object] = None
+    timeout: Optional[float] = None
+
+    @property
+    def key(self) -> str:
+        return run_key(self.spec, self.size, self.seed, self.period)
+
+    def run(self) -> RunResult:
+        return Measurement(self.spec, self.size, seed=self.seed,
+                           period=self.period, timeout=self.timeout,
+                           wifi_profile=self.wifi_profile,
+                           cell_profile=self.cell_profile).run()
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """A measurement matrix, Section 3.2 style."""
 
@@ -172,18 +211,36 @@ class CampaignSpec:
 
 
 class Campaign:
-    """Runs a :class:`CampaignSpec`, randomizing order per round."""
+    """Runs a :class:`CampaignSpec`, randomizing order per round.
 
-    def __init__(self, spec: CampaignSpec, progress=None) -> None:
+    ``jobs`` fans the measurements out over worker processes (each run
+    builds a fresh, independently seeded testbed, so the results list
+    is bit-for-bit identical to a serial run).  ``journal`` — a path or
+    a :class:`repro.experiments.storage.ResultJournal` — streams every
+    completed run to a JSON-lines file and skips cells already recorded
+    there, making interrupted campaigns resumable.
+    """
+
+    def __init__(self, spec: CampaignSpec, progress=None,
+                 jobs: int = 1, journal=None) -> None:
         self.spec = spec
         self.progress = progress
+        self.jobs = jobs
+        self.journal = journal
         self.results: List[RunResult] = []
 
-    def run(self) -> List[RunResult]:
+    def plan(self) -> List["RunDescriptor"]:
+        """The cells of this campaign, in serial execution order.
+
+        The per-run seed is derived from the spec's full
+        :attr:`FlowSpec.identity`, not just its label and carrier — two
+        ablation specs differing only in scheduler or ssthresh must not
+        share seeds, or their "independent" runs are correlated.
+        """
         spec = self.spec
         shuffler = random.Random(derive_seed(spec.base_seed,
                                              f"{spec.name}.order"))
-        run_index = 0
+        descriptors: List[RunDescriptor] = []
         for repetition in range(spec.repetitions):
             for period in spec.periods:
                 # One "round": every (config, size) once, in random
@@ -194,14 +251,18 @@ class Campaign:
                 for flow, size in cells:
                     seed = derive_seed(
                         spec.base_seed,
-                        f"{spec.name}:{flow.label}:{flow.carrier}:"
+                        f"{spec.name}:{flow.identity}:"
                         f"{size}:{period.value}:{repetition}")
-                    result = Measurement(flow, size, seed=seed,
-                                         period=period).run()
-                    self.results.append(result)
-                    run_index += 1
-                    if self.progress is not None:
-                        self.progress(run_index, spec.total_runs(), result)
+                    descriptors.append(RunDescriptor(
+                        index=len(descriptors), spec=flow, size=size,
+                        seed=seed, period=period))
+        return descriptors
+
+    def run(self) -> List[RunResult]:
+        from repro.experiments.parallel import execute_plan
+        self.results = execute_plan(self.plan(), jobs=self.jobs,
+                                    progress=self.progress,
+                                    journal=self.journal)
         return self.results
 
     # ------------------------------------------------------------------

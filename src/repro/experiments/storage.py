@@ -7,19 +7,28 @@ across sessions, and re-aggregated by the same row extractors that
 consume fresh results.
 
 RTT sample lists can be large (tens of thousands of packets for a
-32 MB transfer); ``max_samples`` thins them with a deterministic
-stride so stored files stay manageable while CCDF shapes survive.
+32 MB transfer); ``max_samples`` thins them to evenly spaced quantiles
+so stored files stay manageable while CCDF shapes — including the
+exact minimum and maximum — survive.
+
+:class:`ResultJournal` is the resume cache behind parallel campaigns:
+completed runs are streamed to a JSON-lines file keyed by
+``(spec, size, seed, period)``, and an interrupted or re-invoked
+campaign skips cells already recorded there.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
+import warnings
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.experiments.config import FlowSpec
-from repro.experiments.runner import RunResult
+from repro.experiments.runner import RunResult, run_key
 from repro.trace.analyzer import FlowAnalysis
 from repro.trace.metrics import ConnectionMetrics
 from repro.wireless.profiles import TimeOfDay
@@ -28,10 +37,24 @@ FORMAT_VERSION = 1
 
 
 def _thin(samples: List[float], max_samples: Optional[int]) -> List[float]:
+    """Thin a sample list to ``max_samples`` evenly spaced quantiles.
+
+    Sorting first turns stride selection into a quantile sketch whose
+    first and last picks are exactly the minimum and the maximum.  A
+    naive ``samples[int(i * stride)]`` stride starts at index 0 and
+    never visits the final index, silently dropping the largest sample
+    — which is precisely the CCDF tail the paper plots in Figures
+    12/13.
+    """
     if max_samples is None or len(samples) <= max_samples:
         return list(samples)
-    stride = len(samples) / max_samples
-    return [samples[int(index * stride)] for index in range(max_samples)]
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    if max_samples == 1:
+        return [ordered[last]]
+    step = last / (max_samples - 1)
+    return [ordered[min(last, round(index * step))]
+            for index in range(max_samples)]
 
 
 def _analysis_to_dict(analysis: FlowAnalysis,
@@ -115,29 +138,75 @@ def result_from_dict(data: dict) -> RunResult:
     )
 
 
+def _write_lines(handle, results: Iterable[RunResult],
+                 max_samples: Optional[int]) -> int:
+    count = 0
+    for result in results:
+        json.dump(result_to_dict(result, max_samples), handle,
+                  separators=(",", ":"))
+        handle.write("\n")
+        count += 1
+    return count
+
+
 def save_results(path: Union[str, Path], results: Iterable[RunResult],
                  max_samples: Optional[int] = 2000,
                  append: bool = False) -> int:
-    """Write results as JSON lines; returns the count written."""
-    mode = "a" if append else "w"
-    count = 0
-    with open(path, mode) as handle:
-        for result in results:
-            json.dump(result_to_dict(result, max_samples), handle,
-                      separators=(",", ":"))
-            handle.write("\n")
-            count += 1
+    """Write results as JSON lines; returns the count written.
+
+    Full (non-append) saves go through a temp file and ``os.replace``
+    so a crash mid-write leaves the previous file intact instead of a
+    truncated one that loses every prior row.
+    """
+    path = Path(path)
+    if append:
+        with open(path, "a") as handle:
+            count = _write_lines(handle, results, max_samples)
+            handle.flush()
+        return count
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent or Path("."),
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            count = _write_lines(handle, results, max_samples)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return count
 
 
 def load_results(path: Union[str, Path]) -> List[RunResult]:
-    """Read a JSON-lines results file back into RunResult objects."""
+    """Read a JSON-lines results file back into RunResult objects.
+
+    A malformed *final* line — the signature of a writer killed
+    mid-append — is skipped with a warning so the intact rows before it
+    survive; corruption anywhere else still raises.
+    """
     results: List[RunResult] = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                results.append(result_from_dict(json.loads(line)))
+        lines = handle.readlines()
+    for lineno, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError:
+            trailing = all(not later.strip()
+                           for later in lines[lineno + 1:])
+            if trailing:
+                warnings.warn(
+                    f"{path}: skipping truncated trailing line "
+                    f"{lineno + 1} (interrupted write)", RuntimeWarning)
+                break
+            raise
+        results.append(result_from_dict(data))
     return results
 
 
@@ -147,3 +216,68 @@ def merge_results(*paths: Union[str, Path]) -> List[RunResult]:
     for path in paths:
         merged.extend(load_results(path))
     return merged
+
+
+class ResultJournal:
+    """Append-only resume cache of completed campaign cells.
+
+    Each completed run is streamed to a JSON-lines file keyed by
+    :func:`repro.experiments.runner.run_key` — ``(spec, size, seed,
+    period)`` — and flushed to disk immediately, so an interrupted
+    campaign loses at most the run in flight.  Re-opening the journal
+    restores every completed cell; :func:`load_results` tolerance for a
+    truncated trailing line makes a mid-write crash recoverable.
+
+    Rows are stored at full fidelity (``max_samples=None``) by default:
+    a resumed campaign must hand back *exactly* what a fresh run would
+    compute, or the serial-equals-parallel determinism guarantee breaks.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 max_samples: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.max_samples = max_samples
+        self._results: Dict[str, RunResult] = {}
+        if self.path.exists():
+            for result in load_results(self.path):
+                self._results[run_key(result.spec, result.size,
+                                      result.seed, result.period)] = result
+        #: Cells restored from a previous invocation.
+        self.restored = len(self._results)
+        # Open eagerly: an unwritable journal path must fail before any
+        # simulation work is spent, not after the first completed run.
+        self._handle = open(self.path, "a")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: str) -> Optional[RunResult]:
+        return self._results.get(key)
+
+    def record(self, result: RunResult) -> None:
+        """Persist one completed run (idempotent per key)."""
+        key = run_key(result.spec, result.size, result.seed, result.period)
+        if key in self._results:
+            return
+        if self._handle is None:
+            raise ValueError(f"journal {self.path} is closed")
+        json.dump(result_to_dict(result, self.max_samples), self._handle,
+                  separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._results[key] = result
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -102,3 +102,27 @@ def test_campaign_progress_callback():
                         repetitions=2, periods=(TimeOfDay.NIGHT,))
     Campaign(spec, progress=lambda i, n, r: calls.append((i, n))).run()
     assert calls == [(1, 2), (2, 2)]
+
+
+def test_campaign_seeds_distinguish_ablation_specs():
+    """Regression: seeds derived from label+carrier alone collide for
+    specs that differ only in a protocol knob (e.g. the scheduler),
+    silently correlating their 'independent' runs."""
+    a = FlowSpec.mptcp(carrier="att", scheduler="minrtt")
+    b = FlowSpec.mptcp(carrier="att", scheduler="roundrobin")
+    assert a.label == b.label and a.carrier == b.carrier
+    spec = CampaignSpec(name="t", specs=(a, b), sizes=(8 * KB,),
+                        repetitions=1, periods=(TimeOfDay.NIGHT,))
+    plan = Campaign(spec).plan()
+    assert len({descriptor.seed for descriptor in plan}) == len(plan) == 2
+
+
+def test_campaign_seeds_unique_across_matrix():
+    spec = CampaignSpec(
+        name="t",
+        specs=(FlowSpec.single_path("wifi"), FlowSpec.mptcp(carrier="att")),
+        sizes=(8 * KB, 64 * KB), repetitions=2,
+        periods=(TimeOfDay.NIGHT, TimeOfDay.AFTERNOON))
+    plan = Campaign(spec).plan()
+    seeds = {descriptor.seed for descriptor in plan}
+    assert len(seeds) == spec.total_runs()

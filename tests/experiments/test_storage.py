@@ -5,16 +5,19 @@ import json
 import pytest
 
 from repro.experiments.config import FlowSpec
-from repro.experiments.runner import Measurement
+from repro.experiments.runner import Measurement, run_key
 from repro.experiments.scenarios import download_time_rows, \
     traffic_share_rows
 from repro.experiments.storage import (
+    ResultJournal,
+    _thin,
     load_results,
     merge_results,
     result_from_dict,
     result_to_dict,
     save_results,
 )
+from repro.wireless.profiles import TimeOfDay
 
 KB = 1024
 
@@ -66,6 +69,40 @@ def test_sample_thinning_preserves_statistics(sample_results):
                 analysis.mean_rtt, rel=0.5)
 
 
+def test_thin_keeps_endpoints_and_size():
+    samples = [float(value) for value in range(997)]
+    thinned = _thin(samples, 32)
+    assert len(thinned) == 32
+    assert thinned[0] == min(samples)
+    assert thinned[-1] == max(samples)
+    assert thinned == sorted(thinned)
+
+
+def test_thin_single_sample_is_maximum():
+    assert _thin([3.0, 9.0, 1.0], 1) == [9.0]
+
+
+def test_thin_short_list_untouched():
+    samples = [5.0, 2.0, 8.0]
+    assert _thin(samples, 10) == samples
+    assert _thin(samples, None) == samples
+
+
+def test_thinning_preserves_maximum_sample(sample_results):
+    """Regression: the stride used to drop the final (max) sample,
+    truncating exactly the CCDF tails of Figures 12/13."""
+    original = sample_results[0]
+    stored = result_from_dict(result_to_dict(original, max_samples=10))
+    for path, analysis in original.metrics.per_path.items():
+        restored = stored.metrics.per_path[path]
+        if analysis.rtt_samples:
+            assert max(restored.rtt_samples) == max(analysis.rtt_samples)
+            assert min(restored.rtt_samples) == min(analysis.rtt_samples)
+    if original.metrics.ofo_delays:
+        assert max(stored.metrics.ofo_delays) == \
+            max(original.metrics.ofo_delays)
+
+
 def test_save_and_load(tmp_path, sample_results):
     path = tmp_path / "results.jsonl"
     written = save_results(path, sample_results)
@@ -105,3 +142,63 @@ def test_file_is_plain_json_lines(tmp_path, sample_results):
         record = json.loads(line)
         assert record["version"] == 1
         assert "spec" in record and "metrics" in record
+
+
+def test_save_failure_leaves_previous_file_intact(tmp_path, sample_results):
+    """A crash mid-save must not truncate an existing results file."""
+    path = tmp_path / "results.jsonl"
+    save_results(path, sample_results)
+
+    class NotAResult:
+        pass
+
+    with pytest.raises(AttributeError):
+        save_results(path, [sample_results[0], NotAResult()])
+    assert len(load_results(path)) == 2
+    assert list(tmp_path.iterdir()) == [path], "no temp-file litter"
+
+
+def test_load_skips_truncated_trailing_line(tmp_path, sample_results):
+    path = tmp_path / "results.jsonl"
+    save_results(path, sample_results)
+    with open(path, "a") as handle:
+        handle.write('{"version":1,"spec":{"mo')  # writer died here
+    with pytest.warns(RuntimeWarning):
+        loaded = load_results(path)
+    assert len(loaded) == 2
+
+
+def test_load_raises_on_corrupt_middle_line(tmp_path, sample_results):
+    path = tmp_path / "results.jsonl"
+    lines = [json.dumps(result_to_dict(result)) for result in sample_results]
+    path.write_text(lines[0] + "\n{broken\n" + lines[1] + "\n")
+    with pytest.raises(json.JSONDecodeError):
+        load_results(path)
+
+
+def test_run_key_distinguishes_ablation_specs():
+    a = FlowSpec.mptcp(carrier="att", scheduler="minrtt")
+    b = FlowSpec.mptcp(carrier="att", scheduler="roundrobin")
+    assert a.label == b.label  # the ambiguity run_key must survive
+    assert run_key(a, 8 * KB, 1, TimeOfDay.NIGHT) != \
+        run_key(b, 8 * KB, 1, TimeOfDay.NIGHT)
+
+
+def test_journal_round_trip(tmp_path, sample_results):
+    path = tmp_path / "journal.jsonl"
+    with ResultJournal(path) as journal:
+        for result in sample_results:
+            journal.record(result)
+        assert len(journal) == 2
+    reloaded = ResultJournal(path)
+    assert reloaded.restored == 2
+    for result in sample_results:
+        key = run_key(result.spec, result.size, result.seed, result.period)
+        assert key in reloaded
+        cached = reloaded.get(key)
+        assert result_to_dict(cached, max_samples=None) == \
+            result_to_dict(result, max_samples=None)
+    # Re-recording an existing key is a no-op, not a duplicate line.
+    reloaded.record(sample_results[0])
+    reloaded.close()
+    assert len(path.read_text().splitlines()) == 2

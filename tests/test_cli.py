@@ -82,6 +82,31 @@ def test_run_campaign_from_file(tmp_path, capsys):
     assert "SP-WiFi" in out
 
 
+def test_jobs_and_resume_flags(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps({
+        "name": "cli-par",
+        "repetitions": 1,
+        "periods": ["night"],
+        "sizes": ["8 KB", "32 KB"],
+        "flows": [{"mode": "sp", "interface": "wifi"}],
+    }))
+    journal = tmp_path / "journal.jsonl"
+    argv = ["run-campaign", "--file", str(path), "--jobs", "2",
+            "--resume", str(journal)]
+    assert main(argv) == 0
+    assert journal.exists()
+    content = journal.read_text()
+    assert len(content.splitlines()) == 2
+    # Re-invoking resumes from the journal: nothing is recomputed,
+    # so the journal is byte-identical afterwards.
+    assert main(argv) == 0
+    assert journal.read_text() == content
+    capsys.readouterr()
+
+
 def test_run_campaign_requires_file():
     with pytest.raises(SystemExit):
         main(["run-campaign"])
