@@ -151,8 +151,21 @@ class MptcpConnection:
         self.path_manager.start()
 
     def open_subflow(self, local_addr: str, remote_addr: str) -> Subflow:
-        """Create and actively open one subflow (client side)."""
-        is_initial = not self.subflows
+        """Create and actively open one subflow (client side).
+
+        A subflow carries MP_CAPABLE (initial) rather than MP_JOIN as
+        long as the server cannot know this connection yet — nothing
+        has ever established — and no other initial subflow is still
+        mid-handshake.  Merely having *tried* before must not demote a
+        reopened subflow to a join: if the first SYN died (interface
+        outage during the handshake), a join would sit in the server's
+        pending queue forever and the connection would never establish.
+        """
+        live_initial = any(
+            subflow.is_initial and subflow.endpoint is not None
+            and subflow.endpoint.state not in ("closed", "failed")
+            for subflow in self.subflows)
+        is_initial = self.established_at is None and not live_initial
         path_name = path_name_of(local_addr)
         subflow = Subflow(self, path_name, is_initial,
                           backup=(not is_initial

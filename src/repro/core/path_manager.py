@@ -98,15 +98,26 @@ class PathManager:
 
     def on_interface_up(self, local: str) -> None:
         """An interface recovered (e.g. WiFi re-associated): reopen its
-        subflows toward every known server address."""
+        subflows toward every known server address.
+
+        A pair is reclaimed when its subflow failed outright, and also
+        when its endpoint silently gave up mid-handshake (SYN retries
+        exhausted leave the endpoint "closed" without ever having
+        established) — otherwise the dead pair blocks reopening and an
+        unestablished connection can never recover.
+        """
         self.down_locals.discard(local)
         for remote in self._known_remotes:
             pair = (local, remote)
             existing = self._subflow_by_pair.get(pair)
-            if existing is not None and existing.endpoint is not None \
-                    and existing.endpoint.state == "failed":
-                self._pairs_opened.discard(pair)
-                del self._subflow_by_pair[pair]
+            if existing is not None and existing.endpoint is not None:
+                endpoint = existing.endpoint
+                dead = (endpoint.state == "failed"
+                        or (endpoint.state == "closed"
+                            and endpoint.stats.established_at is None))
+                if dead:
+                    self._pairs_opened.discard(pair)
+                    del self._subflow_by_pair[pair]
             self._open(local, remote)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -95,13 +95,35 @@ def execute_plan(plan: Sequence[RunDescriptor],
                 finish(position, plan[position].run())
         else:
             workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute_descriptor, plan[position]):
-                           position for position in pending}
-                for future in as_completed(futures):
-                    finish(futures[future], future.result())
+            futures = {}
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {pool.submit(execute_descriptor,
+                                           plan[position]): position
+                               for position in pending}
+                    for future in as_completed(futures):
+                        finish(futures[future], future.result())
+            except BaseException:
+                # Pool shutdown has drained the siblings by now; runs
+                # that finished but were never yielded by as_completed
+                # must still reach the journal, or a failed worker
+                # throws away their completed work on resume.
+                if journal is not None:
+                    for future, position in futures.items():
+                        if (slots[position] is None and future.done()
+                                and not future.cancelled()
+                                and future.exception() is None):
+                            journal.record(future.result())
+                raise
 
-        assert all(result is not None for result in slots)
+        missing = [position for position, result in enumerate(slots)
+                   if result is None]
+        if missing:
+            # Not an assert: this must fail fast even under python -O,
+            # e.g. if a journal key ever collided with a different cell.
+            raise RuntimeError(
+                f"execute_plan left {len(missing)} of {total} cells "
+                f"unfilled (first at plan position {missing[0]})")
         return slots
     finally:
         if owns_journal:

@@ -9,7 +9,12 @@ consume fresh results.
 RTT sample lists can be large (tens of thousands of packets for a
 32 MB transfer); ``max_samples`` thins them to evenly spaced quantiles
 so stored files stay manageable while CCDF shapes — including the
-exact minimum and maximum — survive.
+exact minimum and maximum — survive.  Since format version 2, thinned
+sample lists are *sorted quantile sketches*, not time series: temporal
+order is deliberately traded for exact min/max retention.  (Version-1
+files, whose thinned lists were time-ordered stride subsamples missing
+the maximum, are still readable; every shipped consumer — CCDF,
+quantile, mean — is order-insensitive.)
 
 :class:`ResultJournal` is the resume cache behind parallel campaigns:
 completed runs are streamed to a JSON-lines file keyed by
@@ -25,7 +30,7 @@ import os
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import FlowSpec
 from repro.experiments.runner import RunResult, run_key
@@ -33,7 +38,12 @@ from repro.trace.analyzer import FlowAnalysis
 from repro.trace.metrics import ConnectionMetrics
 from repro.wireless.profiles import TimeOfDay
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Version 1 differs only in thinning semantics (time-ordered stride
+#: subsamples instead of sorted quantile sketches); structurally the
+#: rows are identical, so old files stay loadable.
+_READABLE_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 
 def _thin(samples: List[float], max_samples: Optional[int]) -> List[float]:
@@ -113,7 +123,7 @@ def result_to_dict(result: RunResult,
 
 def result_from_dict(data: dict) -> RunResult:
     """Rebuild a run from its serialized form."""
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported result format version {data.get('version')!r}")
     metrics_data = data["metrics"]
@@ -181,19 +191,27 @@ def save_results(path: Union[str, Path], results: Iterable[RunResult],
     return count
 
 
-def load_results(path: Union[str, Path]) -> List[RunResult]:
-    """Read a JSON-lines results file back into RunResult objects.
+def _scan_results(path: Union[str, Path]) -> Tuple[List[RunResult], int]:
+    """Parse a JSON-lines results file, tolerating a truncated tail.
 
-    A malformed *final* line — the signature of a writer killed
-    mid-append — is skipped with a warning so the intact rows before it
-    survive; corruption anywhere else still raises.
+    Returns ``(results, good_bytes)`` where ``good_bytes`` is the byte
+    offset just past the last fully parsed line — the safe point to
+    truncate to before appending more records.  A malformed *final*
+    line — the signature of a writer killed mid-append — is skipped
+    with a warning so the intact rows before it survive; corruption
+    anywhere else still raises.
     """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    lines = raw.splitlines(keepends=True)
     results: List[RunResult] = []
-    with open(path) as handle:
-        lines = handle.readlines()
+    offset = 0
+    good = 0
     for lineno, line in enumerate(lines):
+        offset += len(line)
         stripped = line.strip()
         if not stripped:
+            good = offset
             continue
         try:
             data = json.loads(stripped)
@@ -207,6 +225,18 @@ def load_results(path: Union[str, Path]) -> List[RunResult]:
                 break
             raise
         results.append(result_from_dict(data))
+        good = offset
+    return results, good
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read a JSON-lines results file back into RunResult objects.
+
+    A malformed *final* line — the signature of a writer killed
+    mid-append — is skipped with a warning so the intact rows before it
+    survive; corruption anywhere else still raises.
+    """
+    results, _ = _scan_results(path)
     return results
 
 
@@ -225,8 +255,9 @@ class ResultJournal:
     :func:`repro.experiments.runner.run_key` — ``(spec, size, seed,
     period)`` — and flushed to disk immediately, so an interrupted
     campaign loses at most the run in flight.  Re-opening the journal
-    restores every completed cell; :func:`load_results` tolerance for a
-    truncated trailing line makes a mid-write crash recoverable.
+    restores every completed cell; a partial trailing line left by a
+    mid-write crash is truncated away on open, so subsequent appends
+    land on a clean line boundary and the file stays loadable.
 
     Rows are stored at full fidelity (``max_samples=None``) by default:
     a resumed campaign must hand back *exactly* what a fresh run would
@@ -238,15 +269,32 @@ class ResultJournal:
         self.path = Path(path)
         self.max_samples = max_samples
         self._results: Dict[str, RunResult] = {}
+        unterminated = False
         if self.path.exists():
-            for result in load_results(self.path):
+            results, good = _scan_results(self.path)
+            for result in results:
                 self._results[run_key(result.spec, result.size,
                                       result.seed, result.period)] = result
+            # A truncated tail must be cut off before appending — the
+            # next record would otherwise concatenate onto the partial
+            # line, corrupting the journal for every later load.
+            if good < self.path.stat().st_size:
+                os.truncate(self.path, good)
+            # A valid last line missing its newline (crash between the
+            # JSON text and the "\n") needs the newline restored, or
+            # the first append glues onto it.
+            if good > 0:
+                with open(self.path, "rb") as handle:
+                    handle.seek(good - 1)
+                    unterminated = handle.read(1) != b"\n"
         #: Cells restored from a previous invocation.
         self.restored = len(self._results)
         # Open eagerly: an unwritable journal path must fail before any
         # simulation work is spent, not after the first completed run.
         self._handle = open(self.path, "a")
+        if unterminated:
+            self._handle.write("\n")
+            self._handle.flush()
 
     def __contains__(self, key: str) -> bool:
         return key in self._results

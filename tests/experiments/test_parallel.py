@@ -1,5 +1,7 @@
 """Serial-vs-parallel equivalence and resumable execution."""
 
+import warnings
+
 import pytest
 
 from repro.experiments import runner as runner_module
@@ -107,6 +109,44 @@ def test_resume_tolerates_truncated_journal(tmp_path):
     with pytest.warns(RuntimeWarning):
         resumed = Campaign(spec, journal=journal_path).run()
     assert full_dicts(resumed) == full_dicts(baseline)
+    # Crucially, appending over the repaired truncation must leave the
+    # journal loadable with every completed cell — no partial line
+    # glued to a fresh record, no silently dropped rows.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        reopened = ResultJournal(journal_path)
+    assert reopened.restored == len(plan)
+    for descriptor in plan:
+        assert descriptor.key in reopened
+    reopened.close()
+
+
+class _BoomDescriptor:
+    """A picklable campaign cell whose run always fails."""
+
+    key = "boom-cell"
+    index = -1
+
+    def run(self):
+        raise RuntimeError("boom")
+
+
+def test_worker_failure_journals_finished_runs(tmp_path):
+    """A failed worker must not discard siblings that completed while
+    it was failing: their results land in the journal before the error
+    propagates, so a re-invocation resumes instead of recomputing."""
+    spec = small_campaign()
+    plan = Campaign(spec).plan()
+    cells = [_BoomDescriptor()] + list(plan[:3])
+    journal_path = tmp_path / "journal.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        execute_plan(cells, jobs=2, journal=journal_path)
+    # Pool shutdown drains the three healthy cells; all must be kept.
+    journal = ResultJournal(journal_path)
+    assert journal.restored == 3
+    for descriptor in plan[:3]:
+        assert descriptor.key in journal
+    journal.close()
 
 
 def test_execute_plan_empty():

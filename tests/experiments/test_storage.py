@@ -1,6 +1,7 @@
 """Tests for result persistence."""
 
 import json
+import warnings
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.experiments.runner import Measurement, run_key
 from repro.experiments.scenarios import download_time_rows, \
     traffic_share_rows
 from repro.experiments.storage import (
+    FORMAT_VERSION,
     ResultJournal,
     _thin,
     load_results,
@@ -135,12 +137,21 @@ def test_unknown_version_rejected(sample_results):
         result_from_dict(data)
 
 
+def test_version1_record_still_loads(sample_results):
+    """v1 files (time-ordered thinning, pre-quantile-sketch) stay
+    readable: all shipped consumers are order-insensitive."""
+    data = result_to_dict(sample_results[0])
+    data["version"] = 1
+    restored = result_from_dict(data)
+    assert restored.spec == sample_results[0].spec
+
+
 def test_file_is_plain_json_lines(tmp_path, sample_results):
     path = tmp_path / "results.jsonl"
     save_results(path, sample_results)
     for line in path.read_text().splitlines():
         record = json.loads(line)
-        assert record["version"] == 1
+        assert record["version"] == FORMAT_VERSION
         assert "spec" in record and "metrics" in record
 
 
@@ -202,3 +213,45 @@ def test_journal_round_trip(tmp_path, sample_results):
     reloaded.record(sample_results[0])
     reloaded.close()
     assert len(path.read_text().splitlines()) == 2
+
+
+def test_journal_repairs_truncated_tail_before_append(
+        tmp_path, sample_results):
+    """Regression: opening a journal with a partial trailing line used
+    to append the next record onto that partial line, corrupting the
+    file for every later load."""
+    path = tmp_path / "journal.jsonl"
+    with ResultJournal(path) as journal:
+        journal.record(sample_results[0])
+    with open(path, "a") as handle:
+        handle.write('{"version":2,"spec":{"mode":"sp","carrie')
+    with pytest.warns(RuntimeWarning):
+        journal = ResultJournal(path)
+    assert journal.restored == 1
+    journal.record(sample_results[1])
+    journal.close()
+    # The journal must load back clean — no warning, both records.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        reloaded = load_results(path)
+    assert len(reloaded) == 2
+    assert reloaded[1].spec == sample_results[1].spec
+    # And survive yet another open/append cycle.
+    assert ResultJournal(path).restored == 2
+
+
+def test_journal_restores_missing_trailing_newline(
+        tmp_path, sample_results):
+    """A crash between a record's JSON text and its newline must not
+    make the next append glue onto a valid line."""
+    path = tmp_path / "journal.jsonl"
+    with ResultJournal(path) as journal:
+        journal.record(sample_results[0])
+    path.write_text(path.read_text().rstrip("\n"))
+    journal = ResultJournal(path)
+    assert journal.restored == 1
+    journal.record(sample_results[1])
+    journal.close()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert len(load_results(path)) == 2

@@ -147,3 +147,19 @@ def test_reinjection_keeps_stream_exactly_once():
     assert client.record.complete
     assert client.record.bytes_received == 2 * MB
     assert connection.receive_buffer.metrics.delivered_bytes == 2 * MB
+
+
+def test_outage_during_handshake_recovers():
+    """Regression: with the initial SYN lost to radio noise and WiFi
+    down across the retry window, the reopened subflow must carry
+    MP_CAPABLE again — a reopened MP_JOIN would sit in the server's
+    pending queue forever and the connection would never establish
+    (hypothesis-found: seed 231, outage 1.0-2.0 s)."""
+    testbed = Testbed(TestbedConfig(seed=231))
+    connection, client = start_mptcp_download(testbed, MB)
+    wire_outage(testbed, connection, down_at=1.0, up_at=2.0)
+    testbed.run(until=240.0)
+    assert client.record.complete
+    assert client.record.bytes_received == MB
+    # Establishment only became possible once the interface returned.
+    assert client.record.established_at >= 2.0
