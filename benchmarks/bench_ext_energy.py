@@ -74,7 +74,7 @@ def test_ext_energy_tradeoff(benchmark):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     emit("ext_energy",
          f"Extension: energy to download {SIZE // MB} MB "
-         f"(radio active/tail/promotion model)",
+         "(radio active/tail/promotion model)",
          [("energy", ["transport", "time (s)", "energy (J)", "J/MB"],
            rows)])
     by_label = {row[0]: (float(row[1]), float(row[2])) for row in rows}

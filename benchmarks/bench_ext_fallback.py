@@ -1,0 +1,41 @@
+"""Extension: MPTCP fallback behind interfering middleboxes.
+
+The paper measured MPTCP on networks where it worked; RFC 6824's
+fallback machinery (Section 3.6) exists for the networks where it
+would not have.  This benchmark places each middlebox profile — from
+"strips every MPTCP option" down to "only corrupts the DSS mappings"
+— on the WiFi access links and verifies the deployment story: every
+connection still completes (via plain-TCP or infinite-mapping
+fallback), at single-path goodput instead of a hang.
+"""
+
+from benchmarks.conftest import BENCH_REPS, emit
+from repro.experiments.scenarios import fallback_campaign, fallback_rows
+
+
+def test_ext_middlebox_fallback(campaign_runner):
+    spec = fallback_campaign(repetitions=BENCH_REPS)
+    results = campaign_runner(spec)
+    headers, rows = fallback_rows(results)
+    emit("ext_fallback",
+         "Extension: middlebox interference, fallback rate and goodput",
+         [("fallback", headers, rows)])
+    by_cell = {(row[0], row[1]): row for row in rows}
+    for (size, profile), row in by_cell.items():
+        completed, rate = float(row[3]), float(row[4])
+        # The acceptance bar: interference degrades, never deadlocks.
+        assert completed == 1.0, (
+            f"{profile} at {size}: only {completed:.0%} completed")
+        if profile == "none":
+            assert rate == 0.0, "clean runs must not fall back"
+        elif profile != "strip-join":
+            # strip-join only blocks the *second* subflow; the MPTCP
+            # connection itself survives, so no fallback is expected.
+            assert rate == 1.0, (
+                f"{profile} at {size}: fallback rate {rate:.0%}")
+    # Fallback costs the cellular path: goodput behind a stripping box
+    # must not exceed the clean MPTCP goodput.
+    for size in {row[0] for row in rows}:
+        clean = float(by_cell[(size, "none")][8])
+        stripped = float(by_cell[(size, "strip-all")][8])
+        assert stripped <= clean * 1.05

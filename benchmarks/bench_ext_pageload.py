@@ -74,7 +74,8 @@ def test_ext_page_load_time(benchmark):
                          f"{quantile(times, 0.95):.3f}",
                          f"{max(times):.3f}"])
         rows.append(["(pages)", str(N_PAGES),
-                     f"{statistics.mean([sum(p) for p in pages]) / 1024:.0f} KB avg",
+                     f"{statistics.mean([sum(p) for p in pages]) / 1024:.0f}"
+                     " KB avg",
                      "", ""])
         return rows, plts
 

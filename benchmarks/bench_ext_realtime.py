@@ -9,7 +9,6 @@ then shows the redundant scheduler (send on all paths, dedup by DSN)
 repairing the 3G pairing at the cost of duplicate bytes.
 """
 
-import random
 import statistics
 
 from benchmarks.conftest import BENCH_REPS, emit

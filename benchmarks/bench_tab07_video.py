@@ -13,7 +13,7 @@ import random
 import pytest
 
 from benchmarks.conftest import emit
-from repro.app.http import HTTP_PORT, HttpServerSession, REQUEST_SIZE
+from repro.app.http import HTTP_PORT, HttpServerSession
 from repro.app.video import NETFLIX_ANDROID, NETFLIX_IPAD, YOUTUBE, \
     VideoSession
 from repro.core.connection import MptcpConfig, MptcpConnection, \
@@ -27,7 +27,6 @@ def run_session(profile, seed, n_blocks=3):
     testbed = Testbed(TestbedConfig(seed=seed))
     config = MptcpConfig()
     rng = random.Random(seed)
-    state = {}
     connection = MptcpConnection.client(
         testbed.sim, testbed.client, testbed.client_addrs,
         testbed.server_addrs[0], HTTP_PORT, config)

@@ -18,7 +18,7 @@ last data byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol
 
 from repro.sim.engine import Simulator
@@ -114,7 +114,8 @@ class HttpClient:
 
     def __init__(self, sim: Simulator, transport: Transport, size: int,
                  request_size: int = REQUEST_SIZE,
-                 on_complete: Optional[Callable[["DownloadRecord"], None]] = None,
+                 on_complete: Optional[
+                     Callable[["DownloadRecord"], None]] = None,
                  ) -> None:
         self.sim = sim
         self.transport = transport

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.app.http import REQUEST_SIZE, Transport
+from repro.app.http import Transport
 from repro.sim.engine import Simulator
 
 #: Size of the server's application-level "stored OK" reply.

@@ -13,7 +13,7 @@ reorder delay can endanger.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.app.http import REQUEST_SIZE, Transport
@@ -122,7 +122,8 @@ class VideoSession:
     def __init__(self, sim: Simulator, transport: Transport,
                  profile: StreamingProfile, rng: random.Random,
                  n_blocks: int = 5,
-                 on_finished: Optional[Callable[["VideoSession"], None]] = None,
+                 on_finished: Optional[
+                     Callable[["VideoSession"], None]] = None,
                  ) -> None:
         self.sim = sim
         self.transport = transport

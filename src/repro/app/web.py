@@ -16,7 +16,7 @@ distributions calibrated to the classic Web-measurement literature
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.app.http import REQUEST_SIZE, Transport

@@ -12,6 +12,12 @@ subflow).  Responsibilities:
 * reordering received data by DSN in the shared receive buffer, where
   out-of-order delay is measured;
 * DATA_FIN stream termination;
+* the RFC 6824 Section 3.6 *fallback* state machine: when a middlebox
+  strips MP_CAPABLE from the handshake the connection continues as
+  plain TCP; when the DSS mapping disappears (or stops matching) after
+  establishment, a single-subflow connection falls back to the
+  infinite mapping, while a multi-subflow connection signals MP_FAIL
+  and tears down the offending subflow only;
 * the optional *penalization* mechanism of Linux MPTCP v0.86 -- halving
   the window of the subflow responsible for receive-buffer blockage --
   which the paper explicitly removes (Section 3.1, "No subflow
@@ -34,7 +40,7 @@ from repro.netsim.host import Host
 from repro.netsim.packet import Packet
 from repro.sim.engine import Simulator
 from repro.tcp.endpoint import TcpConfig, TcpEndpoint, TcpListener
-from repro.tcp.segment import Segment
+from repro.tcp.segment import Flags, Segment
 
 _tokens = itertools.count(1)
 
@@ -110,6 +116,17 @@ class MptcpConnection:
         self._peer_data_fin: Optional[int] = None
         self._peer_fin_delivered = False
 
+        # RFC 6824 Section 3.6 fallback state.  ``None`` means full
+        # MPTCP; "plain" is the handshake fallback (the peer, or a
+        # middlebox, removed MP_CAPABLE); "infinite" is the
+        # infinite-mapping fallback after establishment (DSS lost or
+        # inconsistent with a single subflow ever carrying data).
+        self.fallback_mode: Optional[str] = None
+        self.fallback_reason: Optional[str] = None
+        self.fallback_at: Optional[float] = None
+        #: The one subflow that carries the connection after fallback.
+        self._fallback_subflow: Optional[Subflow] = None
+
         # Penalization bookkeeping (per subflow id -> last penalty time).
         self._last_penalty: Dict[int, float] = {}
 
@@ -177,6 +194,9 @@ class MptcpConnection:
             name=f"{self.name}.{subflow.path_name}")
         subflow.endpoint = endpoint
         self.subflows.append(subflow)
+        if (self.fallback_mode is not None and is_initial
+                and self._fallback_subflow is None):
+            self._fallback_subflow = subflow
         endpoint.connect()
         return subflow
 
@@ -191,6 +211,9 @@ class MptcpConnection:
             name=f"{self.name}.{subflow.path_name}")
         subflow.endpoint = endpoint
         self.subflows.append(subflow)
+        if (self.fallback_mode is not None and is_initial
+                and self._fallback_subflow is None):
+            self._fallback_subflow = subflow
         endpoint.accept(packet)
         return subflow
 
@@ -226,6 +249,122 @@ class MptcpConnection:
 
     def established_subflows(self) -> List[Subflow]:
         return [subflow for subflow in self.subflows if subflow.established]
+
+    # ------------------------------------------------------------------
+    # Fallback (RFC 6824 Section 3.6)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fallback(self) -> bool:
+        return self.fallback_mode is not None
+
+    def fall_back(self, mode: str, reason: str,
+                  survivor: Optional[Subflow] = None) -> None:
+        """Drop to single-path operation on ``survivor``.
+
+        ``mode`` is "plain" (handshake fallback: no MPTCP options at
+        all from here on) or "infinite" (established, then lost the
+        DSS: data continues under the implicit identity mapping).
+        Idempotent -- the first fallback wins.  Every other live
+        subflow is deregistered: an MPTCP host that has fallen back
+        must not keep half-open joins around (RFC 6824 forbids new
+        subflows after fallback).
+        """
+        if mode not in ("plain", "infinite"):
+            raise ValueError(f"bad fallback mode {mode!r}")
+        if self.fallback_mode is not None:
+            return
+        if survivor is None:
+            survivor = next(
+                (subflow for subflow in self.subflows
+                 if subflow.is_initial and subflow.endpoint is not None
+                 and subflow.endpoint.state not in ("closed", "failed")),
+                None)
+        self.fallback_mode = mode
+        self.fallback_reason = reason
+        self.fallback_at = self.sim.now
+        self._fallback_subflow = survivor
+        for subflow in self.subflows:
+            if subflow is survivor or subflow.endpoint is None:
+                continue
+            if subflow.endpoint.state not in ("closed", "failed"):
+                subflow.endpoint.deregister()
+        self.push()
+
+    def _identity_consistent(self, subflow: Subflow) -> bool:
+        """May this subflow fall back to the infinite mapping?
+
+        Only when the implicit ``dsn = ssn - 1`` identity provably
+        holds: it is the initial subflow, no other subflow ever
+        established, every byte sent or received travelled on it, and
+        nothing was ever reinjected or duplicated (which would have
+        reordered DSNs relative to subflow sequence numbers).
+        """
+        if not subflow.is_initial:
+            return False
+        endpoint = subflow.endpoint
+        if endpoint is None or endpoint.state in ("closed", "failed"):
+            return False
+        for other in self.subflows:
+            if other is subflow or other.endpoint is None:
+                continue
+            if other.endpoint.stats.established_at is not None:
+                return False
+        received_paths = self.receive_buffer.metrics.bytes_by_path
+        if any(path != subflow.path_name for path in received_paths):
+            return False
+        if any(path != subflow.path_name for path in self.bytes_allocated):
+            return False
+        if (self.bytes_reinjected or self._reinjection_queue
+                or self._duplication_queue):
+            return False
+        return True
+
+    def on_dss_violation(self, subflow: Subflow, kind: str) -> bool:
+        """Data arrived that the DSS machinery cannot place.
+
+        Returns True when the caller should deliver the data under the
+        identity mapping (the connection is, or just fell back to, the
+        infinite mapping on this subflow); False when the data must be
+        discarded because the subflow is being torn down via MP_FAIL.
+        """
+        if self.fallback_mode is not None:
+            return subflow is self._fallback_subflow
+        if self._identity_consistent(subflow):
+            self.fall_back("infinite", f"dss-{kind}", survivor=subflow)
+            return True
+        if not subflow.mp_fail_pending:
+            subflow.mp_fail_pending = True
+            endpoint = subflow.endpoint
+            if endpoint is not None:
+                endpoint.send_ack()  # carries MP_FAIL to the peer
+                # Tear down outside the receive path: the endpoint is
+                # mid-delivery and must finish processing this packet.
+                self.sim.schedule(0.0, endpoint.fail,
+                                  name=f"{self.name}.mp-fail")
+        return False
+
+    def on_mp_fail(self, subflow: Subflow) -> None:
+        """The peer signalled MP_FAIL on this subflow."""
+        if self.fallback_mode is not None:
+            return
+        if self._identity_consistent(subflow):
+            self.fall_back("infinite", "peer-mp-fail", survivor=subflow)
+        elif (subflow.endpoint is not None
+                and subflow.endpoint.state not in ("closed", "failed")):
+            subflow.endpoint.fail()
+
+    def on_join_rejected(self, subflow: Subflow) -> None:
+        """A join was answered without MP_JOIN (stripped or plain peer).
+
+        The subflow is unusable for MPTCP; fail it and reclaim its DSN
+        ranges even if no sibling is healthy right now -- the ranges
+        wait in the reinjection queue for whatever establishes next,
+        instead of wedging the connection forever.
+        """
+        if subflow.endpoint is not None:
+            subflow.endpoint.fail()
+        self._reclaim_outstanding(subflow, force=True)
 
     # ------------------------------------------------------------------
     # Scheduler interaction
@@ -343,13 +482,17 @@ class MptcpConnection:
             return start, length
         return None
 
-    def _reclaim_outstanding(self, subflow: Subflow) -> None:
+    def _reclaim_outstanding(self, subflow: Subflow,
+                             force: bool = False) -> None:
         """Queue the subflow's un-acknowledged DSN ranges for
-        retransmission on the other paths (MPTCP reinjection)."""
+        retransmission on the other paths (MPTCP reinjection).
+
+        ``force`` queues even with no healthy sibling (used when the
+        subflow is dead for good, so its own RTO cannot carry on)."""
         ranges = self._outstanding.get(id(subflow), [])
         healthy = [other for other in self.established_subflows()
                    if other is not subflow]
-        if not healthy:
+        if not healthy and not force:
             return  # nowhere to reinject; subflow-level RTO carries on
         for entry in ranges:
             start = max(entry[0], self.data_acked)
@@ -427,6 +570,9 @@ class MptcpConnection:
 
     def on_segment(self, subflow: Subflow, segment: Segment) -> None:
         """Process connection-level signalling on any received segment."""
+        if self.fallback_mode is not None:
+            self._on_segment_fallback(subflow, segment)
+            return
         advanced = False
         if segment.flags.ack:
             if segment.window != self.peer_window:
@@ -434,7 +580,8 @@ class MptcpConnection:
                 advanced = True
         options = segment.options
         if options is not None:
-            if options.data_ack is not None and options.data_ack > self.data_acked:
+            if (options.data_ack is not None
+                    and options.data_ack > self.data_acked):
                 self.data_acked = options.data_ack
                 self._prune_outstanding()
                 advanced = True
@@ -444,6 +591,46 @@ class MptcpConnection:
                 self.on_add_addr(options.add_addr)
             if options.dead_addrs:
                 self._fail_subflows_toward(options.dead_addrs)
+            if options.mp_fail:
+                self.on_mp_fail(subflow)
+                if self.fallback_mode is not None:
+                    self._on_segment_fallback(subflow, segment)
+                    return
+        elif (segment.is_pure_ack and subflow.endpoint is not None
+                and subflow.endpoint.stats.payload_bytes_sent > 0
+                and subflow.endpoint.snd_una > 1):
+            # A genuine MPTCP peer stamps every bare ACK with at least
+            # a DATA_ACK.  An optionless pure ACK covering DSS-mapped
+            # payload means the path (or the peer) dropped out of
+            # MPTCP: the sender-side half of the Section 3.6 fallback.
+            self.on_dss_violation(subflow, "ack-without-data-ack")
+            if self.fallback_mode is not None:
+                self._on_segment_fallback(subflow, segment)
+                return
+        self._check_peer_fin()
+        self._check_send_complete()
+        if advanced:
+            self.push()
+
+    def _on_segment_fallback(self, subflow: Subflow,
+                             segment: Segment) -> None:
+        """Connection-level accounting after fallback: the surviving
+        subflow's cumulative ACK doubles as the DATA_ACK (the identity
+        mapping makes ``dsn = seq - 1``), MPTCP options are ignored."""
+        if subflow is not self._fallback_subflow:
+            return
+        advanced = False
+        if segment.flags.ack:
+            if segment.window != self.peer_window:
+                self.peer_window = segment.window
+                advanced = True
+            endpoint = subflow.endpoint
+            if endpoint is not None:
+                acked = min(endpoint.snd_una - 1, self.next_dsn)
+                if acked > self.data_acked:
+                    self.data_acked = acked
+                    self._prune_outstanding()
+                    advanced = True
         self._check_peer_fin()
         self._check_send_complete()
         if advanced:
@@ -459,11 +646,14 @@ class MptcpConnection:
             if self.on_established is not None:
                 self.on_established()
         if (subflow.is_initial and self.role == "client"
-                and self.path_manager is not None):
+                and self.path_manager is not None
+                and self.fallback_mode is None):
             self.path_manager.on_initial_established()
         self.push()
 
     def on_add_addr(self, addrs: tuple) -> None:
+        if self.fallback_mode is not None:
+            return  # no new subflows after fallback (RFC 6824 S3.6)
         if self.role == "client" and self.path_manager is not None:
             self.path_manager.on_add_addr(addrs)
 
@@ -474,6 +664,13 @@ class MptcpConnection:
         self._check_peer_fin()
 
     def on_subflow_peer_fin(self, subflow: Subflow) -> None:
+        if (self.fallback_mode is not None
+                and subflow is self._fallback_subflow):
+            # No DATA_FIN will come: the subflow FIN *is* the end of
+            # the stream (it only delivers once all payload has).
+            if self._peer_data_fin is None:
+                self._peer_data_fin = self.receive_buffer.rcv_nxt
+            self._check_peer_fin()
         # The peer is done with this subflow; finish our half too.
         if subflow.endpoint is not None:
             subflow.endpoint.close()
@@ -554,9 +751,16 @@ class MptcpConnection:
 class MptcpListener:
     """Server-side acceptor: MP_CAPABLE opens, MP_JOIN associates.
 
+    A SYN carrying no MPTCP signalling at all (a plain client, or a
+    middlebox stripped MP_CAPABLE in flight) is accepted as a
+    *fallback* connection that behaves as plain TCP end to end.
+
     Joins whose token is not (yet) known are parked briefly rather than
     dropped -- with the paper's simultaneous-SYN modification the
-    cellular JOIN can overtake the WiFi MP_CAPABLE in flight.
+    cellular JOIN can overtake the WiFi MP_CAPABLE in flight.  Parked
+    entries expire after ``join_wait`` and are answered with a RST, so
+    a join orphaned by a stripped MP_CAPABLE can never sit in the
+    pending queue forever.
     """
 
     def __init__(self, sim: Simulator, host: Host, port: int,
@@ -571,17 +775,41 @@ class MptcpListener:
         self.server_addrs = list(server_addrs or [])
         self.on_connection = on_connection
         self.connections: Dict[int, MptcpConnection] = {}
+        #: Connections accepted without MP_CAPABLE (plain fallback).
+        self.fallback_connections: List[MptcpConnection] = []
         self._pending_joins: Dict[int, List[Packet]] = {}
+        self._pending_first_at: Dict[int, float] = {}
+        #: How long an orphan join may wait for its MP_CAPABLE before
+        #: being refused with a RST.
+        self.join_wait = 5.0
+        self.joins_rejected = 0
         host.bind_listener(port, TcpListener(self._accept))
 
     def _accept(self, packet: Packet, host: Host) -> None:
         options = packet.segment.options
         if options is None or options.token is None:
-            return  # not MPTCP; a plain-TCP listener would own this port
-        if options.mp_capable:
+            self._accept_plain(packet)
+        elif options.mp_capable:
             self._accept_capable(packet, options)
         elif options.mp_join:
             self._accept_join(packet, options)
+        else:
+            self._accept_plain(packet)
+
+    def _accept_plain(self, packet: Packet) -> None:
+        """No MP_CAPABLE on the SYN: serve the client as plain TCP."""
+        token = next(_tokens)
+        connection = MptcpConnection(
+            self.sim, self.host, "server", packet.segment.src_port,
+            self.config, token=token, server_addrs=self.server_addrs,
+            name=f"mptcp-server-plain-{token}")
+        self.fallback_connections.append(connection)
+        if self.on_connection is not None:
+            self.on_connection(connection)
+        # Fall back *before* the subflow exists so the SYN-ACK already
+        # goes out without MPTCP options.
+        connection.fall_back("plain", "syn-without-mp-capable")
+        connection.accept_subflow(packet, is_initial=True)
 
     def _accept_capable(self, packet: Packet, options: MptcpOptions) -> None:
         if options.token in self.connections:
@@ -595,12 +823,57 @@ class MptcpListener:
         if self.on_connection is not None:
             self.on_connection(connection)
         connection.accept_subflow(packet, is_initial=True)
+        self._pending_first_at.pop(options.token, None)
         for pending in self._pending_joins.pop(options.token, []):
             connection.accept_subflow(pending, is_initial=False)
 
     def _accept_join(self, packet: Packet, options: MptcpOptions) -> None:
+        self._purge_pending()
         connection = self.connections.get(options.token)
         if connection is None:
-            self._pending_joins.setdefault(options.token, []).append(packet)
+            pending = self._pending_joins.setdefault(options.token, [])
+            if options.token not in self._pending_first_at:
+                self._pending_first_at[options.token] = self.sim.now
+                # Lazy purge plus this backstop: the queue drains even
+                # if no further packet ever reaches the listener.
+                self.sim.schedule(self.join_wait * 1.01,
+                                  self._purge_pending,
+                                  name="mptcp-listener.join-purge")
+            key = _join_key(packet)
+            if all(_join_key(parked) != key for parked in pending):
+                pending.append(packet)  # dedupe retransmitted SYNs
+            return
+        if connection.is_fallback:
+            # RFC 6824 S3.6: no new subflows after fallback.
+            self.joins_rejected += 1
+            self._send_rst(packet)
             return
         connection.accept_subflow(packet, is_initial=False)
+
+    def _purge_pending(self) -> None:
+        """Refuse joins that have waited longer than ``join_wait``."""
+        if not self._pending_first_at:
+            return
+        cutoff = self.sim.now - self.join_wait
+        stale = [token for token, first_at in self._pending_first_at.items()
+                 if first_at <= cutoff]
+        for token in stale:
+            del self._pending_first_at[token]
+            for parked in self._pending_joins.pop(token, []):
+                self.joins_rejected += 1
+                self._send_rst(parked)
+
+    def _send_rst(self, packet: Packet) -> None:
+        """Answer a refused SYN with a reset."""
+        segment = packet.segment
+        reply = Segment(src_port=segment.dst_port,
+                        dst_port=segment.src_port,
+                        seq=0, ack=segment.end_seq,
+                        flags=Flags(rst=True, ack=True))
+        self.host.send(Packet(packet.dst, packet.src, reply))
+
+
+def _join_key(packet: Packet) -> tuple:
+    """The 4-tuple identifying one parked join SYN."""
+    return (packet.src, packet.segment.src_port,
+            packet.dst, packet.segment.dst_port)

@@ -24,7 +24,7 @@ formulas are evaluated in packet (MSS) units as in the kernel.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Protocol
 
 
 class WindowedFlow(Protocol):

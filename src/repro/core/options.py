@@ -35,7 +35,15 @@ class DssMapping:
     length: int
 
     def dsn_for(self, ssn: int) -> int:
-        """Translate a subflow sequence number inside this mapping."""
+        """Translate a subflow sequence number inside this mapping.
+
+        The acceptable range is inclusive at *both* ends:
+        ``ssn == self.ssn + self.length`` maps to one past the last
+        covered DSN.  Receivers rely on that boundary to translate the
+        *end* of a delivered run (``[start, end)`` half-open ranges put
+        ``end`` exactly one past the final mapped byte); anything
+        further out raises ``ValueError``.
+        """
         offset = ssn - self.ssn
         if not 0 <= offset <= self.length:
             raise ValueError(f"ssn {ssn} outside mapping {self!r}")
@@ -76,6 +84,11 @@ class MptcpOptions:
     data_ack: Optional[int] = None
     #: DATA_FIN: the connection-level stream ends at this DSN.
     data_fin_dsn: Optional[int] = None
+    #: MP_FAIL (RFC 6824 Section 3.6): the sender received data it
+    #: could not map into the DSN space; with a single subflow the
+    #: connection falls back to the infinite mapping, otherwise the
+    #: offending subflow must be torn down.
+    mp_fail: bool = False
 
     def wire_length(self) -> int:
         """Bytes this option block occupies in the TCP header.
@@ -96,6 +109,8 @@ class MptcpOptions:
             length += 8
         length += 8 * len(self.add_addr)
         length += 12 * len(self.dead_addrs)
+        if self.mp_fail:
+            length += 12
         return length
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -112,4 +127,6 @@ class MptcpOptions:
             parts.append(f"DATA_ACK={self.data_ack}")
         if self.data_fin_dsn is not None:
             parts.append(f"DATA_FIN@{self.data_fin_dsn}")
+        if self.mp_fail:
+            parts.append("MP_FAIL")
         return f"<MptcpOptions {' '.join(parts) or 'empty'}>"

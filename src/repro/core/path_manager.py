@@ -64,6 +64,8 @@ class PathManager:
                 self._open(local, remote)
 
     def _open(self, local: str, remote: str) -> None:
+        if getattr(self.connection, "is_fallback", False):
+            return  # no new subflows after fallback (RFC 6824 S3.6)
         pair = (local, remote)
         if pair in self._pairs_opened:
             return

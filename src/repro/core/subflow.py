@@ -35,6 +35,9 @@ class Subflow:
         self.is_initial = is_initial
         self.backup = backup
         self.endpoint: Optional[TcpEndpoint] = None
+        #: Set when unmappable data arrived and the subflow must tell
+        #: the peer (MP_FAIL) before being torn down.
+        self.mp_fail_pending = False
 
     # ------------------------------------------------------------------
     # Scheduler-facing view
@@ -63,13 +66,17 @@ class Subflow:
     # TcpDelegate: handshake options
     # ------------------------------------------------------------------
 
-    def syn_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+    def syn_options(self, endpoint: TcpEndpoint) -> Optional[MptcpOptions]:
+        if self.connection.is_fallback:
+            return None  # plain fallback: no MPTCP signalling at all
         if self.is_initial:
             return MptcpOptions(mp_capable=True, token=self.connection.token)
         return MptcpOptions(mp_join=True, token=self.connection.token,
                             backup=self.backup)
 
-    def synack_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+    def synack_options(self, endpoint: TcpEndpoint) -> Optional[MptcpOptions]:
+        if self.connection.is_fallback:
+            return None
         # The multi-homed server advertises its additional addresses on
         # the initial subflow (the client is NATed, so joins must be
         # client-initiated; see Section 2.2.1).
@@ -83,12 +90,26 @@ class Subflow:
 
     def on_handshake_options(self, endpoint: TcpEndpoint,
                              options: Optional[MptcpOptions]) -> None:
+        connection = self.connection
+        if connection.is_fallback:
+            return
+        mptcp = (options is not None
+                 and (options.mp_capable or options.mp_join))
+        if not mptcp and connection.role == "client":
+            # Our SYN carried MPTCP options; the answer has none: a
+            # middlebox stripped them (or the peer is plain TCP).
+            if self.is_initial:
+                connection.fall_back("plain", "mp-capable-missing",
+                                     survivor=self)
+            else:
+                connection.on_join_rejected(self)
+            return
         if options is None:
             return
         if options.mp_join and options.backup:
             self.backup = True  # the peer flagged this path as backup
         if options.add_addr:
-            self.connection.on_add_addr(options.add_addr)
+            connection.on_add_addr(options.add_addr)
 
     def on_established(self, endpoint: TcpEndpoint) -> None:
         self.connection.on_subflow_established(self)
@@ -102,19 +123,34 @@ class Subflow:
         return self.connection.allocate(self, max_bytes)
 
     def data_options(self, endpoint: TcpEndpoint, ssn: int, dsn: int,
-                     length: int) -> MptcpOptions:
+                     length: int) -> Optional[MptcpOptions]:
+        if self.connection.is_fallback:
+            # Plain fallback sends no options; the infinite mapping
+            # makes an explicit per-segment mapping redundant.
+            return None
         mapping = DssMapping(dsn=dsn, ssn=ssn, length=length)
         return MptcpOptions(
             dss=mapping,
             data_ack=self.connection.data_ack_value(),
             data_fin_dsn=self.connection.data_fin_to_signal(),
-            dead_addrs=self.connection.dead_addrs_to_signal())
+            dead_addrs=self.connection.dead_addrs_to_signal(),
+            mp_fail=self.mp_fail_pending)
 
-    def ack_options(self, endpoint: TcpEndpoint) -> MptcpOptions:
+    def ack_options(self, endpoint: TcpEndpoint) -> Optional[MptcpOptions]:
+        connection = self.connection
+        if connection.is_fallback:
+            if (connection.fallback_mode == "infinite"
+                    and self is connection._fallback_subflow):
+                # Keep signalling MP_FAIL so the peer (which may still
+                # believe in the DSS) converges onto the same fallback.
+                return MptcpOptions(
+                    mp_fail=True, data_ack=connection.data_ack_value())
+            return None
         return MptcpOptions(
-            data_ack=self.connection.data_ack_value(),
-            data_fin_dsn=self.connection.data_fin_to_signal(),
-            dead_addrs=self.connection.dead_addrs_to_signal())
+            data_ack=connection.data_ack_value(),
+            data_fin_dsn=connection.data_fin_to_signal(),
+            dead_addrs=connection.dead_addrs_to_signal(),
+            mp_fail=self.mp_fail_pending)
 
     def receive_window(self, endpoint: TcpEndpoint) -> int:
         return self.connection.receive_window()
@@ -126,13 +162,32 @@ class Subflow:
     def on_data(self, endpoint: TcpEndpoint, ssn_start: int, ssn_end: int,
                 meta: Tuple[float, Optional[MptcpOptions]]) -> None:
         arrival_time, options = meta
+        connection = self.connection
+        if connection.is_fallback:
+            # Identity mapping: payload starts at subflow seq 1, the
+            # DSN space at 0, so dsn = ssn - 1 on the sole subflow.
+            if self is connection._fallback_subflow:
+                connection.on_subflow_data(self, ssn_start - 1, ssn_end - 1,
+                                           arrival_time)
+            return
         if options is None or options.dss is None:
-            return  # data without a mapping cannot be placed; drop it
+            # Mapped data lost its mapping in flight (stripped DSS,
+            # or a re-segmenting proxy): Section 3.6 fallback.
+            if connection.on_dss_violation(self, "missing-dss"):
+                connection.on_subflow_data(self, ssn_start - 1, ssn_end - 1,
+                                           arrival_time)
+            return
         mapping = options.dss
+        if not (mapping.ssn <= ssn_start and ssn_end <= mapping.ssn_end):
+            # The mapping no longer describes this payload (sequence-
+            # rewriting middlebox): the SSN anchor cannot be trusted.
+            if connection.on_dss_violation(self, "mapping-mismatch"):
+                connection.on_subflow_data(self, ssn_start - 1, ssn_end - 1,
+                                           arrival_time)
+            return
         dsn_start = mapping.dsn + (ssn_start - mapping.ssn)
         dsn_end = dsn_start + (ssn_end - ssn_start)
-        self.connection.on_subflow_data(self, dsn_start, dsn_end,
-                                        arrival_time)
+        connection.on_subflow_data(self, dsn_start, dsn_end, arrival_time)
 
     def on_segment(self, endpoint: TcpEndpoint, segment: Segment) -> None:
         self.connection.on_segment(self, segment)

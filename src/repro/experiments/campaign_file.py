@@ -29,7 +29,7 @@ import dataclasses
 import json
 import re
 from pathlib import Path
-from typing import List, Union
+from typing import Union
 
 from repro.experiments.config import FlowSpec
 from repro.experiments.runner import CampaignSpec

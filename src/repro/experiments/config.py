@@ -10,7 +10,6 @@ protocol knobs the paper varies (simultaneous SYN) or we ablate
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
-from typing import Optional
 
 from repro.core.connection import MptcpConfig
 from repro.tcp.endpoint import TcpConfig
@@ -33,6 +32,12 @@ class FlowSpec:
     penalization: bool = False
     ssthresh: int = 64 * 1024
     rcv_buffer: int = 8 * 1024 * 1024
+    #: On-path middlebox profile ("none" or a name from
+    #: :data:`repro.middlebox.PROFILES`), which interface's access
+    #: links it sits on, and the per-packet mangling probability.
+    middlebox: str = "none"
+    middlebox_path: str = "wifi"   # wifi | cell | server
+    middlebox_prob: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("sp", "mp"):
@@ -41,6 +46,17 @@ class FlowSpec:
             raise ValueError(f"bad sp interface {self.interface!r}")
         if self.mode == "mp" and self.paths not in (2, 4):
             raise ValueError("MPTCP runs use 2 or 4 paths")
+        if self.middlebox != "none":
+            from repro.middlebox import PROFILES
+            if self.middlebox not in PROFILES:
+                raise ValueError(
+                    f"unknown middlebox profile {self.middlebox!r}; "
+                    f"known: none, {', '.join(sorted(PROFILES))}")
+        if self.middlebox_path not in ("wifi", "cell", "server"):
+            raise ValueError(
+                f"bad middlebox path {self.middlebox_path!r}")
+        if not 0.0 <= self.middlebox_prob <= 1.0:
+            raise ValueError("middlebox_prob must be within [0, 1]")
 
     # ------------------------------------------------------------------
     # Constructors matching the paper's vocabulary
@@ -76,7 +92,8 @@ class FlowSpec:
                 return "SP-WiFi"
             return f"SP-{_CARRIER_LABELS[self.carrier]}"
         base = f"MP-{self.paths}"
-        suffix = "" if self.controller == "coupled" else f" ({self.controller})"
+        suffix = ("" if self.controller == "coupled"
+                  else f" ({self.controller})")
         return f"{base}{suffix}"
 
     @property
@@ -92,8 +109,16 @@ class FlowSpec:
         the same label and carrier but different scheduler or ssthresh
         in one campaign, and anything keyed on the label would silently
         collide.
+
+        The middlebox trio is included only when a middlebox is
+        configured: every pre-existing spec must keep the identity (and
+        hence the derived per-run seeds and journal keys) it had before
+        middleboxes existed, or committed campaign outputs would shift.
         """
         values = asdict(self)
+        if values["middlebox"] == "none":
+            for name in ("middlebox", "middlebox_path", "middlebox_prob"):
+                del values[name]
         return ";".join(f"{name}={values[name]}" for name in sorted(values))
 
     @property

@@ -8,7 +8,7 @@ gives the *shape* at a glance without any plotting dependency.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.stats import FiveNumber
 
@@ -104,8 +104,9 @@ def render_ccdf(series: Dict[str, Sequence[Tuple[float, float]]],
     return "\n".join(lines)
 
 
-def boxplot_from_samples(labelled_samples: Sequence[Tuple[str, Sequence[float]]],
-                         width: int = 60, unit: str = "s") -> str:
+def boxplot_from_samples(
+        labelled_samples: Sequence[Tuple[str, Sequence[float]]],
+        width: int = 60, unit: str = "s") -> str:
     """Convenience: five-number each sample set, then render."""
     from repro.experiments.stats import five_number
     rows = [(label, five_number(samples))

@@ -14,8 +14,8 @@ temporal effects.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
     PlainTcpAcceptor
@@ -86,6 +86,7 @@ class Measurement:
             cell_profile=self.cell_profile))
         server_capture = PacketCapture(testbed.server)
         client_capture = PacketCapture(testbed.client)
+        self._install_middlebox(testbed)
 
         if spec.mode == "sp":
             client, connection = self._start_single_path(testbed)
@@ -108,6 +109,8 @@ class Measurement:
             subflow_count = len(connection.subflows)
         metrics = connection_metrics(server_capture, client_capture,
                                      ofo_delays=ofo)
+        if connection is not None:
+            metrics.fallback = connection.fallback_mode or "none"
         if record.complete:
             # Prefer the app-level timing (identical by construction,
             # but robust if trailing control packets arrive later).
@@ -122,6 +125,27 @@ class Measurement:
         )
 
     # ------------------------------------------------------------------
+
+    def _install_middlebox(self, testbed: Testbed) -> None:
+        """Attach the spec's middlebox chain to the chosen access links.
+
+        With ``middlebox == "none"`` (every pre-existing spec) nothing
+        is built and no RNG stream is drawn, so existing runs replay
+        bit-for-bit.
+        """
+        spec = self.spec
+        if spec.middlebox == "none":
+            return
+        from repro.middlebox import build_chain, install_chain
+        address = {
+            "wifi": testbed.client_addrs[0],
+            "cell": testbed.cellular_addr,
+            "server": testbed.server_addrs[0],
+        }[spec.middlebox_path]
+        chain = build_chain(spec.middlebox,
+                            rng=testbed.rng.stream("middlebox"),
+                            probability=spec.middlebox_prob)
+        install_chain(testbed.network, address, chain)
 
     def _start_single_path(self, testbed: Testbed):
         from repro.tcp.endpoint import TcpEndpoint

@@ -20,7 +20,6 @@ from repro.experiments.stats import (
 )
 from repro.experiments.report import (
     format_bytes,
-    format_five_number,
     format_mean_stderr,
     format_pct,
 )
@@ -140,6 +139,42 @@ def backlog_campaign(size: int = 32 * MB, repetitions: int = 3,
         name="backlog", specs=specs, sizes=(size,),
         repetitions=repetitions, periods=(TimeOfDay.NIGHT,),
         base_seed=base_seed)
+
+
+#: Middlebox profiles the fallback study sweeps, from "drops every
+#: MPTCP option" down to "only breaks the data-plane mappings".
+FALLBACK_PROFILES = ("strip-all", "strip-capable", "strip-join",
+                     "strip-dss", "rewrite-seq", "proxy")
+
+
+def fallback_campaign(repetitions: int = 3,
+                      periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
+                      base_seed: int = 2013,
+                      profiles: Tuple[str, ...] = FALLBACK_PROFILES,
+                      ) -> CampaignSpec:
+    """Middlebox interference: MP-2 behind each interfering box.
+
+    The paper measures MPTCP where it actually worked; RFC 6824's
+    fallback machinery exists for the networks where it would not
+    have.  This campaign puts each middlebox profile on the WiFi
+    access links (the coffee-shop topology of Section 4.3) plus a
+    clean control run, so the rows show what each class of
+    interference costs relative to undisturbed MPTCP.
+    """
+    specs: List[FlowSpec] = [FlowSpec.mptcp(carrier="att",
+                                            controller="coupled")]
+    for profile in profiles:
+        # MP_JOIN travels over the *cellular* path (the join targets
+        # the second interface), so a join-stripping box only matters
+        # there; everything else interferes at the WiFi access links.
+        path = "cell" if profile == "strip-join" else "wifi"
+        specs.append(FlowSpec.mptcp(carrier="att", controller="coupled",
+                                    middlebox=profile,
+                                    middlebox_path=path))
+    return CampaignSpec(
+        name="fallback", specs=tuple(specs),
+        sizes=(64 * KB, 512 * KB, 2 * MB),
+        repetitions=repetitions, periods=periods, base_seed=base_seed)
 
 
 def latency_campaign(repetitions: int = 2,
@@ -347,6 +382,45 @@ def mptcp_rtt_ofo_rows(results: Sequence[RunResult]
             return format_mean_stderr(mean, stderr, scale=1000, digits=1)
         rows.append([format_bytes(size), spec.carrier_label,
                      text(cell_rtts), text(wifi_rtts), text(ofo_means)])
+    return headers, rows
+
+
+def fallback_rows(results: Sequence[RunResult]
+                  ) -> Tuple[List[str], List[List[str]]]:
+    """Fallback study: completion, fallback rate, and goodput per
+    (size, middlebox profile).
+
+    ``fallback rate`` is the fraction of connections that abandoned
+    MPTCP (plain-TCP fallback or infinite mapping); ``goodput`` is the
+    application-level mean over completed runs.  A profile that breaks
+    MPTCP must still show 100% completion — that is the whole point of
+    RFC 6824 Section 3.6.
+    """
+    groups = _group(results)
+    headers = ["size", "middlebox", "n", "completed", "fallback rate",
+               "plain", "infinite", "mean time (s)", "goodput (Mbit/s)"]
+    rows: List[List[str]] = []
+    for (spec, size), bucket in sorted(
+            groups.items(), key=lambda item: (item[0][1],
+                                              item[0][0].middlebox)):
+        if spec.mode != "mp":
+            continue
+        modes = [result.metrics.fallback for result in bucket]
+        plain = sum(1 for mode in modes if mode == "plain")
+        infinite = sum(1 for mode in modes if mode == "infinite")
+        completed = sum(1 for result in bucket if result.completed)
+        times = [result.download_time for result in bucket
+                 if result.download_time is not None]
+        time_text = goodput_text = "-"
+        if times:
+            mean_time = sum(times) / len(times)
+            time_text = f"{mean_time:.3f}"
+            goodput = sum(size * 8 / time for time in times) / len(times)
+            goodput_text = f"{goodput / 1e6:.3f}"
+        rows.append([format_bytes(size), spec.middlebox, str(len(bucket)),
+                     f"{completed / len(bucket):.2f}",
+                     f"{(plain + infinite) / len(bucket):.2f}",
+                     str(plain), str(infinite), time_text, goodput_text])
     return headers, rows
 
 

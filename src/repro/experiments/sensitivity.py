@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import FlowSpec
 from repro.experiments.runner import Measurement, RunResult

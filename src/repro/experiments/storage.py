@@ -114,6 +114,7 @@ def result_to_dict(result: RunResult,
             "bytes_received": metrics.bytes_received,
             "cellular_fraction": metrics.cellular_fraction,
             "ofo_delays": _thin(metrics.ofo_delays, max_samples),
+            "fallback": metrics.fallback,
             "per_path": {
                 path: _analysis_to_dict(analysis, max_samples)
                 for path, analysis in metrics.per_path.items()},
@@ -134,6 +135,7 @@ def result_from_dict(data: dict) -> RunResult:
         per_path={path: _analysis_from_dict(analysis)
                   for path, analysis in metrics_data["per_path"].items()},
         ofo_delays=list(metrics_data["ofo_delays"]),
+        fallback=metrics_data.get("fallback"),  # absent in old files
     )
     return RunResult(
         spec=FlowSpec(**data["spec"]),

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
-from repro.core.connection import MptcpConfig, MptcpConnection, \
+from repro.core.connection import MptcpConnection, \
     MptcpListener
 from repro.experiments.config import FlowSpec
 from repro.testbed import Testbed, TestbedConfig

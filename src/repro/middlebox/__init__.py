@@ -1,0 +1,31 @@
+"""Programmable on-path middleboxes (see :mod:`repro.middlebox.base`)."""
+
+from repro.middlebox.base import (
+    LinkTap,
+    Middlebox,
+    MiddleboxChain,
+    MiddleboxStats,
+    install_chain,
+)
+from repro.middlebox.firewall import Cgn, StatefulFirewall
+from repro.middlebox.profiles import PROFILES, build_chain
+from repro.middlebox.proxy import PayloadProxy
+from repro.middlebox.rewriter import SequenceRewriter
+from repro.middlebox.state import FlowTable
+from repro.middlebox.stripper import OptionStripper
+
+__all__ = [
+    "Cgn",
+    "FlowTable",
+    "LinkTap",
+    "Middlebox",
+    "MiddleboxChain",
+    "MiddleboxStats",
+    "OptionStripper",
+    "PROFILES",
+    "PayloadProxy",
+    "SequenceRewriter",
+    "StatefulFirewall",
+    "build_chain",
+    "install_chain",
+]

@@ -1,0 +1,70 @@
+"""Stateful firewall and carrier-grade NAT.
+
+Both keep per-flow bindings in a :class:`repro.middlebox.state.FlowTable`
+and admit inbound packets only for live bindings:
+
+* :class:`StatefulFirewall` -- bindings are created by outbound traffic
+  and expire after an idle timeout.  A subflow that goes quiet (an
+  MPTCP backup path, a radio sleeping in RRC idle) loses its binding;
+  the next inbound packet is silently dropped and the sender discovers
+  the death by RTO, exactly the long-lived-subflow failure mode the
+  middlebox measurement studies report.
+* :class:`Cgn` -- a firewall whose binding table is also *capacity*
+  limited, LRU-evicting the quietest flow when a new one needs a port
+  (carrier-grade NAT port exhaustion).
+
+Direction convention: these boxes sit on a client's access links, so
+``"up"`` is outbound (binding-creating) and ``"down"`` inbound
+(binding-checked).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.middlebox.base import Middlebox
+from repro.middlebox.state import FlowTable
+from repro.netsim.packet import Packet
+
+
+class StatefulFirewall(Middlebox):
+    """Per-flow state with idle expiry; inbound needs a live binding."""
+
+    #: Default idle timeout, seconds.  Deployed boxes range from tens
+    #: of seconds (aggressive home routers) to minutes; the default is
+    #: short enough that an idle MPTCP backup subflow dies mid-run.
+    DEFAULT_IDLE_TIMEOUT = 30.0
+
+    def __init__(self, idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+                 max_entries: Optional[int] = None,
+                 outbound: str = "up") -> None:
+        super().__init__()
+        if outbound not in ("up", "down"):
+            raise ValueError(f"bad outbound direction {outbound!r}")
+        self.table = FlowTable(idle_timeout=idle_timeout,
+                               max_entries=max_entries)
+        self.outbound = outbound
+
+    def process(self, packet: Packet, direction: str,
+                now: float) -> List[Packet]:
+        key = self.flow_key(packet)
+        if direction == self.outbound:
+            self.table.touch(key, now=now)
+            return [packet]
+        if self.table.active(key, now=now):
+            return [packet]
+        return []
+
+
+class Cgn(StatefulFirewall):
+    """Carrier-grade NAT: a stateful firewall with a finite binding
+    table (LRU eviction) and carrier-typical idle timeouts."""
+
+    DEFAULT_MAX_BINDINGS = 64
+
+    def __init__(self, idle_timeout: Optional[float] =
+                 StatefulFirewall.DEFAULT_IDLE_TIMEOUT,
+                 max_entries: Optional[int] = DEFAULT_MAX_BINDINGS,
+                 outbound: str = "up") -> None:
+        super().__init__(idle_timeout=idle_timeout,
+                         max_entries=max_entries, outbound=outbound)

@@ -34,7 +34,8 @@ class PacketSink(Protocol):
 class Listener(Protocol):
     """A passive endpoint that accepts new connections on a port."""
 
-    def handle_syn(self, packet: Packet, host: "Host") -> None:  # pragma: no cover
+    def handle_syn(self, packet: Packet,
+                   host: "Host") -> None:  # pragma: no cover
         ...
 
 

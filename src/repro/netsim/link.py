@@ -21,7 +21,7 @@ from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 import collections
 import random
@@ -87,6 +87,7 @@ class LinkStats:
     drops_loss: int = 0
     drops_arq_residual: int = 0
     drops_down: int = 0
+    drops_middlebox: int = 0
     arq_recoveries: int = 0
     bytes_delivered: int = 0
     peak_queue_bytes: int = 0
@@ -108,6 +109,11 @@ class Link:
         self.rng = rng
         self.name = name
         self.deliver: Callable[[Packet], None] = lambda packet: None
+        #: Optional on-path middlebox hook: called as ``(packet, now)``
+        #: for every offered packet, returning the packets to forward
+        #: (none = dropped by the box).  See :mod:`repro.middlebox`.
+        self.middlebox: Optional[
+            Callable[[Packet, float], "list[Packet]"]] = None
         self.stats = LinkStats()
         self._queue: collections.deque[Packet] = collections.deque()
         self._queue_bytes = 0
@@ -145,6 +151,18 @@ class Link:
         if self._down:
             self.stats.drops_down += 1
             return
+        if self.middlebox is not None:
+            forwarded = self.middlebox(packet, self.sim.now)
+            if not forwarded:
+                self.stats.drops_middlebox += 1
+                return
+            for transformed in forwarded:
+                self._admit(transformed)
+            return
+        self._admit(packet)
+
+    def _admit(self, packet: Packet) -> None:
+        """Drop-tail admission into the serialization queue."""
         size = packet.wire_size
         if self._queue_bytes + size > self.config.buffer_bytes:
             self.stats.drops_overflow += 1

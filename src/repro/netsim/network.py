@@ -42,7 +42,8 @@ class Network:
         if interface.address in self._interfaces:
             raise ValueError(
                 f"address {interface.address!r} already on the network")
-        up_link = Link(self.sim, up, self.rng.stream(f"{interface.address}.up"),
+        up_link = Link(self.sim, up,
+                       self.rng.stream(f"{interface.address}.up"),
                        name=f"{interface.address}.up")
         down_link = Link(self.sim, down,
                          self.rng.stream(f"{interface.address}.down"),

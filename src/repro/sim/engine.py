@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
 class SimulationError(RuntimeError):

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Protocol, Tuple
+from typing import Callable, Optional, Protocol, Tuple
 
 from repro.netsim.host import Host
 from repro.netsim.packet import Packet
@@ -71,7 +71,8 @@ class TcpDelegate(Protocol):
     def syn_options(self, endpoint: "TcpEndpoint") -> Optional["MptcpOptions"]:
         ...
 
-    def synack_options(self, endpoint: "TcpEndpoint") -> Optional["MptcpOptions"]:
+    def synack_options(self, endpoint: "TcpEndpoint"
+                       ) -> Optional["MptcpOptions"]:
         ...
 
     def on_handshake_options(self, endpoint: "TcpEndpoint",
@@ -277,7 +278,8 @@ class TcpEndpoint:
         self.host.register_endpoint(self.four_tuple, self)
         self.state = "syn_rcvd"
         if self.delegate is not None:
-            self.delegate.on_handshake_options(self, syn_packet.segment.options)
+            self.delegate.on_handshake_options(
+                self, syn_packet.segment.options)
         self._send_synack()
 
     def _send_syn(self) -> None:
@@ -373,6 +375,11 @@ class TcpEndpoint:
                 self._establish()
                 if self.delegate is not None:
                     self.delegate.on_handshake_options(self, segment.options)
+                if self.state not in ("established", "close_wait"):
+                    # The delegate vetoed the connection (e.g. an MPTCP
+                    # join answered by a plain SYN-ACK): no third ACK,
+                    # or the peer would consider it established.
+                    return
                 self.peer_window = segment.window
                 self._send_ack()
             return
@@ -645,7 +652,8 @@ class TcpEndpoint:
             self._arm_rto_timer()
         self._maybe_send_fin()
 
-    def _next_chunk(self, max_bytes: int) -> Optional[Tuple[int, Optional[int]]]:
+    def _next_chunk(self, max_bytes: int
+                    ) -> Optional[Tuple[int, Optional[int]]]:
         """Pick the next new-data chunk: (payload_len, dsn or None)."""
         if max_bytes <= 0:
             return None

@@ -14,7 +14,7 @@ here from named RNG streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.netsim.host import Host, Interface
@@ -51,6 +51,10 @@ class TestbedConfig:
     environment_jitter: bool = True   # per-run rate/loss lottery
     warm_radio: bool = True           # the paper's pre-measurement pings
     nat: bool = True
+    #: Seconds of silence after which a NAT binding expires (real NATs
+    #: time quiet flows out; ``None`` keeps the original keep-forever
+    #: behaviour the paper's short transfers never distinguish).
+    nat_idle_timeout: Optional[float] = None
     #: Direct profile overrides (sensitivity sweeps); when set they
     #: replace the named catalog entries for this testbed.
     wifi_profile: Optional[PathProfile] = None
@@ -134,8 +138,11 @@ class Testbed:
         self.applied_profiles[self.cellular_addr] = cell_profile
 
         if config.nat:
-            wifi.nat = Nat()
-            cell.nat = Nat()
+            clock = lambda: self.sim.now  # noqa: E731 - tiny closure
+            wifi.nat = Nat(idle_timeout=config.nat_idle_timeout,
+                           clock=clock)
+            cell.nat = Nat(idle_timeout=config.nat_idle_timeout,
+                           clock=clock)
 
         cell.radio = RadioStateMachine(
             self.sim, promotion_delay=cell_profile.promotion_delay)

@@ -8,7 +8,7 @@ prints the per-flow block tcptrace would.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 from repro.trace.analyzer import FlowAnalysis
 from repro.trace.capture import PacketCapture, PacketRecord
@@ -79,14 +79,14 @@ def flow_summary(analysis: FlowAnalysis) -> str:
     ]
     if analysis.rtt_samples:
         lines.append(
-            f"  RTT min/avg/max (ms):    "
+            "  RTT min/avg/max (ms):    "
             f"{min(analysis.rtt_samples) * 1000:.1f} / "
             f"{analysis.mean_rtt * 1000:.1f} / "
             f"{max(analysis.rtt_samples) * 1000:.1f}")
     if analysis.handshake_rtt is not None:
-        lines.append(f"  handshake RTT (ms):      "
+        lines.append("  handshake RTT (ms):      "
                      f"{analysis.handshake_rtt * 1000:.1f}")
     lines.append(f"  duration (s):            {analysis.duration:.3f}")
-    lines.append(f"  throughput:              "
+    lines.append("  throughput:              "
                  f"{analysis.throughput_bps / 1e6:.2f} Mbit/s")
     return "\n".join(lines)

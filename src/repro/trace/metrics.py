@@ -72,6 +72,9 @@ class ConnectionMetrics:
     per_path: Dict[str, FlowAnalysis] = field(default_factory=dict)
     #: Out-of-order delays in seconds (client receive buffer), if MPTCP.
     ofo_delays: List[float] = field(default_factory=list)
+    #: RFC 6824 S3.6 fallback status of an MPTCP run: "none" (stayed
+    #: multipath), "plain" or "infinite"; ``None`` for single-path runs.
+    fallback: Optional[str] = None
 
     def rtt_samples(self, path: str) -> List[float]:
         analysis = self.per_path.get(path)

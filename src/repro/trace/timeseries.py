@@ -10,7 +10,7 @@ and the result renders as CSV or a quick ASCII sparkline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Event, Simulator
 

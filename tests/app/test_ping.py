@@ -1,10 +1,8 @@
 """Tests for the ping warm-up probe."""
 
-import pytest
 
 from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
 from repro.app.ping import (
-    ECHO_PORT,
     EchoResponder,
     Pinger,
     warm_up_with_pings,

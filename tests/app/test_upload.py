@@ -3,7 +3,7 @@
 import pytest
 
 from repro.app.http import HTTP_PORT
-from repro.app.upload import ACK_SIZE, UploadClient, UploadRecord, \
+from repro.app.upload import UploadClient, UploadRecord, \
     UploadServerSession
 from repro.core.connection import MptcpConfig, MptcpConnection, \
     MptcpListener

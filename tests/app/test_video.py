@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.app.http import HTTP_PORT, REQUEST_SIZE, HttpServerSession, \
+from repro.app.http import HTTP_PORT, \
     PlainTcpAcceptor
 from repro.app.video import (
     NETFLIX_ANDROID,

@@ -10,7 +10,6 @@ from repro.app.web import (
     TYPICAL_PAGE,
     PageLoader,
     PageLoadRecord,
-    PageProfile,
 )
 from repro.core.connection import MptcpConfig, MptcpConnection, \
     MptcpListener

@@ -147,7 +147,7 @@ def test_unknown_join_token_is_parked_then_accepted():
     testbed = Testbed(TestbedConfig(carrier="att", seed=3,
                                     environment_jitter=False))
     state = {}
-    listener = MptcpListener(
+    MptcpListener(
         testbed.sim, testbed.server, HTTP_PORT, config,
         server_addrs=testbed.server_addrs,
         on_connection=lambda c: (state.__setitem__("server", c),

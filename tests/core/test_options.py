@@ -40,3 +40,19 @@ def test_options_repr_mentions_contents():
     assert "DSS" in text
     assert "DATA_ACK=5" in text
     assert "MP_CAPABLE" not in text
+
+
+def test_dss_mapping_one_past_end_is_the_range_end():
+    """Receivers translate half-open [start, end) delivered runs; the
+    ``end`` of a run covering the whole mapping is exactly one past the
+    last mapped byte and must still translate (to ``dsn_end``)."""
+    mapping = DssMapping(dsn=1000, ssn=1, length=500)
+    assert mapping.dsn_for(mapping.ssn_end) == mapping.dsn_end
+    with pytest.raises(ValueError):
+        mapping.dsn_for(mapping.ssn_end + 1)
+
+
+def test_mp_fail_wire_length():
+    # MP_FAIL is 12 bytes on the wire (RFC 6824 Section 3.6).
+    assert MptcpOptions(mp_fail=True).wire_length() == 12
+    assert MptcpOptions(mp_fail=True, data_ack=5).wire_length() == 20

@@ -1,6 +1,5 @@
 """Unit tests for connection-level reinjection bookkeeping."""
 
-import pytest
 
 from repro.core.connection import MptcpConfig, MptcpConnection
 from repro.core.subflow import Subflow

@@ -6,13 +6,11 @@ import pytest
 
 from repro.experiments.campaign_file import (
     campaign_from_dict,
-    campaign_to_dict,
     format_size,
     load_campaign,
     parse_size,
     save_campaign,
 )
-from repro.experiments.config import FlowSpec
 from repro.experiments.runner import Campaign
 from repro.experiments.scenarios import baseline_campaign
 from repro.wireless.profiles import TimeOfDay

@@ -5,7 +5,7 @@ from repro.experiments.plots import (
     render_boxplot,
     render_ccdf,
 )
-from repro.experiments.stats import FiveNumber, ccdf, five_number
+from repro.experiments.stats import FiveNumber, ccdf
 
 
 def summary(minimum, q1, median, q3, maximum):
@@ -70,8 +70,6 @@ def test_ccdf_orders_series_left_to_right():
     }
     text = render_ccdf(series, width=60, height=10)
     body = [line for line in text.splitlines() if line.startswith("  |")]
-    fast_columns = [line.index("x") for line in body if "x" in line]
-    slow_columns = [line.index("*") for line in body if "*" in line]
     # symbols assigned alphabetically: fast='*'? sorted() gives fast
     # then slow -> fast='*', slow='o'.
     star = [line.index("*") for line in body if "*" in line]

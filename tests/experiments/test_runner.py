@@ -1,6 +1,5 @@
 """Tests for Measurement and Campaign."""
 
-import pytest
 
 from repro.experiments.config import FlowSpec
 from repro.experiments.runner import Campaign, CampaignSpec, Measurement

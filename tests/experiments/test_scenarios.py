@@ -1,7 +1,7 @@
 """Tests for the canned campaigns and row extractors."""
 
 from repro.experiments.config import FlowSpec
-from repro.experiments.runner import Campaign, RunResult
+from repro.experiments.runner import RunResult
 from repro.experiments.scenarios import (
     KB,
     MB,

@@ -8,7 +8,6 @@ numbers.  These are the guardrails that keep recalibration honest.
 
 import statistics
 
-import pytest
 
 from repro.experiments.config import FlowSpec
 from repro.experiments.runner import Measurement

@@ -9,7 +9,6 @@ from repro.netsim.link import Link, LinkConfig
 from repro.netsim.packet import Packet
 from repro.sim.engine import Simulator
 from repro.tcp.segment import Segment
-from repro.tcp.endpoint import TcpConfig
 
 from tests.conftest import build_mininet, start_transfer
 

@@ -1,0 +1,293 @@
+"""Unit tests for the on-path middlebox models."""
+
+import random
+
+import pytest
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.middlebox import (
+    Cgn,
+    FlowTable,
+    LinkTap,
+    MiddleboxChain,
+    OptionStripper,
+    PayloadProxy,
+    SequenceRewriter,
+    StatefulFirewall,
+    build_chain,
+    install_chain,
+)
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.segment import Flags, Segment
+
+
+def make_packet(src="client.wifi", dst="server.eth0", src_port=1000,
+                dst_port=80, payload=0, **kwargs):
+    segment = Segment(src_port=src_port, dst_port=dst_port,
+                      payload_len=payload, **kwargs)
+    return Packet(src, dst, segment)
+
+
+# ----------------------------------------------------------------------
+# OptionStripper
+# ----------------------------------------------------------------------
+
+def test_stripper_removes_mp_capable_and_token():
+    box = OptionStripper()
+    packet = make_packet(flags=Flags(syn=True),
+                         options=MptcpOptions(mp_capable=True, token=7))
+    out = box.process(packet, "up", 0.0)
+    assert len(out) == 1
+    # Nothing left of the option block: it vanishes entirely.
+    assert out[0].segment.options is None
+    assert box.options_stripped == 1
+
+
+def test_stripper_is_selective():
+    box = OptionStripper(strip_capable=False, strip_join=False,
+                         strip_add_addr=False, strip_dss=True)
+    options = MptcpOptions(mp_capable=True, token=7,
+                           dss=DssMapping(dsn=0, ssn=1, length=100))
+    out = box.process(make_packet(payload=100, options=options), "up", 0.0)
+    stripped = out[0].segment.options
+    assert stripped.mp_capable and stripped.token == 7
+    assert stripped.dss is None
+
+
+def test_stripper_clears_mp_fail_with_dss():
+    box = OptionStripper(strip_capable=False, strip_join=False,
+                         strip_add_addr=False, strip_dss=True)
+    out = box.process(make_packet(options=MptcpOptions(mp_fail=True)),
+                      "up", 0.0)
+    assert out[0].segment.options is None
+
+
+def test_stripper_probability_zero_never_strips():
+    box = OptionStripper(probability=0.0, rng=random.Random(1))
+    packet = make_packet(options=MptcpOptions(mp_capable=True, token=7))
+    out = box.process(packet, "up", 0.0)
+    assert out[0].segment.options is not None
+    assert out[0].segment.options.mp_capable
+    assert box.options_stripped == 0
+
+
+def test_stripper_passes_plain_tcp_untouched():
+    box = OptionStripper()
+    packet = make_packet(payload=100)
+    assert box.process(packet, "down", 0.0) == [packet]
+    assert packet.segment.options is None
+
+
+# ----------------------------------------------------------------------
+# SequenceRewriter
+# ----------------------------------------------------------------------
+
+def test_rewriter_displaces_dss_anchor_per_flow():
+    box = SequenceRewriter(rng=random.Random(9))
+    options = MptcpOptions(dss=DssMapping(dsn=0, ssn=1, length=100))
+    first = box.process(make_packet(payload=100, options=options),
+                        "up", 0.0)[0]
+    offset = first.segment.options.dss.ssn - 1
+    assert offset >= 1
+    # The same flow gets the same displacement on every packet...
+    again = box.process(
+        make_packet(payload=100, options=MptcpOptions(
+            dss=DssMapping(dsn=100, ssn=101, length=100))), "up", 0.0)[0]
+    assert again.segment.options.dss.ssn == 101 + offset
+    # ...and both directions share the per-flow offset (the key is
+    # bidirectional, like a real ISN-randomizing box).
+    reverse = box.process(
+        make_packet(src="server.eth0", dst="client.wifi", src_port=80,
+                    dst_port=1000, payload=100,
+                    options=MptcpOptions(
+                        dss=DssMapping(dsn=0, ssn=1, length=100))),
+        "down", 0.0)[0]
+    assert reverse.segment.options.dss.ssn == 1 + offset
+
+
+def test_rewriter_ignores_packets_without_dss():
+    box = SequenceRewriter()
+    packet = make_packet(options=MptcpOptions(mp_capable=True, token=1))
+    assert box.process(packet, "up", 0.0) == [packet]
+    assert box.offsets == {}
+
+
+# ----------------------------------------------------------------------
+# PayloadProxy
+# ----------------------------------------------------------------------
+
+def test_proxy_resegments_and_strands_options():
+    box = PayloadProxy(proxy_mss=500)
+    options = MptcpOptions(dss=DssMapping(dsn=0, ssn=1, length=1200))
+    packet = make_packet(payload=1200, seq=1,
+                         flags=Flags(ack=True, fin=True), options=options)
+    chunks = box.process(packet, "down", 0.0)
+    assert [chunk.segment.payload_len for chunk in chunks] == [500, 500, 200]
+    assert [chunk.segment.seq for chunk in chunks] == [1, 501, 1001]
+    # The mapping rides only the first chunk; the FIN only the last.
+    assert chunks[0].segment.options is options
+    assert all(chunk.segment.options is None for chunk in chunks[1:])
+    assert [chunk.segment.flags.fin for chunk in chunks] == \
+        [False, False, True]
+
+
+def test_proxy_passes_small_packets_untouched():
+    box = PayloadProxy(proxy_mss=536)
+    packet = make_packet(payload=536)
+    assert box.process(packet, "up", 0.0) == [packet]
+    assert box.packets_split == 0
+
+
+# ----------------------------------------------------------------------
+# FlowTable / StatefulFirewall / Cgn
+# ----------------------------------------------------------------------
+
+def test_flow_table_idle_expiry():
+    table = FlowTable(idle_timeout=30.0)
+    table.touch("flow", now=0.0)
+    assert table.active("flow", now=29.0)       # refreshed at 29
+    assert table.active("flow", now=58.0)       # still inside 29+30
+    assert not table.active("flow", now=100.0)  # expired
+    assert table.expired == 1
+    assert "flow" not in table
+
+
+def test_flow_table_lru_eviction():
+    table = FlowTable(max_entries=2)
+    table.touch("a", now=0.0)
+    table.touch("b", now=1.0)
+    table.active("a", now=2.0)   # refresh makes "b" the LRU entry
+    table.touch("c", now=3.0)
+    assert "a" in table and "c" in table and "b" not in table
+    assert table.evicted == 1
+
+
+def test_flow_table_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FlowTable(idle_timeout=0)
+    with pytest.raises(ValueError):
+        FlowTable(max_entries=0)
+
+
+def test_firewall_binding_lifecycle():
+    box = StatefulFirewall(idle_timeout=30.0)
+    outbound = make_packet()
+    inbound = make_packet(src="server.eth0", dst="client.wifi",
+                          src_port=80, dst_port=1000)
+    # No binding yet: inbound dies silently.
+    assert box.process(inbound, "down", 0.0) == []
+    box.process(outbound, "up", 1.0)
+    assert box.process(inbound, "down", 2.0) == [inbound]
+    # Quiet past the timeout: the binding is gone.
+    assert box.process(inbound, "down", 40.0) == []
+
+
+def test_cgn_port_exhaustion_kills_quietest_flow():
+    box = Cgn(idle_timeout=None, max_entries=2)
+    for port, when in ((1000, 0.0), (1001, 1.0), (1002, 2.0)):
+        box.process(make_packet(src_port=port), "up", when)
+    victim = make_packet(src="server.eth0", dst="client.wifi",
+                         src_port=80, dst_port=1000)
+    survivor = make_packet(src="server.eth0", dst="client.wifi",
+                           src_port=80, dst_port=1002)
+    assert box.process(victim, "down", 3.0) == []
+    assert box.process(survivor, "down", 3.0) == [survivor]
+    assert box.table.evicted == 1
+
+
+# ----------------------------------------------------------------------
+# Chain, tap, link hook
+# ----------------------------------------------------------------------
+
+def test_chain_feeds_boxes_in_order_and_counts():
+    proxy = PayloadProxy(proxy_mss=600)
+    stripper = OptionStripper()
+    chain = MiddleboxChain([proxy, stripper])
+    options = MptcpOptions(dss=DssMapping(dsn=0, ssn=1, length=1200))
+    out = chain.process(make_packet(payload=1200, seq=1, options=options),
+                        "up", 0.0)
+    # The proxy split once; the stripper then saw *both* chunks but
+    # only the first still carried options to strip.
+    assert len(out) == 2
+    assert all(chunk.segment.options is None for chunk in out)
+    assert proxy.stats.packets_seen == 1
+    assert proxy.stats.packets_created == 1
+    assert stripper.stats.packets_seen == 2
+    assert stripper.stats.packets_mangled == 1
+
+
+def test_chain_respects_box_directions():
+    box = OptionStripper(directions=("down",))
+    chain = MiddleboxChain([box])
+    packet = make_packet(options=MptcpOptions(mp_capable=True, token=1))
+    assert chain.process(packet, "up", 0.0)[0].segment.options is not None
+    assert box.stats.packets_seen == 0
+
+
+def test_link_tap_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        LinkTap(MiddleboxChain(), "sideways")
+
+
+class _DroppingBox(StatefulFirewall):
+    pass
+
+
+def _make_link(sim):
+    config = LinkConfig(rate_bps=10e6, prop_delay=0.001,
+                        buffer_bytes=100_000)
+    return Link(sim, config, random.Random(0), name="test-link")
+
+
+def test_link_middlebox_drop_is_counted():
+    sim = Simulator()
+    link = _make_link(sim)
+    delivered = []
+    link.deliver = delivered.append
+    link.middlebox = LinkTap(MiddleboxChain([_DroppingBox()]), "down")
+    link.send(make_packet(src="server.eth0", dst="client.wifi",
+                          src_port=80, dst_port=1000))
+    sim.run(until=1.0)
+    assert delivered == []
+    assert link.stats.drops_middlebox == 1
+
+
+def test_link_forwards_every_proxy_chunk():
+    sim = Simulator()
+    link = _make_link(sim)
+    delivered = []
+    link.deliver = delivered.append
+    link.middlebox = LinkTap(MiddleboxChain([PayloadProxy(proxy_mss=400)]),
+                             "up")
+    link.send(make_packet(payload=1000, seq=1))
+    sim.run(until=1.0)
+    assert [packet.segment.payload_len for packet in delivered] == \
+        [400, 400, 200]
+    assert link.stats.packets_delivered == 3
+
+
+class _FakeNetwork:
+    def __init__(self, sim):
+        self.up = _make_link(sim)
+        self.down = _make_link(sim)
+
+    def links_for(self, address):
+        return self.up, self.down
+
+
+def test_install_chain_taps_both_directions():
+    network = _FakeNetwork(Simulator())
+    chain = install_chain(network, "client.wifi", MiddleboxChain())
+    assert network.up.middlebox.chain is chain
+    assert network.up.middlebox.direction == "up"
+    assert network.down.middlebox.chain is chain
+    assert network.down.middlebox.direction == "down"
+
+
+def test_build_chain_profiles():
+    chain = build_chain("strip-all")
+    assert isinstance(chain.boxes[0], OptionStripper)
+    with pytest.raises(ValueError):
+        build_chain("tarpit")

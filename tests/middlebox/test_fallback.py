@@ -1,0 +1,128 @@
+"""End-to-end: MPTCP behind interfering middleboxes must fall back,
+never hang (RFC 6824 Section 3.6).
+
+Each test runs a full download through a middlebox profile on the WiFi
+access links and checks both halves of the deployment story: the
+transfer completes with every byte intact, and the connection ends in
+the fallback state the interference dictates.
+"""
+
+import pytest
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+from repro.core.connection import MptcpConnection, MptcpListener
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+from repro.middlebox import build_chain, install_chain
+from repro.testbed import Testbed, TestbedConfig
+
+KB = 1024
+SIZE = 96 * KB
+
+
+def run_profile(profile, size=SIZE, seed=11, **spec_kwargs):
+    spec = FlowSpec.mptcp(carrier="att", middlebox=profile, **spec_kwargs)
+    return Measurement(spec, size, seed=seed).run()
+
+
+def check_complete(result, size=SIZE):
+    assert result.completed, \
+        f"{result.spec.middlebox}: download did not complete"
+    assert result.metrics.bytes_received >= size
+    assert result.download_time is not None and result.download_time > 0
+
+
+@pytest.mark.parametrize("profile", ["strip-all", "strip-capable"])
+def test_stripped_handshake_falls_back_to_plain_tcp(profile):
+    result = run_profile(profile)
+    check_complete(result)
+    assert result.metrics.fallback == "plain"
+
+
+@pytest.mark.parametrize("profile", ["strip-dss", "rewrite-seq", "proxy"])
+def test_broken_mappings_fall_back_to_infinite_mapping(profile):
+    result = run_profile(profile)
+    check_complete(result)
+    assert result.metrics.fallback == "infinite"
+
+
+def test_stripped_join_continues_single_path():
+    # MP_JOIN rides the cellular path, so the box must sit there.
+    result = run_profile("strip-join", middlebox_path="cell")
+    check_complete(result)
+    # The MPTCP session itself survives; only the extra subflow dies,
+    # so no fallback -- and all traffic stays on the initial path.
+    assert result.metrics.fallback == "none"
+    assert result.metrics.cellular_fraction == 0.0
+
+
+def test_clean_runs_never_fall_back():
+    result = run_profile("none")
+    check_complete(result)
+    assert result.metrics.fallback == "none"
+    assert result.metrics.cellular_fraction > 0.0
+
+
+def test_probabilistic_stripping_still_completes():
+    result = run_profile("strip-all", middlebox_prob=0.5)
+    check_complete(result)
+
+
+def test_middlebox_runs_are_deterministic():
+    first = run_profile("strip-all")
+    second = run_profile("strip-all")
+    assert first.download_time == second.download_time
+    assert first.metrics.bytes_received == second.metrics.bytes_received
+
+
+# ----------------------------------------------------------------------
+# The server-side pending-join queue (stripped / rejected joins)
+# ----------------------------------------------------------------------
+
+def _run_listener_scenario(profile, size=32 * KB, seed=5, path=0):
+    """Drive a download through ``profile`` with direct access to the
+    server-side listener internals (``path`` indexes client_addrs:
+    0 = WiFi, 1 = cellular)."""
+    testbed = Testbed(TestbedConfig(seed=seed))
+    install_chain(testbed.network, testbed.client_addrs[path],
+                  build_chain(profile))
+    spec = FlowSpec.mptcp(carrier="att")
+    listener = MptcpListener(
+        testbed.sim, testbed.server, HTTP_PORT, spec.mptcp_config(),
+        server_addrs=testbed.server_addrs,
+        on_connection=lambda conn: HttpServerSession.fixed(conn, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, spec.mptcp_config())
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    testbed.run(until=120.0)
+    return listener, connection, client
+
+
+def test_plain_fallback_rejects_late_joins():
+    listener, connection, client = _run_listener_scenario("strip-all")
+    assert client.record.complete
+    assert connection.fallback_mode == "plain"
+    # The cellular join reached a fallen-back server connection (or a
+    # parked queue that has since been purged): it must have been
+    # answered with a RST, and nothing may stay parked forever.
+    assert not listener._pending_joins
+    assert not listener._pending_first_at
+
+
+def test_stripped_join_leaves_no_pending_entries():
+    listener, connection, client = _run_listener_scenario("strip-join",
+                                                          path=1)
+    assert client.record.complete
+    assert connection.fallback_mode is None
+    # The join SYN lost its MP_JOIN option, so the listener never saw
+    # a token to park: the pending queue stays empty and the client's
+    # cellular subflow dies without deadlocking the connection.
+    assert not listener._pending_joins
+    assert not listener._pending_first_at
+    failed = [subflow for subflow in connection.subflows
+              if subflow.endpoint is not None
+              and subflow.endpoint.state == "failed"]
+    assert failed, "the stripped join should have failed its subflow"

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.models import (
-    download_time_estimate,
     mptcp_aggregate_bound,
     pftk_throughput,
     slow_start_latency,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim.host import Host, Interface
+from repro.netsim.host import Interface
 from repro.netsim.nat import Nat
 from repro.netsim.packet import Packet
 from repro.tcp.segment import Flags, Segment

@@ -7,7 +7,7 @@ import pytest
 from repro.netsim.link import ArqConfig, Link, LinkConfig, RateModulation
 from repro.netsim.packet import Packet
 from repro.sim.engine import Simulator
-from repro.tcp.segment import Flags, Segment
+from repro.tcp.segment import Segment
 
 
 

@@ -1,9 +1,11 @@
 """Tests for packets and the NAT filter."""
 
+import pytest
+
 from repro.netsim.nat import Nat
 from repro.core.options import DssMapping, MptcpOptions
-from repro.netsim.packet import IP_HEADER, Packet
-from repro.tcp.segment import Flags, Segment
+from repro.netsim.packet import Packet
+from repro.tcp.segment import Segment
 
 
 def make_packet(src="client.wifi", dst="server.eth0", src_port=1000,
@@ -76,3 +78,47 @@ def test_nat_mapping_is_peer_specific():
     from_other = make_packet(src="server.eth1", dst="client.wifi",
                              src_port=80, dst_port=1000)
     assert not nat.allows(from_other)
+
+
+def test_nat_idle_timeout_requires_clock():
+    with pytest.raises(ValueError):
+        Nat(idle_timeout=30.0)
+
+
+def test_nat_idle_timeout_expires_quiet_bindings():
+    clock = SettableClock(0.0)
+    nat = Nat(idle_timeout=30.0, clock=clock)
+    nat.note_outbound(make_packet())
+    inbound = make_packet(src="server.eth0", dst="client.wifi",
+                          src_port=80, dst_port=1000)
+    clock.now = 29.0
+    assert nat.allows(inbound)
+    # The inbound packet refreshed the binding: quiet since 29.0.
+    clock.now = 58.0
+    assert nat.allows(inbound)
+    clock.now = 100.0
+    assert not nat.allows(inbound)
+    assert nat.expired == 1
+    assert nat.dropped == 1
+    # Fresh outbound traffic re-creates the binding.
+    nat.note_outbound(make_packet())
+    assert nat.allows(inbound)
+
+
+def test_nat_default_keeps_bindings_forever():
+    clock = SettableClock(0.0)
+    nat = Nat(clock=clock)
+    nat.note_outbound(make_packet())
+    clock.now = 1e9
+    inbound = make_packet(src="server.eth0", dst="client.wifi",
+                          src_port=80, dst_port=1000)
+    assert nat.allows(inbound)
+    assert nat.expired == 0
+
+
+class SettableClock:
+    def __init__(self, now):
+        self.now = now
+
+    def __call__(self):
+        return self.now

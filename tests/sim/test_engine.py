@@ -152,7 +152,8 @@ def test_schedule_at_preserves_fifo_for_equal_times():
 def test_schedule_at_absolute_time():
     sim = Simulator()
     seen = []
-    sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+    sim.schedule(1.0, lambda: sim.schedule_at(
+        5.0, lambda: seen.append(sim.now)))
     sim.run()
     assert seen == [5.0]
 

@@ -1,6 +1,5 @@
 """Tests for the delayed-acknowledgement option."""
 
-import pytest
 
 from repro.tcp.endpoint import TcpConfig
 

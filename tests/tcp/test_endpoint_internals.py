@@ -82,7 +82,6 @@ def test_duplicate_syn_triggers_synack_retransmission():
     harness = start_transfer(net, size=0)
     net.run(until=0.2)
     server = harness.server()
-    acks_before = server.stats.acks_sent
     syn = Segment(src_port=harness.client_ep.local_port, dst_port=80,
                   seq=0, flags=Flags(syn=True))
     from repro.netsim.packet import Packet

@@ -5,7 +5,6 @@ recovery machinery must also work without it -- dupack-counted fast
 retransmit, window inflation, partial-ACK retransmission.
 """
 
-import pytest
 
 from repro.tcp.endpoint import TcpConfig
 

@@ -101,3 +101,17 @@ def test_run_passthrough_advances_clock():
     testbed = Testbed(TestbedConfig(seed=1))
     testbed.sim.schedule(1.0, lambda: None)
     assert testbed.run(until=2.0) == 2.0
+
+
+def test_nat_idle_timeout_wired_to_sim_clock():
+    testbed = Testbed(TestbedConfig(seed=1, nat_idle_timeout=30.0))
+    nat = testbed.client.interfaces[CLIENT_WIFI].nat
+    assert nat.table.idle_timeout == 30.0
+    # The NAT ages bindings against the simulation clock.
+    assert nat.clock() == testbed.sim.now
+
+
+def test_nat_default_has_no_idle_timeout():
+    testbed = Testbed(TestbedConfig(seed=1))
+    assert testbed.client.interfaces[CLIENT_WIFI].nat.table.idle_timeout \
+        is None

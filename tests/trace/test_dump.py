@@ -4,7 +4,7 @@ from repro.core.options import DssMapping, MptcpOptions
 from repro.netsim.packet import Packet
 from repro.tcp.segment import Flags, Segment
 from repro.trace.analyzer import FlowAnalysis
-from repro.trace.capture import PacketCapture, PacketRecord
+from repro.trace.capture import PacketRecord
 from repro.trace.dump import dump, flow_summary, format_record
 
 

@@ -6,7 +6,7 @@ from repro.experiments.config import FlowSpec
 from repro.experiments.runner import Measurement
 from repro.netsim.packet import Packet
 from repro.tcp.segment import Flags, Segment
-from repro.trace.capture import PacketCapture, PacketRecord
+from repro.trace.capture import PacketRecord
 from repro.trace.metrics import (
     bytes_by_client_path,
     cellular_fraction,

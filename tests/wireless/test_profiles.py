@@ -102,7 +102,8 @@ def test_wifi_evening_is_more_loaded_than_night():
               for _ in range(300)]
     evenings = [environment_factor(rng, HOME_WIFI, TimeOfDay.EVENING)
                 for _ in range(300)]
-    mean = lambda values: sum(values) / len(values)
+    def mean(values):
+        return sum(values) / len(values)
     assert mean([env.loss_scale for env in evenings]) > \
         mean([env.loss_scale for env in nights])
     assert mean([env.rate_scale for env in evenings]) < \
