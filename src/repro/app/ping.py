@@ -109,7 +109,7 @@ class Pinger:
         self._send_times[index] = self.sim.now
         self.result.sent += 1
         self.host.send(Packet(self.local_addr, self.remote_addr, segment))
-        self.sim.schedule(self.interval, lambda: self._probe(index + 1),
+        self.sim.schedule(self.interval, self._probe, index + 1,
                           name="ping.probe")
 
     def handle_packet(self, packet: Packet) -> None:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.report import render_table, write_csv
 from repro.experiments.runner import Campaign, CampaignSpec, RunResult
 from repro.experiments import scenarios
+from repro.trace.capture import CaptureLevel
 from repro.wireless.profiles import TimeOfDay
 
 RowBuilder = Callable[[List[RunResult]], Tuple[List[str], List[List[str]]]]
@@ -144,8 +145,16 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
                   f"{result.size} B: {status}", flush=True)
 
     campaign = Campaign(spec, progress=progress, jobs=args.jobs,
-                        journal=args.resume)
-    results = campaign.run()
+                        journal=args.resume,
+                        capture_level=args.capture)
+    if args.profile:
+        from repro.perf import profile_to, render_profile
+        with profile_to(args.profile):
+            results = campaign.run()
+        print(f"profile written to {args.profile}")
+        print(render_profile(args.profile))
+    else:
+        results = campaign.run()
     elapsed = time.time() - started
     print(f"done in {elapsed:.1f}s "
           f"({campaign.completed_fraction():.0%} completed)\n")
@@ -222,6 +231,18 @@ def _main(argv: Optional[List[str]] = None) -> int:
                         help="render ASCII box plots / CCDF charts")
     parser.add_argument("--save", metavar="FILE",
                         help="append raw results as JSON lines to FILE")
+    parser.add_argument("--capture",
+                        choices=[level.value for level in CaptureLevel],
+                        default=CaptureLevel.METRICS_ONLY.value,
+                        help="per-packet capture retention: metrics-only "
+                             "(default; streams per-flow counters), "
+                             "headers (PacketRecords without option "
+                             "introspection), or full (everything, "
+                             "needed for mptcptrace-style analysis)")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="run under cProfile and dump pstats "
+                             "data to FILE (printed top functions, "
+                             "inspectable later with python -m pstats)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-measurement progress")
     args = parser.parse_args(argv)

@@ -557,16 +557,18 @@ class MptcpConnection:
 
     def dead_addrs_to_signal(self) -> tuple:
         """Local addresses to advertise as unreachable (MP_FAIL-style)."""
-        if self.path_manager is None:
-            return ()
+        if self.path_manager is None or not self.path_manager.down_locals:
+            return ()  # fast path: nothing down (the per-segment case)
         return tuple(sorted(self.path_manager.down_locals))
 
     def receive_window(self) -> int:
         """Shared receive buffer space, minus subflow-level stashes."""
-        subflow_buffered = sum(
-            subflow.endpoint.reassembly.buffered_bytes
-            for subflow in self.subflows if subflow.endpoint is not None)
-        return max(self.receive_buffer.free_space() - subflow_buffered, 0)
+        free = self.receive_buffer.free_space()
+        for subflow in self.subflows:  # plain loop: per-segment path
+            endpoint = subflow.endpoint
+            if endpoint is not None:
+                free -= endpoint.reassembly.buffered_bytes
+        return free if free > 0 else 0
 
     def on_segment(self, subflow: Subflow, segment: Segment) -> None:
         """Process connection-level signalling on any received segment."""

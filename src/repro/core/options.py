@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DssMapping:
     """Maps a run of subflow payload onto connection sequence space.
 
@@ -58,7 +58,7 @@ class DssMapping:
         return self.ssn + self.length
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MptcpOptions:
     """The MPTCP option block carried by one segment."""
 

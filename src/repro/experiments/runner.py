@@ -22,9 +22,10 @@ from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession, \
 from repro.core.connection import MptcpConnection, MptcpListener
 from repro.core.coupling import RenoController
 from repro.experiments.config import FlowSpec
+from repro.perf import NULL_INSTRUMENTATION
 from repro.sim.rng import derive_seed
 from repro.testbed import Testbed, TestbedConfig
-from repro.trace.capture import PacketCapture
+from repro.trace.capture import CaptureLevel, PacketCapture
 from repro.trace.metrics import ConnectionMetrics, connection_metrics
 from repro.wireless.profiles import TimeOfDay
 
@@ -67,7 +68,8 @@ class Measurement:
     def __init__(self, spec: FlowSpec, size: int, seed: int = 0,
                  period: TimeOfDay = TimeOfDay.AFTERNOON,
                  timeout: Optional[float] = None,
-                 wifi_profile=None, cell_profile=None) -> None:
+                 wifi_profile=None, cell_profile=None,
+                 capture_level=CaptureLevel.METRICS_ONLY) -> None:
         self.spec = spec
         self.size = size
         self.seed = seed
@@ -75,23 +77,36 @@ class Measurement:
         self.timeout = timeout
         self.wifi_profile = wifi_profile
         self.cell_profile = cell_profile
+        #: Capture fidelity for this run.  Campaigns only read the
+        #: aggregate :class:`ConnectionMetrics`, so the default streams
+        #: metrics without materializing per-packet records; pass
+        #: ``"full"`` to keep the captures for DSS-level analysis.
+        self.capture_level = CaptureLevel.coerce(capture_level)
 
-    def run(self) -> RunResult:
+    def run(self, instrumentation=None) -> RunResult:
+        inst = (instrumentation if instrumentation is not None
+                else NULL_INSTRUMENTATION)
         spec = self.spec
-        testbed = Testbed(TestbedConfig(
-            carrier=spec.carrier, wifi=spec.wifi,
-            server_interfaces=spec.server_interfaces,
-            period=self.period, seed=self.seed,
-            wifi_profile=self.wifi_profile,
-            cell_profile=self.cell_profile))
-        server_capture = PacketCapture(testbed.server)
-        client_capture = PacketCapture(testbed.client)
-        self._install_middlebox(testbed)
+        with inst.phase("setup"):
+            testbed = Testbed(TestbedConfig(
+                carrier=spec.carrier, wifi=spec.wifi,
+                server_interfaces=spec.server_interfaces,
+                period=self.period, seed=self.seed,
+                wifi_profile=self.wifi_profile,
+                cell_profile=self.cell_profile))
+            server_capture = PacketCapture(testbed.server,
+                                           level=self.capture_level)
+            # The client side only feeds download time and per-path
+            # byte shares, never sender-side flow analysis.
+            client_capture = PacketCapture(testbed.client,
+                                           level=self.capture_level,
+                                           analyze_senders=False)
+            self._install_middlebox(testbed)
 
-        if spec.mode == "sp":
-            client, connection = self._start_single_path(testbed)
-        else:
-            client, connection = self._start_mptcp(testbed)
+            if spec.mode == "sp":
+                client, connection = self._start_single_path(testbed)
+            else:
+                client, connection = self._start_mptcp(testbed)
 
         timeout = self.timeout
         if timeout is None:
@@ -99,7 +114,9 @@ class Measurement:
             # finishes within this, and stalls return early anyway.
             timeout = 120.0 + self.size / 12_500.0
         max_events = 200_000 + (self.size // 1448) * _EVENTS_PER_PACKET
-        testbed.run(until=timeout, max_events=max_events)
+        with inst.phase("simulate"):
+            testbed.run(until=timeout, max_events=max_events)
+        inst.observe_simulator(testbed.sim)
 
         record = client.record
         ofo = []
@@ -107,8 +124,9 @@ class Measurement:
         if connection is not None:
             ofo = connection.receive_buffer.metrics.delays()
             subflow_count = len(connection.subflows)
-        metrics = connection_metrics(server_capture, client_capture,
-                                     ofo_delays=ofo)
+        with inst.phase("extract"):
+            metrics = connection_metrics(server_capture, client_capture,
+                                         ofo_delays=ofo)
         if connection is not None:
             metrics.fallback = connection.fallback_mode or "none"
         if record.complete:
@@ -204,6 +222,9 @@ class RunDescriptor:
     wifi_profile: Optional[object] = None
     cell_profile: Optional[object] = None
     timeout: Optional[float] = None
+    #: Capture fidelity (a :class:`CaptureLevel` value string, kept as
+    #: a plain string so descriptors stay trivially picklable).
+    capture_level: str = CaptureLevel.METRICS_ONLY.value
 
     @property
     def key(self) -> str:
@@ -213,7 +234,8 @@ class RunDescriptor:
         return Measurement(self.spec, self.size, seed=self.seed,
                            period=self.period, timeout=self.timeout,
                            wifi_profile=self.wifi_profile,
-                           cell_profile=self.cell_profile).run()
+                           cell_profile=self.cell_profile,
+                           capture_level=self.capture_level).run()
 
 
 @dataclass(frozen=True)
@@ -246,11 +268,16 @@ class Campaign:
     """
 
     def __init__(self, spec: CampaignSpec, progress=None,
-                 jobs: int = 1, journal=None) -> None:
+                 jobs: int = 1, journal=None,
+                 capture_level=CaptureLevel.METRICS_ONLY) -> None:
         self.spec = spec
         self.progress = progress
         self.jobs = jobs
         self.journal = journal
+        #: Campaigns only consume aggregate metrics, so the cheapest
+        #: capture level is the default; raise it to ``"full"`` when
+        #: per-packet records are wanted for post-hoc analysis.
+        self.capture_level = CaptureLevel.coerce(capture_level)
         self.results: List[RunResult] = []
 
     def plan(self) -> List["RunDescriptor"]:
@@ -279,7 +306,8 @@ class Campaign:
                         f"{size}:{period.value}:{repetition}")
                     descriptors.append(RunDescriptor(
                         index=len(descriptors), spec=flow, size=size,
-                        seed=seed, period=period))
+                        seed=seed, period=period,
+                        capture_level=self.capture_level.value))
         return descriptors
 
     def run(self) -> List[RunResult]:

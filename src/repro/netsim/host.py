@@ -63,7 +63,8 @@ class Interface:
         if self.up_link is None:
             raise RuntimeError(f"interface {self.name} is not wired")
         if self.radio is not None:
-            self.radio.request(lambda: self.up_link.send(packet))
+            # Arg-carrying form: no closure allocated per packet.
+            self.radio.request(self.up_link.send, packet)
         else:
             self.up_link.send(packet)
 
@@ -151,10 +152,11 @@ class Host:
         if interface is None:
             raise ValueError(
                 f"{self.name} has no interface with address {packet.src!r}")
-        packet.sent_at = self.sim.now
+        now = self.sim.now
+        packet.sent_at = now
         self.packets_sent += 1
         for hook in self._capture_hooks:
-            hook("send", self.sim.now, packet)
+            hook("send", now, packet)
         if interface.nat is not None:
             interface.nat.note_outbound(packet)
         interface.transmit(packet)
@@ -167,8 +169,10 @@ class Host:
         if interface.radio is not None:
             interface.radio.touch()
         self.packets_received += 1
-        for hook in self._capture_hooks:
-            hook("recv", self.sim.now, packet)
+        if self._capture_hooks:
+            now = self.sim.now
+            for hook in self._capture_hooks:
+                hook("recv", now, packet)
         segment = packet.segment
         key: FourTuple = (packet.dst, segment.dst_port,
                           packet.src, segment.src_port)

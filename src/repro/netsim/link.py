@@ -102,6 +102,14 @@ class Link:
     recovery before being handed to ``deliver``.
     """
 
+    #: Route per-packet events through :meth:`Simulator.post` /
+    #: :meth:`Simulator.post_at` (no closure, no Event object) instead
+    #: of the legacy ``schedule(..., lambda: ...)`` form.  Both paths
+    #: consume one engine sequence number per packet per hop, so flipping
+    #: this flag changes allocation behaviour only -- results are
+    #: byte-identical (the determinism guard test asserts this).
+    use_fast_scheduling = True
+
     def __init__(self, sim: Simulator, config: LinkConfig,
                  rng: random.Random, name: str = "link") -> None:
         self.sim = sim
@@ -200,14 +208,20 @@ class Link:
         steps = int((now - self._last_modulation_step) / modulation.interval)
         if steps <= 0:
             return
+        # Cap the catch-up work after a very long idle period (beyond
+        # ~10k intervals AR(1) memory of the old state is gone anyway).
+        # _last_modulation_step must advance only by the iterations
+        # actually applied: advancing by the full `steps` would silently
+        # skip AR(1) evolution (and its RNG draws) for the excess.
+        applied = min(steps, 10_000)
         multiplier = self._rate_multiplier
-        for _ in range(min(steps, 10_000)):
+        for _ in range(applied):
             noise = self.rng.gauss(0.0, modulation.sigma)
             multiplier = 1.0 + modulation.rho * (multiplier - 1.0) + noise
             multiplier = min(max(multiplier, modulation.floor),
                              modulation.ceiling)
         self._rate_multiplier = multiplier
-        self._last_modulation_step += steps * modulation.interval
+        self._last_modulation_step += applied * modulation.interval
 
     def _serve_next(self) -> None:
         if not self._queue:
@@ -215,10 +229,15 @@ class Link:
             return
         self._busy = True
         packet = self._queue.popleft()
-        self._queue_bytes -= packet.wire_size
-        service_time = packet.wire_size * 8.0 / self.current_rate()
-        self.sim.schedule(service_time, lambda: self._service_done(packet),
-                          name=f"{self.name}.service")
+        size = packet.wire_size
+        self._queue_bytes -= size
+        service_time = size * 8.0 / self.current_rate()
+        if self.use_fast_scheduling:
+            self.sim.post(service_time, self._service_done, packet)
+        else:
+            self.sim.schedule(service_time,
+                              lambda: self._service_done(packet),
+                              name=f"{self.name}.service")
 
     def _service_done(self, packet: Packet) -> None:
         self._propagate(packet)
@@ -247,10 +266,17 @@ class Link:
         self.stats.bytes_delivered += packet.wire_size
         # FIFO links (WiFi MAC queues, cellular RLC-AM) deliver in order:
         # a delayed packet holds back the ones behind it.
-        delivery_time = max(self.sim.now + delay, self._last_delivery_time)
-        self._last_delivery_time = delivery_time
-        self.sim.schedule_at(delivery_time, lambda: self.deliver(packet),
-                             name=f"{self.name}.deliver")
+        delivery_time = self.sim.now + delay
+        if delivery_time < self._last_delivery_time:
+            delivery_time = self._last_delivery_time
+        else:
+            self._last_delivery_time = delivery_time
+        if self.use_fast_scheduling:
+            self.sim.post_at(delivery_time, self.deliver, packet)
+        else:
+            self.sim.schedule_at(delivery_time,
+                                 lambda: self.deliver(packet),
+                                 name=f"{self.name}.deliver")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Link {self.name} rate={self.config.rate_bps / 1e6:.1f}Mbps "

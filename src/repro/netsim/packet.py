@@ -39,7 +39,8 @@ class Packet:
             the host on transmit, used by link-layer models and traces.
     """
 
-    __slots__ = ("src", "dst", "segment", "packet_id", "sent_at")
+    __slots__ = ("src", "dst", "segment", "packet_id", "sent_at",
+                 "_sized_segment", "_wire_size")
 
     def __init__(self, src: str, dst: str, segment: "Segment") -> None:
         self.src = src
@@ -47,13 +48,25 @@ class Packet:
         self.segment = segment
         self.packet_id = next(_packet_ids)
         self.sent_at = 0.0
+        self._sized_segment: "Segment | None" = None
+        self._wire_size = 0
 
     @property
     def wire_size(self) -> int:
         """Bytes occupied on the wire: payload + TCP header (sized from
-        the segment's actual SACK/MPTCP options) + IP header."""
-        return (self.segment.payload_len + self.segment.header_length
-                + IP_HEADER)
+        the segment's actual SACK/MPTCP options) + IP header.
+
+        Computed once per carried segment: segments are frozen, but a
+        middlebox may swap ``packet.segment`` for a rewritten one, so
+        the cache is keyed on the segment's identity.
+        """
+        segment = self.segment
+        if segment is self._sized_segment:
+            return self._wire_size
+        size = segment.payload_len + segment.header_length + IP_HEADER
+        self._sized_segment = segment
+        self._wire_size = size
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet #{self.packet_id} {self.src}->{self.dst} "

@@ -1,0 +1,41 @@
+"""cProfile integration: wrap any run and write a pstats dump.
+
+Used by the CLI's ``--profile`` flag::
+
+    PYTHONPATH=src python -m repro fig09 --profile fig09.pstats
+
+and readable afterwards with the standard tooling::
+
+    python -m pstats fig09.pstats
+    # or programmatically: repro.perf.render_profile("fig09.pstats")
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+
+@contextmanager
+def profile_to(path: Union[str, Path]) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block and write a pstats dump to ``path``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))
+
+
+def render_profile(path: Union[str, Path], top: int = 15,
+                   sort: str = "cumulative") -> str:
+    """The top functions of a pstats dump, as printable text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(str(path), stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()

@@ -13,11 +13,12 @@ everything else in :mod:`repro` is built on:
 Nothing in here knows about networking; it is a general event kernel.
 """
 
-from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.engine import Event, NO_ARG, Simulator, SimulationError
 from repro.sim.rng import RngRegistry, derive_seed
 
 __all__ = [
     "Event",
+    "NO_ARG",
     "Simulator",
     "SimulationError",
     "RngRegistry",

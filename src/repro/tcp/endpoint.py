@@ -38,6 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coupling import CongestionController
     from repro.core.options import MptcpOptions
 
+# Flags is a frozen value object, so the two per-segment variants are
+# shared instead of constructed per transmission.
+_FLAGS_ACK = Flags(ack=True)
+_FLAGS_ACK_FIN = Flags(ack=True, fin=True)
+
 
 @dataclass(frozen=True)
 class TcpConfig:
@@ -217,6 +222,7 @@ class TcpEndpoint:
         self._recover = 0
         self._recovery_epoch = 0
         self._highest_sacked = 0
+        self._lost_count = 0         # _SentSegments currently in _LOST
         self._rto_event: Optional[Event] = None
         self._syn_event: Optional[Event] = None
         self._syn_attempts = 0
@@ -283,6 +289,11 @@ class TcpEndpoint:
         self._send_synack()
 
     def _send_syn(self) -> None:
+        # This runs as the syn-rto timer callback (or the initial
+        # connect): the stored handle is spent, so drop it before any
+        # return path -- a stale handle must never be cancelled after
+        # the engine has recycled the event.
+        self._syn_event = None
         if self._syn_attempts > self.config.syn_retries:
             self.state = "closed"
             return
@@ -299,6 +310,7 @@ class TcpEndpoint:
                                             name=f"{self.name}.syn-rto")
 
     def _send_synack(self) -> None:
+        self._syn_event = None  # spent handle; see _send_syn
         if self._syn_attempts > self.config.syn_retries:
             self.state = "closed"
             return
@@ -444,6 +456,7 @@ class TcpEndpoint:
             if (sent.state == _FLIGHT
                     and sent.rexmit_epoch != self._recovery_epoch):
                 sent.state = _LOST
+                self._lost_count += 1
                 self._pipe -= sent.seq_space
 
     def _advance_una(self, ack: int) -> None:
@@ -457,6 +470,8 @@ class TcpEndpoint:
             del self._sent[seq]
             if sent.state == _FLIGHT:
                 self._pipe -= sent.seq_space
+            elif sent.state == _LOST:
+                self._lost_count -= 1
             newly_acked += sent.seq_space
             if sent.retransmits == 0:
                 rtt_sample = self.sim.now - sent.sent_at
@@ -531,6 +546,8 @@ class TcpEndpoint:
 
     def _find_lost(self) -> Optional[_SentSegment]:
         """Next RTO-marked loss not yet resent in this epoch."""
+        if not self._lost_count:
+            return None  # O(1) common case: nothing marked lost
         for sent in self._sent.values():
             if (sent.state == _LOST
                     and sent.rexmit_epoch != self._recovery_epoch):
@@ -540,6 +557,8 @@ class TcpEndpoint:
     def _retransmit(self, sent: _SentSegment) -> None:
         if sent.state == _FLIGHT:
             self._pipe -= sent.seq_space
+        elif sent.state == _LOST:
+            self._lost_count -= 1
         sent.state = _FLIGHT
         sent.retransmits += 1
         sent.rexmit_epoch = self._recovery_epoch
@@ -697,7 +716,7 @@ class TcpEndpoint:
         segment = Segment(
             src_port=self.local_port, dst_port=self.remote_port,
             seq=sent.seq, ack=self.reassembly.rcv_nxt,
-            flags=Flags(ack=True, fin=sent.fin),
+            flags=_FLAGS_ACK_FIN if sent.fin else _FLAGS_ACK,
             payload_len=sent.payload_len,
             window=self._advertised_window(),
             options=options)
@@ -719,7 +738,7 @@ class TcpEndpoint:
         segment = Segment(
             src_port=self.local_port, dst_port=self.remote_port,
             seq=self.snd_nxt, ack=self.reassembly.rcv_nxt,
-            flags=Flags(ack=True),
+            flags=_FLAGS_ACK,
             window=self._advertised_window(),
             sack_blocks=sack_blocks, options=options)
         self.stats.acks_sent += 1
@@ -745,10 +764,20 @@ class TcpEndpoint:
                 name=f"{self.name}.rto")
 
     def _restart_rto_timer(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
+        # Runs on every ACK that advances snd_una, so reuse the pending
+        # timer in place instead of cancel+schedule: reschedule()
+        # consumes one sequence number exactly like schedule() would, so
+        # event ordering (and results) are unchanged, but the heap no
+        # longer accumulates a cancelled tombstone per ACK.
+        event = self._rto_event
+        if self.snd_una < self.snd_nxt:
+            if event is not None:
+                self.sim.reschedule(event, self.rto_estimator.rto)
+            else:
+                self._arm_rto_timer()
+        elif event is not None:
+            event.cancel()
             self._rto_event = None
-        self._arm_rto_timer()
 
     def _on_rto(self) -> None:
         self._rto_event = None
@@ -768,6 +797,7 @@ class TcpEndpoint:
             if sent.state == _FLIGHT:
                 self._pipe -= sent.seq_space
             sent.state = _LOST
+        self._lost_count = len(self._sent)
         self.controller.on_loss(self)
         self.rto_estimator.backoff()
         self._retransmit_front()

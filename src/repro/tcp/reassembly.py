@@ -32,6 +32,7 @@ class ReassemblyQueue:
         self._starts: List[int] = []
         self._ends: List[int] = []
         self._metas: List[Any] = []
+        self._buffered = 0  # running sum of stored range lengths
         self.duplicate_bytes = 0
 
     # ------------------------------------------------------------------
@@ -55,6 +56,14 @@ class ReassemblyQueue:
             start = self.rcv_nxt
             if start >= end:
                 return 0
+        if start == self.rcv_nxt and not self._starts:
+            # In-order fast path (the common case on a healthy link):
+            # the range would be inserted and immediately popped by
+            # _advance, so deliver it directly.
+            self.rcv_nxt = end
+            if on_in_order is not None:
+                on_in_order(start, end, meta)
+            return end - start
         # Trim against stored ranges; split into the uncovered pieces.
         pieces = self._uncovered(start, end)
         self.duplicate_bytes += (end - start) - sum(e - s for s, e in pieces)
@@ -64,6 +73,7 @@ class ReassemblyQueue:
             self._ends.insert(index, piece_end)
             self._metas.insert(index, meta)
             accepted += piece_end - piece_start
+            self._buffered += piece_end - piece_start
         if accepted:
             self._advance(on_in_order)
         return accepted
@@ -93,6 +103,7 @@ class ReassemblyQueue:
             start = self._starts.pop(0)
             end = self._ends.pop(0)
             meta = self._metas.pop(0)
+            self._buffered -= end - start
             if end <= self.rcv_nxt:
                 continue  # fully duplicate range (possible after trims)
             delivered_start = max(start, self.rcv_nxt)
@@ -106,9 +117,13 @@ class ReassemblyQueue:
 
     @property
     def buffered_bytes(self) -> int:
-        """Bytes held above the cumulative point (out-of-order data)."""
-        return sum(end - start
-                   for start, end in zip(self._starts, self._ends))
+        """Bytes held above the cumulative point (out-of-order data).
+
+        O(1): stored ranges are disjoint, so a running sum maintained
+        on insert/pop equals the sum of stored lengths.  This is read
+        on every received data packet (window advertisement).
+        """
+        return self._buffered
 
     @property
     def pending_ranges(self) -> List[Tuple[int, int]]:

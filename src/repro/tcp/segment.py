@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.options import MptcpOptions
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flags:
     """TCP header flags (the subset the simulator uses)."""
 
@@ -39,7 +39,7 @@ class Flags:
 SackBlock = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """One TCP segment.
 

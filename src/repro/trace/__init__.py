@@ -16,7 +16,12 @@ same:
   subflow analyses into the per-configuration rows the tables need.
 """
 
-from repro.trace.capture import PacketCapture, PacketRecord
+from repro.trace.capture import (
+    CaptureLevel,
+    CaptureSummary,
+    PacketCapture,
+    PacketRecord,
+)
 from repro.trace.analyzer import FlowAnalysis, analyze_flow, flows_in
 from repro.trace.dump import dump, flow_summary, format_record
 from repro.trace.metrics import (
@@ -29,6 +34,8 @@ from repro.trace.mptcptrace import MptcpTraceAnalysis, analyze_mptcp
 from repro.trace.timeseries import Series, TimeSeriesProbe
 
 __all__ = [
+    "CaptureLevel",
+    "CaptureSummary",
     "PacketCapture",
     "PacketRecord",
     "FlowAnalysis",

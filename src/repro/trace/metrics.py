@@ -20,13 +20,20 @@ from typing import Dict, List, Optional
 
 from repro.core.connection import path_name_of
 from repro.trace.analyzer import FlowAnalysis, analyze_flow, flows_in
-from repro.trace.capture import PacketCapture
+from repro.trace.capture import CaptureLevel, PacketCapture
 
 
 def download_time_from_capture(capture: PacketCapture) -> Optional[float]:
     """First SYN sent to last data packet received, from a client capture."""
-    first_syn: Optional[float] = None
-    last_data: Optional[float] = None
+    if getattr(capture, "level", None) is CaptureLevel.METRICS_ONLY:
+        summary = capture.summary
+        first_syn = summary.first_syn_sent
+        last_data = summary.last_data_recv
+        if first_syn is None or last_data is None:
+            return None
+        return last_data - first_syn
+    first_syn = None
+    last_data = None
     for record in capture.records:
         if (record.direction == "send" and record.syn
                 and not record.ack_flag):
@@ -42,6 +49,11 @@ def download_time_from_capture(capture: PacketCapture) -> Optional[float]:
 def bytes_by_client_path(capture: PacketCapture) -> Dict[str, int]:
     """Data bytes received per client interface, keyed by path name."""
     shares: Dict[str, int] = {}
+    if getattr(capture, "level", None) is CaptureLevel.METRICS_ONLY:
+        for dst, nbytes in capture.summary.recv_bytes_by_dst.items():
+            path = path_name_of(dst)
+            shares[path] = shares.get(path, 0) + nbytes
+        return shares
     for record in capture.records:
         if record.direction == "recv" and record.payload_len > 0:
             path = path_name_of(record.dst)
@@ -106,14 +118,23 @@ def connection_metrics(server_capture: PacketCapture,
     )
     shares = bytes_by_client_path(client_capture)
     metrics.bytes_received = sum(shares.values())
-    for key, records in flows_in(server_capture).items():
-        senders = {record.src for record in records
-                   if record.direction == "send" and record.payload_len > 0}
-        server_addrs = {addr for addr in senders
-                        if addr.startswith("server.")}
-        if not server_addrs:
-            continue
-        analysis = analyze_flow(records, sorted(server_addrs)[0])
+    if getattr(server_capture, "level",
+               None) is CaptureLevel.METRICS_ONLY:
+        # Flow analyses were streamed during the run; same flows, same
+        # order, same contents as batch analysis of a full capture.
+        analyses = server_capture.flow_analyses(local_prefix="server.")
+    else:
+        analyses = {}
+        for key, records in flows_in(server_capture).items():
+            senders = {record.src for record in records
+                       if record.direction == "send"
+                       and record.payload_len > 0}
+            server_addrs = {addr for addr in senders
+                            if addr.startswith("server.")}
+            if not server_addrs:
+                continue
+            analyses[key] = analyze_flow(records, sorted(server_addrs)[0])
+    for key, analysis in analyses.items():
         client_end = (key[0] if key[0][0].startswith("client.")
                       else key[1])
         path = path_name_of(client_end[0])

@@ -16,9 +16,9 @@ radio reaches CONNECTED.  An inactivity timer demotes back to IDLE.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, NO_ARG, Simulator
 
 
 class RadioState(enum.Enum):
@@ -37,20 +37,26 @@ class RadioStateMachine:
         self.inactivity_timeout = inactivity_timeout
         self.state = RadioState.IDLE
         self.promotions = 0
-        self._pending: List[Callable[[], None]] = []
+        self._pending: List[Tuple[Callable[..., None], object]] = []
         self._demotion_timer: Optional[Event] = None
 
-    def request(self, action: Callable[[], None]) -> None:
+    def request(self, action: Callable[..., None],
+                arg: object = NO_ARG) -> None:
         """Run ``action`` once the radio is CONNECTED.
 
         Runs immediately when already connected; otherwise queues the
-        action and (if idle) starts promotion.
+        action and (if idle) starts promotion.  Passing ``arg`` calls
+        ``action(arg)`` without allocating a closure — this is the
+        per-packet path when the radio gates an interface.
         """
         if self.state is RadioState.CONNECTED:
             self.touch()
-            action()
+            if arg is NO_ARG:
+                action()
+            else:
+                action(arg)
             return
-        self._pending.append(action)
+        self._pending.append((action, arg))
         if self.state is RadioState.IDLE:
             self.state = RadioState.PROMOTING
             self.promotions += 1
@@ -58,13 +64,20 @@ class RadioStateMachine:
                               name="rrc.promote")
 
     def touch(self) -> None:
-        """Record activity: reset the inactivity (demotion) timer."""
+        """Record activity: reset the inactivity (demotion) timer.
+
+        Called for every packet crossing a cellular interface, so the
+        pending timer is pushed back in place (one sequence number,
+        same as a cancel+schedule) rather than replaced.
+        """
         if self.state is not RadioState.CONNECTED:
             return
         if self._demotion_timer is not None:
-            self._demotion_timer.cancel()
-        self._demotion_timer = self.sim.schedule(
-            self.inactivity_timeout, self._demote, name="rrc.demote")
+            self.sim.reschedule(self._demotion_timer,
+                                self.inactivity_timeout)
+        else:
+            self._demotion_timer = self.sim.schedule(
+                self.inactivity_timeout, self._demote, name="rrc.demote")
 
     def warm_up(self) -> None:
         """Bring the radio to CONNECTED immediately (the paper's pings)."""
@@ -81,8 +94,11 @@ class RadioStateMachine:
 
     def _flush(self) -> None:
         pending, self._pending = self._pending, []
-        for action in pending:
-            action()
+        for action, arg in pending:
+            if arg is NO_ARG:
+                action()
+            else:
+                action(arg)
 
     def _demote(self) -> None:
         self.state = RadioState.IDLE

@@ -1,0 +1,64 @@
+"""Determinism guard: the hot-path overhaul must not move a single
+byte of campaign output.
+
+Runs one small campaign under every combination the overhaul made
+switchable -- legacy closure-based link scheduling vs the fast
+arg-carrying path, and each CSV-supporting capture level -- and
+asserts the rendered CSVs are byte-identical."""
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.report import csv_text
+from repro.experiments.runner import Campaign, CampaignSpec
+from repro.experiments.scenarios import (
+    download_time_rows,
+    traffic_share_rows,
+)
+from repro.netsim.link import Link
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+
+
+def _campaign_csvs(fast: bool, level: str):
+    """Run the guard campaign; return its figure CSVs as bytes."""
+    original = Link.use_fast_scheduling
+    Link.use_fast_scheduling = fast
+    try:
+        spec = CampaignSpec(
+            name="guard",
+            specs=(FlowSpec.single_path("wifi"),
+                   FlowSpec.mptcp(carrier="att", controller="coupled")),
+            sizes=(64 * KB,), repetitions=1,
+            periods=(TimeOfDay.NIGHT,), base_seed=7)
+        campaign = Campaign(spec, capture_level=level)
+        results = campaign.run()
+    finally:
+        Link.use_fast_scheduling = original
+    assert all(result.completed for result in results)
+    downloads = csv_text(*download_time_rows(results))
+    shares = csv_text(*traffic_share_rows(results))
+    return (downloads.encode(), shares.encode())
+
+
+@pytest.fixture(scope="module")
+def reference_csvs():
+    """The configuration campaigns actually run with."""
+    return _campaign_csvs(fast=True, level="metrics-only")
+
+
+def test_fast_path_matches_legacy_scheduling(reference_csvs):
+    assert _campaign_csvs(fast=False, level="metrics-only") \
+        == reference_csvs
+
+
+@pytest.mark.parametrize("level", ["full", "headers"])
+def test_capture_levels_agree_byte_for_byte(reference_csvs, level):
+    assert _campaign_csvs(fast=True, level=level) == reference_csvs
+
+
+def test_legacy_scheduling_with_full_capture(reference_csvs):
+    """The fully-legacy configuration (what the pre-overhaul code
+    effectively ran) still reproduces today's bytes."""
+    assert _campaign_csvs(fast=False, level="full") == reference_csvs

@@ -1,0 +1,149 @@
+"""Tests for the levelled capture: what each fidelity keeps, what it
+refuses to serve, and the streamed-vs-batch analysis equality."""
+
+import pytest
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import Measurement
+from repro.netsim.packet import Packet
+from repro.tcp.segment import Flags, Segment
+from repro.trace.capture import CaptureLevel, PacketCapture
+
+from tests.conftest import build_mininet
+
+KB = 1024
+
+
+def send(net, payload=100, flags=None, options=None):
+    segment = Segment(src_port=1000, dst_port=80, payload_len=payload,
+                      flags=flags or Flags(), options=options)
+    net.client.send(Packet("client.wifi", "server.eth0", segment))
+
+
+# ----------------------------------------------------------------------
+# Level selection and coercion
+# ----------------------------------------------------------------------
+
+def test_coerce_accepts_strings_and_members():
+    assert CaptureLevel.coerce("full") is CaptureLevel.FULL
+    assert CaptureLevel.coerce("headers") is CaptureLevel.HEADERS
+    assert CaptureLevel.coerce("metrics-only") is CaptureLevel.METRICS_ONLY
+    assert CaptureLevel.coerce(CaptureLevel.FULL) is CaptureLevel.FULL
+
+
+def test_coerce_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown capture level"):
+        CaptureLevel.coerce("verbose")
+
+
+# ----------------------------------------------------------------------
+# What each level keeps
+# ----------------------------------------------------------------------
+
+def test_metrics_only_keeps_no_records():
+    net = build_mininet()
+    capture = PacketCapture(net.client, level="metrics-only")
+    send(net)
+    net.run()
+    assert capture.packets_seen == 1
+    with pytest.raises(RuntimeError, match="no per-packet records"):
+        capture.records
+    with pytest.raises(RuntimeError, match="no per-packet records"):
+        list(capture.sent())
+
+
+def test_flow_analyses_requires_metrics_only():
+    net = build_mininet()
+    capture = PacketCapture(net.client, level="full")
+    with pytest.raises(RuntimeError, match="requires capture level"):
+        capture.flow_analyses()
+
+
+def test_headers_level_skips_option_introspection():
+    options = MptcpOptions(mp_capable=True,
+                           dss=DssMapping(dsn=5, ssn=0, length=100),
+                           data_ack=7)
+    net = build_mininet()
+    full = PacketCapture(net.client, level="full")
+    headers = PacketCapture(net.client, level="headers")
+    send(net, options=options)
+    net.run()
+    full_record = full.records[0]
+    assert full_record.dsn == 5
+    assert full_record.dss_len == 100
+    assert full_record.data_ack == 7
+    assert full_record.mp_capable
+    headers_record = headers.records[0]
+    assert headers_record.dsn is None
+    assert headers_record.dss_len == 0
+    assert headers_record.data_ack is None
+    assert not headers_record.mp_capable
+    # Header fields are identical between the two levels.
+    assert headers_record.seq == full_record.seq
+    assert headers_record.payload_len == full_record.payload_len
+    assert headers_record.window == full_record.window
+
+
+def test_metrics_only_summary_tracks_syn_and_data():
+    net = build_mininet()
+    capture = PacketCapture(net.client, level="metrics-only")
+    send(net, payload=0, flags=Flags(syn=True))
+    net.run()
+    assert capture.summary.first_syn_sent is not None
+    assert capture.summary.last_data_recv is None
+
+
+# ----------------------------------------------------------------------
+# Streamed analyses == batch analyses (the metrics-only contract)
+# ----------------------------------------------------------------------
+
+def _run(level):
+    spec = FlowSpec.mptcp(carrier="att", controller="coupled")
+    return Measurement(spec, 256 * KB, seed=11,
+                       capture_level=level).run()
+
+
+def test_streamed_metrics_match_batch_analysis():
+    """A metrics-only run must produce the same ConnectionMetrics a
+    full capture plus batch analysis does, field for field."""
+    streamed = _run("metrics-only")
+    batch = _run("full")
+    assert streamed.completed and batch.completed
+    assert streamed.download_time == batch.download_time
+    a, b = streamed.metrics, batch.metrics
+    assert a.download_time == b.download_time
+    assert a.bytes_received == b.bytes_received
+    assert a.cellular_fraction == b.cellular_fraction
+    assert a.ofo_delays == b.ofo_delays
+    assert a.per_path.keys() == b.per_path.keys()
+    for path in a.per_path:
+        streamed_flow = a.per_path[path]
+        batch_flow = b.per_path[path]
+        assert streamed_flow.local == batch_flow.local
+        assert streamed_flow.remote == batch_flow.remote
+        assert streamed_flow.data_packets_sent == \
+            batch_flow.data_packets_sent
+        assert streamed_flow.retransmitted_packets == \
+            batch_flow.retransmitted_packets
+        assert streamed_flow.payload_bytes == batch_flow.payload_bytes
+        assert streamed_flow.rtt_samples == batch_flow.rtt_samples
+        assert streamed_flow.first_packet_time == \
+            batch_flow.first_packet_time
+        assert streamed_flow.last_packet_time == \
+            batch_flow.last_packet_time
+        assert streamed_flow.handshake_rtt == batch_flow.handshake_rtt
+
+
+def test_headers_level_supports_connection_metrics():
+    """Headers-level captures feed the same metric roll-up (they keep
+    records, just without MPTCP options)."""
+    full = _run("full")
+    headers = _run("headers")
+    assert headers.download_time == full.download_time
+    assert headers.metrics.cellular_fraction == \
+        full.metrics.cellular_fraction
+    for path, analysis in full.metrics.per_path.items():
+        other = headers.metrics.per_path[path]
+        assert other.rtt_samples == analysis.rtt_samples
+        assert other.loss_rate == analysis.loss_rate
