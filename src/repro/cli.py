@@ -128,6 +128,25 @@ def _build_campaign(artifact: Artifact, args: argparse.Namespace
     return artifact.campaign(**kwargs)
 
 
+def _render_instrumentation(instrumentation) -> str:
+    """Worker phase timers/counters aggregated across all processes
+    (cProfile only sees the parent; this is the measurement-side view)."""
+    report = instrumentation.report()
+    if not report.get("phases_s") and not report.get("counters"):
+        return "no worker instrumentation collected"
+    lines = ["measurement phases (all workers):"]
+    for name, seconds in sorted(report.get("phases_s", {}).items()):
+        lines.append(f"  {name:10s} {seconds:10.3f}s")
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("engine counters (all workers):")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:18s} {value:,.0f}")
+    if "events_per_sec" in report:
+        lines.append(f"events/sec (simulate): {report['events_per_sec']:,}")
+    return "\n".join(lines)
+
+
 def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
     spec = _build_campaign(artifact, args)
     total = spec.total_runs()
@@ -138,23 +157,57 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
           flush=True)
     started = time.time()
 
+    # Observability plumbing: one output directory holds per-run
+    # traces, flight-recorder dumps, the run log and heartbeats.
+    obs_dir = None
+    if args.trace != "off" or args.progress or args.trace_out:
+        obs_dir = Path(args.trace_out or f"obs-{artifact.name}")
+        obs_dir.mkdir(parents=True, exist_ok=True)
+    run_log = str(obs_dir / "run_log.jsonl") if obs_dir else None
+    trace_dir = str(obs_dir) if args.trace != "off" else None
+    heartbeat_dir = str(obs_dir / "heartbeats") if args.progress else None
+
+    renderer = None
+    if heartbeat_dir is not None:
+        from repro.obs.telemetry import ProgressRenderer
+        renderer = ProgressRenderer(heartbeat_dir, total)
+
     def progress(index, count, result):
+        if renderer is not None:
+            renderer.note_done(index)
         if args.verbose:
             status = "ok" if result.completed else "INCOMPLETE"
             print(f"  [{index}/{count}] {result.spec.label} "
                   f"{result.size} B: {status}", flush=True)
 
+    instrumentation = None
+    if args.profile:
+        from repro.perf import Instrumentation
+        instrumentation = Instrumentation()
+
     campaign = Campaign(spec, progress=progress, jobs=args.jobs,
                         journal=args.resume,
-                        capture_level=args.capture)
-    if args.profile:
-        from repro.perf import profile_to, render_profile
-        with profile_to(args.profile):
+                        capture_level=args.capture,
+                        trace=args.trace, trace_dir=trace_dir,
+                        run_log=run_log, heartbeat_dir=heartbeat_dir,
+                        instrumentation=instrumentation)
+    if renderer is not None:
+        renderer.start()
+    try:
+        if args.profile:
+            from repro.perf import profile_to, render_profile
+            with profile_to(args.profile):
+                results = campaign.run()
+            print(f"profile written to {args.profile}")
+            print(render_profile(args.profile))
+            print(_render_instrumentation(instrumentation))
+        else:
             results = campaign.run()
-        print(f"profile written to {args.profile}")
-        print(render_profile(args.profile))
-    else:
-        results = campaign.run()
+    finally:
+        if renderer is not None:
+            renderer.stop()
+    if run_log is not None:
+        print(f"run log: {run_log}")
     elapsed = time.time() - started
     print(f"done in {elapsed:.1f}s "
           f"({campaign.completed_fraction():.0%} completed)\n")
@@ -242,7 +295,28 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", metavar="FILE",
                         help="run under cProfile and dump pstats "
                              "data to FILE (printed top functions, "
-                             "inspectable later with python -m pstats)")
+                             "inspectable later with python -m pstats); "
+                             "under --jobs N, worker phase timers and "
+                             "engine counters are aggregated into the "
+                             "parent's summary")
+    parser.add_argument("--trace", choices=["off", "ring", "jsonl"],
+                        default="off",
+                        help="protocol-event tracing per run: 'ring' "
+                             "keeps an in-memory flight recorder "
+                             "(dumped to --trace-out when a run "
+                             "raises), 'jsonl' streams every event to "
+                             "a per-run file under --trace-out "
+                             "(default: off; tracing never changes "
+                             "results)")
+    parser.add_argument("--trace-out", metavar="DIR",
+                        help="directory for observability output: "
+                             "per-run traces, flight-recorder dumps "
+                             "and the campaign run_log.jsonl "
+                             "(default: obs-<artifact>)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live per-worker heartbeats "
+                             "(runs done, events/sec, current config, "
+                             "ETA) while the campaign executes")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-measurement progress")
     args = parser.parse_args(argv)

@@ -83,6 +83,10 @@ class MptcpConnection:
         self.config = config
         self.token = token
         self.name = name
+        # Trace bus, cached at construction (hot-path probe sites);
+        # install a real bus on the simulator before building
+        # connections.
+        self._trace = sim.trace
         #: Addresses this (server) side may advertise via ADD_ADDR.
         self.server_addrs = list(server_addrs or [])
 
@@ -111,7 +115,8 @@ class MptcpConnection:
 
         # Receive-side state.
         self.receive_buffer = ConnectionReceiveBuffer(
-            capacity=config.rcv_buffer, clock=lambda: self.sim.now)
+            capacity=config.rcv_buffer, clock=lambda: self.sim.now,
+            trace=sim.trace)
         self.receive_buffer.on_deliver = self._deliver_to_app
         self._peer_data_fin: Optional[int] = None
         self._peer_fin_delivered = False
@@ -194,6 +199,8 @@ class MptcpConnection:
             name=f"{self.name}.{subflow.path_name}")
         subflow.endpoint = endpoint
         self.subflows.append(subflow)
+        subflow.index = len(self.subflows) - 1
+        endpoint.trace_sf = subflow.index
         if (self.fallback_mode is not None and is_initial
                 and self._fallback_subflow is None):
             self._fallback_subflow = subflow
@@ -211,6 +218,8 @@ class MptcpConnection:
             name=f"{self.name}.{subflow.path_name}")
         subflow.endpoint = endpoint
         self.subflows.append(subflow)
+        subflow.index = len(self.subflows) - 1
+        endpoint.trace_sf = subflow.index
         if (self.fallback_mode is not None and is_initial
                 and self._fallback_subflow is None):
             self._fallback_subflow = subflow
@@ -284,6 +293,12 @@ class MptcpConnection:
         self.fallback_reason = reason
         self.fallback_at = self.sim.now
         self._fallback_subflow = survivor
+        if self._trace.enabled:
+            self._trace.emit(
+                self.sim.now, "mptcp.fallback",
+                subflow=None if survivor is None else survivor.index,
+                mode=mode, reason=reason, role=self.role,
+                path=None if survivor is None else survivor.path_name)
         for subflow in self.subflows:
             if subflow is survivor or subflow.endpoint is None:
                 continue
@@ -335,6 +350,11 @@ class MptcpConnection:
             return True
         if not subflow.mp_fail_pending:
             subflow.mp_fail_pending = True
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "mptcp.fail",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 direction="sent", cause=kind)
             endpoint = subflow.endpoint
             if endpoint is not None:
                 endpoint.send_ack()  # carries MP_FAIL to the peer
@@ -348,6 +368,10 @@ class MptcpConnection:
         """The peer signalled MP_FAIL on this subflow."""
         if self.fallback_mode is not None:
             return
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "mptcp.fail",
+                             subflow=subflow.index, path=subflow.path_name,
+                             direction="received")
         if self._identity_consistent(subflow):
             self.fall_back("infinite", "peer-mp-fail", survivor=subflow)
         elif (subflow.endpoint is not None
@@ -362,6 +386,10 @@ class MptcpConnection:
         wait in the reinjection queue for whatever establishes next,
         instead of wedging the connection forever.
         """
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "mptcp.join",
+                             subflow=subflow.index, path=subflow.path_name,
+                             status="rejected", role=self.role)
         if subflow.endpoint is not None:
             subflow.endpoint.fail()
         self._reclaim_outstanding(subflow, force=True)
@@ -388,14 +416,33 @@ class MptcpConnection:
             return None  # backup paths carry data only as a last resort
         reinjection = self._serve_reinjection(subflow, max_bytes)
         if reinjection is not None:
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "sched.select",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 dsn=reinjection[0], length=reinjection[1],
+                                 reason="reinjection")
             return reinjection
         duplication = self._serve_duplication(subflow, max_bytes)
         if duplication is not None:
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "sched.select",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 dsn=duplication[0], length=duplication[1],
+                                 reason="duplicate")
             return duplication
         if self.next_dsn >= self.total_queued:
             return None
         window_limit = self.data_acked + self.peer_window
         if self.next_dsn >= window_limit:
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "sched.refuse",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 reason="rwnd-limited",
+                                 next_dsn=self.next_dsn,
+                                 window_limit=window_limit)
             self._maybe_penalize()
             return None
         if not self.scheduler.admits(self.subflows, subflow):
@@ -404,6 +451,12 @@ class MptcpConnection:
             # offered the remainder on the next push or ACK event.
             # Pumping only strictly-faster subflows keeps the recursion
             # well-founded (each hop decreases SRTT).
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "sched.refuse",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 reason="preferred-path-open",
+                                 candidates=self._trace_candidates())
             for preferred in self.scheduler.order(self.subflows):
                 if (preferred is not subflow
                         and preferred.srtt() < subflow.srtt()
@@ -418,9 +471,22 @@ class MptcpConnection:
             self.bytes_allocated.get(subflow.path_name, 0) + length)
         self._outstanding.setdefault(id(subflow), []).append(
             [dsn, dsn + length, False])
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "sched.select",
+                             subflow=subflow.index, path=subflow.path_name,
+                             dsn=dsn, length=length, reason="fresh",
+                             candidates=self._trace_candidates())
         if self.scheduler.duplicates:
             self._queue_duplicates(subflow, dsn, dsn + length)
         return dsn, length
+
+    def _trace_candidates(self) -> list:
+        """Scheduler's-eye view of every established subflow; the
+        considered-candidates payload of ``sched.*`` trace events."""
+        return [{"subflow": sub.index, "path": sub.path_name,
+                 "srtt": round(sub.srtt(), 6), "can_send": sub.can_send(),
+                 "backup": sub.backup}
+                for sub in self.subflows if sub.established]
 
     def _queue_duplicates(self, origin: Subflow, start: int,
                           end: int) -> None:
@@ -500,6 +566,12 @@ class MptcpConnection:
                 continue
             entry[2] = True
             self._reinjection_queue.append([start, entry[1], id(subflow)])
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "mptcp.reinject",
+                                 subflow=subflow.index,
+                                 path=subflow.path_name,
+                                 dsn_start=start, dsn_end=entry[1],
+                                 forced=force)
         if self._reinjection_queue:
             self.push()
 
@@ -643,6 +715,12 @@ class MptcpConnection:
     # ------------------------------------------------------------------
 
     def on_subflow_established(self, subflow: Subflow) -> None:
+        if self._trace.enabled:
+            self._trace.emit(
+                self.sim.now,
+                "mptcp.capable" if subflow.is_initial else "mptcp.join",
+                subflow=subflow.index, path=subflow.path_name,
+                status="established", role=self.role, token=self.token)
         if self.established_at is None:
             self.established_at = self.sim.now
             if self.on_established is not None:
@@ -654,6 +732,9 @@ class MptcpConnection:
         self.push()
 
     def on_add_addr(self, addrs: tuple) -> None:
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "mptcp.add_addr",
+                             role=self.role, addrs=list(addrs))
         if self.fallback_mode is not None:
             return  # no new subflows after fallback (RFC 6824 S3.6)
         if self.role == "client" and self.path_manager is not None:

@@ -73,8 +73,14 @@ class PathManager:
                 and len(self._pairs_opened) >= self.max_subflows):
             return
         self._pairs_opened.add(pair)
-        self._subflow_by_pair[pair] = self.connection.open_subflow(
-            local, remote)
+        subflow = self.connection.open_subflow(local, remote)
+        self._subflow_by_pair[pair] = subflow
+        sim = getattr(self.connection, "sim", None)  # None in test fakes
+        if sim is not None and sim.trace.enabled:
+            sim.trace.emit(sim.now, "path.open",
+                           subflow=getattr(subflow, "index", None),
+                           local=local, remote=remote,
+                           initial=getattr(subflow, "is_initial", None))
 
     # ------------------------------------------------------------------
     # Failure and recovery (mobility support)
@@ -93,6 +99,9 @@ class PathManager:
         instead of waiting out retransmission timeouts, and advertise
         the dead address to the peer on the surviving subflows."""
         self.down_locals.add(local)
+        sim = getattr(self.connection, "sim", None)  # None in test fakes
+        if sim is not None and sim.trace.enabled:
+            sim.trace.emit(sim.now, "path.down", local=local)
         for pair, subflow in list(self._subflow_by_pair.items()):
             if pair[0] == local:
                 self.connection.kill_subflow(subflow)
@@ -109,6 +118,9 @@ class PathManager:
         unestablished connection can never recover.
         """
         self.down_locals.discard(local)
+        sim = getattr(self.connection, "sim", None)  # None in test fakes
+        if sim is not None and sim.trace.enabled:
+            sim.trace.emit(sim.now, "path.up", local=local)
         for remote in self._known_remotes:
             pair = (local, remote)
             existing = self._subflow_by_pair.get(pair)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.bus import NULL_TRACE_BUS
 from repro.tcp.reassembly import ReassemblyQueue
 
 
@@ -56,12 +57,17 @@ class ConnectionReceiveBuffer:
     """Data-sequence-space reordering for one MPTCP connection side."""
 
     def __init__(self, capacity: int = 8 * 1024 * 1024,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 trace=NULL_TRACE_BUS) -> None:
         self.capacity = capacity
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._queue = ReassemblyQueue(rcv_nxt=0)
         self.metrics = ReceiveBufferMetrics()
         self.on_deliver: Optional[Callable[[int], None]] = None
+        # Blocked-interval tracking (rbuf.blocked / rbuf.unblocked
+        # trace events); only maintained while tracing is enabled.
+        self._trace = trace
+        self._blocked_since: Optional[float] = None
 
     @property
     def rcv_nxt(self) -> int:
@@ -94,6 +100,11 @@ class ConnectionReceiveBuffer:
             occupancy = self._queue.buffered_bytes
             if occupancy > self.metrics.peak_occupancy:
                 self.metrics.peak_occupancy = occupancy
+            if (self._trace.enabled and self._blocked_since is None
+                    and occupancy >= self.capacity):
+                self._blocked_since = self._clock()
+                self._trace.emit(self._blocked_since, "rbuf.blocked",
+                                 occupancy=occupancy, path=path)
         return accepted
 
     def _in_order(self, start: int, end: int,
@@ -103,6 +114,12 @@ class ConnectionReceiveBuffer:
         nbytes = end - start
         self.metrics.samples.append(OfoSample(delay, nbytes, path))
         self.metrics.delivered_bytes += nbytes
+        if (self._blocked_since is not None
+                and self._queue.buffered_bytes < self.capacity):
+            now = self._clock()
+            self._trace.emit(now, "rbuf.unblocked",
+                             blocked_for=now - self._blocked_since)
+            self._blocked_since = None
         if self.on_deliver is not None:
             self.on_deliver(nbytes)
 

@@ -34,6 +34,9 @@ class Subflow:
         self.path_name = path_name
         self.is_initial = is_initial
         self.backup = backup
+        #: Position in the connection's subflow list (set on append);
+        #: the ``subflow=`` tag on trace events.
+        self.index: Optional[int] = None
         self.endpoint: Optional[TcpEndpoint] = None
         #: Set when unmappable data arrived and the subflow must tell
         #: the peer (MP_FAIL) before being torn down.
@@ -95,6 +98,14 @@ class Subflow:
             return
         mptcp = (options is not None
                  and (options.mp_capable or options.mp_join))
+        trace = connection.sim.trace
+        if trace.enabled and mptcp:
+            trace.emit(connection.sim.now,
+                       "mptcp.capable" if options.mp_capable
+                       else "mptcp.join",
+                       subflow=self.index, path=self.path_name,
+                       status="options-received", role=connection.role,
+                       token=options.token, backup=options.backup)
         if not mptcp and connection.role == "client":
             # Our SYN carried MPTCP options; the answer has none: a
             # middlebox stripped them (or the peer is plain TCP).

@@ -24,9 +24,10 @@ Two properties are guaranteed:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import RunDescriptor, RunResult
 from repro.experiments.storage import ResultJournal
@@ -47,10 +48,77 @@ def execute_descriptor(descriptor: RunDescriptor) -> RunResult:
     return descriptor.run()
 
 
+# ----------------------------------------------------------------------
+# Telemetry-carrying execution (the ``--progress`` / ``--profile`` path)
+# ----------------------------------------------------------------------
+#
+# Worker processes cannot share objects with the parent, so telemetry
+# state is per-process module globals seeded by the pool initializer.
+# The same pair of functions also serves the serial path, so one code
+# path produces run logs, heartbeats and instrumentation everywhere.
+
+_WORKER_TELEMETRY = None
+_WORKER_PROFILED = False
+
+
+def _init_worker(run_log_path: Optional[str],
+                 heartbeat_dir: Optional[str],
+                 total: int, profiled: bool) -> None:
+    """Pool initializer: build this process's telemetry state."""
+    global _WORKER_TELEMETRY, _WORKER_PROFILED
+    if run_log_path is not None or heartbeat_dir is not None:
+        from repro.obs.telemetry import WorkerTelemetry
+        _WORKER_TELEMETRY = WorkerTelemetry(run_log_path, heartbeat_dir,
+                                            total=total)
+    _WORKER_PROFILED = profiled
+
+
+def _reset_worker() -> None:
+    """Tear down telemetry state (serial path runs in the parent)."""
+    global _WORKER_TELEMETRY, _WORKER_PROFILED
+    if _WORKER_TELEMETRY is not None:
+        _WORKER_TELEMETRY.close()
+    _WORKER_TELEMETRY = None
+    _WORKER_PROFILED = False
+
+
+def execute_descriptor_ex(descriptor: RunDescriptor
+                          ) -> Tuple[RunResult, Optional[dict]]:
+    """Worker entry point with telemetry and instrumentation.
+
+    Returns ``(result, report)`` where ``report`` is the run's
+    :meth:`Instrumentation.report` for parent-side merging (``None``
+    unless profiling was requested).  A run that raises leaves a
+    ``fail`` record -- naming the seed and FlowSpec identity -- in the
+    shared run log before the exception propagates to the parent.
+    """
+    from repro.perf.instrumentation import Instrumentation
+    telemetry = _WORKER_TELEMETRY
+    inst = Instrumentation()
+    started = time.perf_counter()
+    if telemetry is not None:
+        telemetry.run_started(descriptor)
+    try:
+        result = descriptor.run(instrumentation=inst)
+    except BaseException as error:
+        if telemetry is not None:
+            telemetry.run_failed(descriptor,
+                                 time.perf_counter() - started, error)
+        raise
+    if telemetry is not None:
+        events = int(inst.counters.get("events_processed", 0))
+        telemetry.run_finished(descriptor, result,
+                               time.perf_counter() - started, events)
+    return result, (inst.report() if _WORKER_PROFILED else None)
+
+
 def execute_plan(plan: Sequence[RunDescriptor],
                  jobs: Optional[int] = 1,
                  progress: Optional[ProgressFn] = None,
                  journal: Union[None, str, Path, ResultJournal] = None,
+                 run_log: Optional[str] = None,
+                 heartbeat_dir: Optional[str] = None,
+                 instrumentation=None,
                  ) -> List[RunResult]:
     """Execute campaign cells, serially or across worker processes.
 
@@ -58,11 +126,20 @@ def execute_plan(plan: Sequence[RunDescriptor],
     behaviour); ``jobs`` = 0 or None means one worker per CPU core.
     ``journal`` may be a path (opened and closed here) or an existing
     :class:`ResultJournal`.  The returned list is always in plan order.
+
+    ``run_log`` (a path) streams start/finish/fail records for every
+    run; ``heartbeat_dir`` makes each worker publish live heartbeat
+    files for a :class:`repro.obs.telemetry.ProgressRenderer`;
+    ``instrumentation`` (a parent-process :class:`Instrumentation`)
+    receives every worker's merged phase timers and counters, which is
+    what makes ``--profile`` meaningful under ``--jobs N``.
     """
     plan = list(plan)
     total = len(plan)
     if jobs is None or jobs == 0:
         jobs = default_jobs()
+    telemetered = (run_log is not None or heartbeat_dir is not None
+                   or instrumentation is not None)
     owns_journal = isinstance(journal, (str, Path))
     if owns_journal:
         journal = ResultJournal(journal)
@@ -90,19 +167,49 @@ def execute_plan(plan: Sequence[RunDescriptor],
             if progress is not None:
                 progress(done, total, result)
 
+        def merge(report: Optional[dict]) -> None:
+            if instrumentation is not None and report:
+                instrumentation.merge_report(report)
+
         if jobs <= 1 or len(pending) <= 1:
-            for position in pending:
-                finish(position, plan[position].run())
+            if telemetered:
+                _init_worker(run_log, heartbeat_dir, total,
+                             instrumentation is not None)
+                try:
+                    for position in pending:
+                        result, report = execute_descriptor_ex(
+                            plan[position])
+                        merge(report)
+                        finish(position, result)
+                finally:
+                    _reset_worker()
+            else:
+                for position in pending:
+                    finish(position, plan[position].run())
         else:
             workers = min(jobs, len(pending))
             futures = {}
+            entry = (execute_descriptor_ex if telemetered
+                     else execute_descriptor)
+            pool_kwargs = {}
+            if telemetered:
+                pool_kwargs = dict(
+                    initializer=_init_worker,
+                    initargs=(run_log, heartbeat_dir, total,
+                              instrumentation is not None))
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {pool.submit(execute_descriptor,
+                with ProcessPoolExecutor(max_workers=workers,
+                                         **pool_kwargs) as pool:
+                    futures = {pool.submit(entry,
                                            plan[position]): position
                                for position in pending}
                     for future in as_completed(futures):
-                        finish(futures[future], future.result())
+                        if telemetered:
+                            result, report = future.result()
+                            merge(report)
+                        else:
+                            result = future.result()
+                        finish(futures[future], result)
             except BaseException:
                 # Pool shutdown has drained the siblings by now; runs
                 # that finished but were never yielded by as_completed
@@ -113,7 +220,9 @@ def execute_plan(plan: Sequence[RunDescriptor],
                         if (slots[position] is None and future.done()
                                 and not future.cancelled()
                                 and future.exception() is None):
-                            journal.record(future.result())
+                            payload = future.result()
+                            journal.record(payload[0] if telemetered
+                                           else payload)
                 raise
 
         missing = [position for position, result in enumerate(slots)

@@ -13,6 +13,7 @@ temporal effects.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -69,7 +70,9 @@ class Measurement:
                  period: TimeOfDay = TimeOfDay.AFTERNOON,
                  timeout: Optional[float] = None,
                  wifi_profile=None, cell_profile=None,
-                 capture_level=CaptureLevel.METRICS_ONLY) -> None:
+                 capture_level=CaptureLevel.METRICS_ONLY,
+                 trace: str = "off", trace_path: Optional[str] = None,
+                 trace_ring: int = 4096) -> None:
         self.spec = spec
         self.size = size
         self.seed = seed
@@ -82,6 +85,19 @@ class Measurement:
         #: metrics without materializing per-packet records; pass
         #: ``"full"`` to keep the captures for DSS-level analysis.
         self.capture_level = CaptureLevel.coerce(capture_level)
+        #: Protocol-event tracing mode: ``"off"`` (the null bus, free),
+        #: ``"ring"`` (in-memory flight recorder, dumped to
+        #: ``trace_path`` when the run raises), or ``"jsonl"`` (stream
+        #: every event to ``trace_path``).  Tracing is passive: the
+        #: metrics and the simulation are byte-identical in all modes.
+        self.trace = trace
+        self.trace_path = trace_path
+        self.trace_ring = trace_ring
+        #: The bus installed for the last :meth:`run` (query its
+        #: retained events with ``trace_bus.events(...)``).
+        self.trace_bus = None
+        #: Where the flight recorder landed, when a run raised.
+        self.flight_dump_path: Optional[str] = None
 
     def run(self, instrumentation=None) -> RunResult:
         inst = (instrumentation if instrumentation is not None
@@ -94,6 +110,7 @@ class Measurement:
                 period=self.period, seed=self.seed,
                 wifi_profile=self.wifi_profile,
                 cell_profile=self.cell_profile))
+            trace_bus = self._install_trace(testbed)
             server_capture = PacketCapture(testbed.server,
                                            level=self.capture_level)
             # The client side only feeds download time and per-path
@@ -114,35 +131,79 @@ class Measurement:
             # finishes within this, and stalls return early anyway.
             timeout = 120.0 + self.size / 12_500.0
         max_events = 200_000 + (self.size // 1448) * _EVENTS_PER_PACKET
-        with inst.phase("simulate"):
-            testbed.run(until=timeout, max_events=max_events)
-        inst.observe_simulator(testbed.sim)
+        try:
+            with inst.phase("simulate"):
+                testbed.run(until=timeout, max_events=max_events)
+            inst.observe_simulator(testbed.sim)
 
-        record = client.record
-        ofo = []
-        subflow_count = 0
-        if connection is not None:
-            ofo = connection.receive_buffer.metrics.delays()
-            subflow_count = len(connection.subflows)
-        with inst.phase("extract"):
-            metrics = connection_metrics(server_capture, client_capture,
-                                         ofo_delays=ofo)
-        if connection is not None:
-            metrics.fallback = connection.fallback_mode or "none"
-        if record.complete:
-            # Prefer the app-level timing (identical by construction,
-            # but robust if trailing control packets arrive later).
-            metrics.download_time = record.download_time
-        return RunResult(
-            spec=spec, size=self.size, seed=self.seed, period=self.period,
-            completed=record.complete,
-            download_time=record.download_time if record.complete else None,
-            metrics=metrics,
-            established_at=record.established_at,
-            subflow_count=subflow_count,
-        )
+            record = client.record
+            ofo = []
+            subflow_count = 0
+            if connection is not None:
+                ofo = connection.receive_buffer.metrics.delays()
+                subflow_count = len(connection.subflows)
+            with inst.phase("extract"):
+                metrics = connection_metrics(server_capture,
+                                             client_capture,
+                                             ofo_delays=ofo)
+            if connection is not None:
+                metrics.fallback = connection.fallback_mode or "none"
+            if record.complete:
+                # Prefer the app-level timing (identical by
+                # construction, but robust if trailing control packets
+                # arrive later).
+                metrics.download_time = record.download_time
+            return RunResult(
+                spec=spec, size=self.size, seed=self.seed,
+                period=self.period,
+                completed=record.complete,
+                download_time=(record.download_time if record.complete
+                               else None),
+                metrics=metrics,
+                established_at=record.established_at,
+                subflow_count=subflow_count,
+            )
+        except BaseException:
+            # The flight recorder's reason to exist: persist the last
+            # events before propagating whatever went wrong.
+            self._dump_flight(trace_bus)
+            raise
+        finally:
+            if trace_bus is not None:
+                trace_bus.close()
 
     # ------------------------------------------------------------------
+
+    def _install_trace(self, testbed: Testbed):
+        """Build and install the trace bus on the fresh simulator.
+
+        Must run before the protocol stack is constructed: hot-path
+        components cache ``sim.trace`` at build time.
+        """
+        if self.trace == "off":
+            return None
+        from repro.obs.bus import make_trace_bus
+        path = self.trace_path if self.trace == "jsonl" else None
+        bus = make_trace_bus(self.trace, path=path,
+                             ring_size=self.trace_ring)
+        testbed.sim.trace = bus
+        self.trace_bus = bus
+        return bus
+
+    def _dump_flight(self, trace_bus) -> None:
+        if trace_bus is None:
+            return
+        from repro.obs.bus import ring_of
+        ring = ring_of(trace_bus)
+        if ring is None:
+            trace_bus.flush()  # jsonl: everything is on disk already
+            return
+        path = self.trace_path or "flight-recorder.jsonl"
+        try:
+            ring.dump(path)
+        except OSError:
+            return  # never mask the original failure with an IO error
+        self.flight_dump_path = path
 
     def _install_middlebox(self, testbed: Testbed) -> None:
         """Attach the spec's middlebox chain to the chosen access links.
@@ -225,17 +286,38 @@ class RunDescriptor:
     #: Capture fidelity (a :class:`CaptureLevel` value string, kept as
     #: a plain string so descriptors stay trivially picklable).
     capture_level: str = CaptureLevel.METRICS_ONLY.value
+    #: Protocol-event tracing mode (``off`` / ``ring`` / ``jsonl``) and
+    #: the directory per-run trace files land in.  Strings, for the
+    #: same picklability reason; they do not enter :attr:`key`, so
+    #: traced and untraced campaigns share journal entries and seeds.
+    trace: str = "off"
+    trace_dir: Optional[str] = None
 
     @property
     def key(self) -> str:
         return run_key(self.spec, self.size, self.seed, self.period)
 
-    def run(self) -> RunResult:
-        return Measurement(self.spec, self.size, seed=self.seed,
-                           period=self.period, timeout=self.timeout,
-                           wifi_profile=self.wifi_profile,
-                           cell_profile=self.cell_profile,
-                           capture_level=self.capture_level).run()
+    def trace_path(self) -> Optional[str]:
+        """Per-run trace file: the event stream for ``jsonl`` mode, the
+        flight-recorder dump target for ``ring`` mode."""
+        if self.trace_dir is None or self.trace == "off":
+            return None
+        stem = "run" if self.trace == "jsonl" else "flight-run"
+        return os.path.join(self.trace_dir,
+                            f"{stem}-{self.index:04d}-{self.seed}.jsonl")
+
+    def run(self, instrumentation=None) -> RunResult:
+        measurement = Measurement(self.spec, self.size, seed=self.seed,
+                                  period=self.period,
+                                  timeout=self.timeout,
+                                  wifi_profile=self.wifi_profile,
+                                  cell_profile=self.cell_profile,
+                                  capture_level=self.capture_level,
+                                  trace=self.trace,
+                                  trace_path=self.trace_path())
+        if instrumentation is None:
+            return measurement.run()
+        return measurement.run(instrumentation=instrumentation)
 
 
 @dataclass(frozen=True)
@@ -269,7 +351,11 @@ class Campaign:
 
     def __init__(self, spec: CampaignSpec, progress=None,
                  jobs: int = 1, journal=None,
-                 capture_level=CaptureLevel.METRICS_ONLY) -> None:
+                 capture_level=CaptureLevel.METRICS_ONLY,
+                 trace: str = "off", trace_dir: Optional[str] = None,
+                 run_log: Optional[str] = None,
+                 heartbeat_dir: Optional[str] = None,
+                 instrumentation=None) -> None:
         self.spec = spec
         self.progress = progress
         self.jobs = jobs
@@ -278,6 +364,15 @@ class Campaign:
         #: capture level is the default; raise it to ``"full"`` when
         #: per-packet records are wanted for post-hoc analysis.
         self.capture_level = CaptureLevel.coerce(capture_level)
+        #: Observability plumbing (all optional, all passive): per-run
+        #: protocol traces, the campaign run log, worker heartbeats for
+        #: ``--progress``, and the parent :class:`Instrumentation` that
+        #: worker phase timers are merged into.
+        self.trace = trace
+        self.trace_dir = trace_dir
+        self.run_log = run_log
+        self.heartbeat_dir = heartbeat_dir
+        self.instrumentation = instrumentation
         self.results: List[RunResult] = []
 
     def plan(self) -> List["RunDescriptor"]:
@@ -307,14 +402,18 @@ class Campaign:
                     descriptors.append(RunDescriptor(
                         index=len(descriptors), spec=flow, size=size,
                         seed=seed, period=period,
-                        capture_level=self.capture_level.value))
+                        capture_level=self.capture_level.value,
+                        trace=self.trace, trace_dir=self.trace_dir))
         return descriptors
 
     def run(self) -> List[RunResult]:
         from repro.experiments.parallel import execute_plan
         self.results = execute_plan(self.plan(), jobs=self.jobs,
                                     progress=self.progress,
-                                    journal=self.journal)
+                                    journal=self.journal,
+                                    run_log=self.run_log,
+                                    heartbeat_dir=self.heartbeat_dir,
+                                    instrumentation=self.instrumentation)
         return self.results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""repro.obs -- observability: event tracing, pcap export, telemetry.
+
+Three layers (see docs/observability.md):
+
+* :mod:`repro.obs.bus` -- the :class:`TraceBus` protocol-event bus and
+  its sinks (flight-recorder ring, JSONL stream, in-memory), plus the
+  slotted no-op :data:`NULL_TRACE_BUS` installed on every simulator by
+  default.
+* :mod:`repro.obs.pcap` -- serialize a captured run to a valid
+  little-endian pcap with synthesized Ethernet/IPv4/TCP headers and
+  RFC 6824 MPTCP option wire encoding, openable in Wireshark/tcptrace.
+* :mod:`repro.obs.telemetry` -- live campaign telemetry: per-worker
+  heartbeats, the per-campaign ``run_log.jsonl``, and the parent-side
+  progress renderer.
+
+``pcap`` and ``telemetry`` are imported lazily so that the simulation
+engine (which imports this package for the null bus) never pulls the
+protocol stack back in.
+"""
+
+from repro.obs.bus import (
+    NULL_TRACE_BUS,
+    JsonlSink,
+    MemorySink,
+    NullTraceBus,
+    RingSink,
+    TraceBus,
+    TraceEvent,
+    make_trace_bus,
+    read_jsonl,
+    ring_of,
+)
+
+__all__ = [
+    "NULL_TRACE_BUS",
+    "JsonlSink",
+    "MemorySink",
+    "NullTraceBus",
+    "RingSink",
+    "TraceBus",
+    "TraceEvent",
+    "make_trace_bus",
+    "read_jsonl",
+    "ring_of",
+    "WireTap",
+    "write_pcap",
+    "read_pcap",
+    "RunLog",
+    "Heartbeat",
+    "ProgressRenderer",
+]
+
+_LAZY = {
+    "WireTap": "repro.obs.pcap",
+    "write_pcap": "repro.obs.pcap",
+    "read_pcap": "repro.obs.pcap",
+    "RunLog": "repro.obs.telemetry",
+    "Heartbeat": "repro.obs.telemetry",
+    "ProgressRenderer": "repro.obs.telemetry",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,407 @@
+"""Pcap export: serialize captured runs for Wireshark/tcpdump tooling.
+
+The simulator never serializes packets -- segments are value objects --
+so this module synthesizes the wire form after the fact: Ethernet and
+IPv4 headers around a real TCP header whose options carry the RFC 6824
+MPTCP encodings (TCP option kind 30) plus SACK (kind 5).  The output is
+a classic little-endian pcap file (magic ``0xa1b2c3d4``, microsecond
+timestamps, LINKTYPE_ETHERNET) that Wireshark's ``mptcp`` dissector
+understands.
+
+Three layers:
+
+* :class:`WireTap` -- a capture hook retaining every packet a host
+  sends or receives, the way the paper runs tcpdump on both machines;
+* :func:`write_pcap` -- tap (or record list) to a ``.pcap`` file, with
+  deterministic first-seen IP assignment for the simulator's string
+  addresses (``client.wifi`` -> ``10.0.0.1`` etc.);
+* :func:`read_pcap` / :func:`parse_frame` -- a round-trip parser used
+  by the tests to prove the emitted bytes decode back to the same
+  sequence numbers, flags and MPTCP subtypes.
+
+Subtype values follow RFC 6824 Section 8: MP_CAPABLE=0x0, MP_JOIN=0x1,
+DSS=0x2, ADD_ADDR=0x3, REMOVE_ADDR=0x4, MP_FAIL=0x6.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.tcp.segment import Flags, Segment
+
+#: Classic pcap, microsecond resolution, written little-endian.
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+#: TCP option kinds.
+OPT_EOL = 0
+OPT_NOP = 1
+OPT_SACK = 5
+OPT_MPTCP = 30
+
+#: RFC 6824 option subtypes.
+MP_CAPABLE = 0x0
+MP_JOIN = 0x1
+DSS = 0x2
+ADD_ADDR = 0x3
+REMOVE_ADDR = 0x4
+MP_FAIL = 0x6
+
+#: DSS flag bits (RFC 6824 Figure 9).
+DSS_FLAG_DATA_ACK = 0x01
+DSS_FLAG_MAP = 0x04
+DSS_FLAG_DATA_FIN = 0x10
+
+_U32 = 0xFFFFFFFF
+
+
+class WireTap:
+    """Retains every packet crossing a host, for later pcap export.
+
+    Equivalent to running tcpdump on that machine: both directions are
+    seen, each exactly once (``send`` as it leaves, ``recv`` as it
+    arrives).  Records are ``(time, direction, src, dst, segment)``
+    tuples; the simulator's packet objects are NOT retained, so taps
+    are safe to keep across a whole campaign run.
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.records: List[Tuple[float, str, str, str, Segment]] = []
+        host.add_capture_hook(self._hook)
+
+    def _hook(self, direction: str, time: float, packet) -> None:
+        self.records.append(
+            (time, direction, packet.src, packet.dst, packet.segment))
+
+    def detach(self) -> None:
+        self.host.remove_capture_hook(self._hook)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+# ----------------------------------------------------------------------
+# Address synthesis
+# ----------------------------------------------------------------------
+
+class AddressMap:
+    """Deterministic simulator-address -> (IPv4, MAC) assignment.
+
+    Addresses get ``10.0.0.N`` in order of first appearance, so the
+    same capture always serializes to byte-identical frames.
+    """
+
+    def __init__(self) -> None:
+        self._ips: Dict[str, bytes] = {}
+
+    def ip(self, address: str) -> bytes:
+        assigned = self._ips.get(address)
+        if assigned is None:
+            index = len(self._ips) + 1
+            if index > 254:
+                raise ValueError("address space exhausted (>254 hosts)")
+            assigned = bytes((10, 0, 0, index))
+            self._ips[address] = assigned
+        return assigned
+
+    def mac(self, address: str) -> bytes:
+        # Locally-administered unicast MAC derived from the IP.
+        return b"\x02\x00" + self.ip(address)
+
+    @property
+    def assignments(self) -> Dict[str, str]:
+        return {name: ".".join(str(b) for b in ip)
+                for name, ip in self._ips.items()}
+
+
+# ----------------------------------------------------------------------
+# Option encoding (RFC 6824 wire format)
+# ----------------------------------------------------------------------
+
+def _key64(token: Optional[int]) -> int:
+    """Expand the simulator's small token into a 64-bit key field."""
+    token = (token or 0) & _U32
+    return (token << 32) | token
+
+
+def encode_tcp_options(segment: Segment) -> bytes:
+    """Serialize SACK and MPTCP options, padded to a 4-byte boundary."""
+    out = bytearray()
+    options = segment.options
+    if segment.sack_blocks:
+        out += bytes((OPT_NOP, OPT_NOP,
+                      OPT_SACK, 2 + 8 * len(segment.sack_blocks)))
+        for left, right in segment.sack_blocks:
+            out += struct.pack(">II", left & _U32, right & _U32)
+    if options is not None:
+        if options.mp_capable:
+            # Version 0; flags 0x81 = checksum required + HMAC-SHA1.
+            out += struct.pack(">BBBBQ", OPT_MPTCP, 12,
+                               (MP_CAPABLE << 4) | 0, 0x81,
+                               _key64(options.token))
+        if options.mp_join:
+            out += struct.pack(">BBBBII", OPT_MPTCP, 12,
+                               (MP_JOIN << 4) | (1 if options.backup else 0),
+                               0,  # address id
+                               (options.token or 0) & _U32,
+                               0)  # sender's random number
+        if options.dss is not None:
+            mapping = options.dss
+            flags = DSS_FLAG_MAP
+            if options.data_ack is not None:
+                flags |= DSS_FLAG_DATA_ACK
+            if options.data_fin_dsn is not None:
+                flags |= DSS_FLAG_DATA_FIN
+            out += struct.pack(">BBBBIIIHH", OPT_MPTCP, 20,
+                               DSS << 4, flags,
+                               (options.data_ack or 0) & _U32,
+                               mapping.dsn & _U32,
+                               mapping.ssn & _U32,
+                               mapping.length & 0xFFFF,
+                               0)  # DSS checksum (not modeled)
+        elif options.data_ack is not None or options.data_fin_dsn is not None:
+            flags = DSS_FLAG_DATA_ACK
+            if options.data_fin_dsn is not None:
+                flags |= DSS_FLAG_DATA_FIN
+            ack = (options.data_fin_dsn if options.data_ack is None
+                   else options.data_ack)
+            out += struct.pack(">BBBBI", OPT_MPTCP, 8, DSS << 4, flags,
+                               (ack or 0) & _U32)
+        for index, _addr in enumerate(options.add_addr):
+            address_id = index + 1
+            out += struct.pack(">BBBB4s", OPT_MPTCP, 8,
+                               (ADD_ADDR << 4) | 4,  # IPVer = 4
+                               address_id,
+                               _addr_ip(_addr))
+        for index, _addr in enumerate(options.dead_addrs):
+            out += struct.pack(">BBBB", OPT_MPTCP, 4, REMOVE_ADDR << 4,
+                               index + 1)
+        if options.mp_fail:
+            out += struct.pack(">BBBBQ", OPT_MPTCP, 12, MP_FAIL << 4, 0,
+                               0)  # DSN of the failure (not modeled)
+    while len(out) % 4:
+        out.append(OPT_NOP if len(out) % 4 != 3 else OPT_EOL)
+    return bytes(out)
+
+
+_ADDR_IPS: AddressMap = AddressMap()
+
+
+def _addr_ip(address: str) -> bytes:
+    """ADD_ADDR payload IPs share one process-wide deterministic map --
+    the exporter rebuilds its own per-file map for IP headers, but the
+    option payload only needs stable, valid bytes."""
+    return _ADDR_IPS.ip(address)
+
+
+def _flags_byte(flags: Flags) -> int:
+    value = 0
+    if flags.fin:
+        value |= 0x01
+    if flags.syn:
+        value |= 0x02
+    if flags.rst:
+        value |= 0x04
+    if flags.ack:
+        value |= 0x10
+    return value
+
+
+def _checksum16(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f">{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def build_frame(src_ip: bytes, dst_ip: bytes, src_mac: bytes,
+                dst_mac: bytes, segment: Segment, ident: int) -> bytes:
+    """One Ethernet/IPv4/TCP frame with valid checksums."""
+    option_bytes = encode_tcp_options(segment)
+    data_offset = (20 + len(option_bytes)) // 4
+    tcp_header = struct.pack(
+        ">HHIIBBHHH", segment.src_port, segment.dst_port,
+        segment.seq & _U32, segment.ack & _U32,
+        data_offset << 4, _flags_byte(segment.flags),
+        segment.window & 0xFFFF, 0, 0) + option_bytes
+    payload = b"\x00" * segment.payload_len
+    pseudo = src_ip + dst_ip + struct.pack(
+        ">BBH", 0, 6, len(tcp_header) + len(payload))
+    tcp_sum = _checksum16(pseudo + tcp_header + payload)
+    tcp_header = tcp_header[:16] + struct.pack(">H", tcp_sum) \
+        + tcp_header[18:]
+
+    total_length = 20 + len(tcp_header) + len(payload)
+    ip_header = struct.pack(">BBHHHBBH4s4s", 0x45, 0, total_length,
+                            ident & 0xFFFF, 0x4000,  # DF
+                            64, 6, 0, src_ip, dst_ip)
+    ip_sum = _checksum16(ip_header)
+    ip_header = ip_header[:10] + struct.pack(">H", ip_sum) + ip_header[12:]
+
+    ethernet = dst_mac + src_mac + struct.pack(">H", 0x0800)
+    return ethernet + ip_header + tcp_header + payload
+
+
+# ----------------------------------------------------------------------
+# File writing
+# ----------------------------------------------------------------------
+
+def write_pcap(records: Iterable[Tuple[float, str, str, str, Segment]],
+               path, snaplen: int = 65535) -> Dict[str, str]:
+    """Serialize capture records (a :class:`WireTap` iterates as such)
+    to ``path``; returns the simulator-address -> IP assignment used.
+
+    Frames longer than ``snaplen`` are truncated in the file (the
+    record keeps the original length), exactly like ``tcpdump -s``.
+    """
+    addresses = AddressMap()
+    with open(path, "wb") as handle:
+        handle.write(struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0,
+                                 snaplen, LINKTYPE_ETHERNET))
+        for ident, (time, _direction, src, dst, segment) in \
+                enumerate(records):
+            frame = build_frame(addresses.ip(src), addresses.ip(dst),
+                                addresses.mac(src), addresses.mac(dst),
+                                segment, ident)
+            ts_sec = int(time)
+            ts_usec = int(round((time - ts_sec) * 1_000_000))
+            if ts_usec >= 1_000_000:  # rounding spill-over
+                ts_sec, ts_usec = ts_sec + 1, ts_usec - 1_000_000
+            captured = frame[:snaplen]
+            handle.write(struct.pack("<IIII", ts_sec, ts_usec,
+                                     len(captured), len(frame)))
+            handle.write(captured)
+    return addresses.assignments
+
+
+# ----------------------------------------------------------------------
+# Parsing (round-trip verification)
+# ----------------------------------------------------------------------
+
+def parse_tcp_options(data: bytes) -> List[dict]:
+    """Decode a TCP options block into a list of dicts, one per option
+    (NOP/EOL padding is skipped)."""
+    decoded: List[dict] = []
+    index = 0
+    while index < len(data):
+        kind = data[index]
+        if kind == OPT_EOL:
+            break
+        if kind == OPT_NOP:
+            index += 1
+            continue
+        length = data[index + 1]
+        if length < 2 or index + length > len(data):
+            raise ValueError(f"malformed option kind={kind} at {index}")
+        body = data[index + 2:index + length]
+        if kind == OPT_SACK:
+            blocks = [struct.unpack(">II", body[offset:offset + 8])
+                      for offset in range(0, len(body), 8)]
+            decoded.append({"kind": OPT_SACK, "blocks": blocks})
+        elif kind == OPT_MPTCP:
+            subtype = body[0] >> 4
+            option = {"kind": OPT_MPTCP, "subtype": subtype}
+            if subtype == MP_CAPABLE:
+                option["key"] = struct.unpack(">Q", body[2:10])[0]
+                option["token"] = option["key"] & _U32
+            elif subtype == MP_JOIN:
+                option["backup"] = bool(body[0] & 0x1)
+                option["token"] = struct.unpack(">I", body[2:6])[0]
+            elif subtype == DSS:
+                flags = body[1]
+                option["flags"] = flags
+                offset = 2
+                if flags & DSS_FLAG_DATA_ACK or length == 8:
+                    option["data_ack"] = struct.unpack(
+                        ">I", body[offset:offset + 4])[0]
+                    offset += 4
+                if flags & DSS_FLAG_MAP:
+                    dsn, ssn, map_len = struct.unpack(
+                        ">IIH", body[offset:offset + 10])
+                    option.update(dsn=dsn, ssn=ssn, length=map_len)
+                option["data_fin"] = bool(flags & DSS_FLAG_DATA_FIN)
+            elif subtype == ADD_ADDR:
+                option["ipver"] = body[0] & 0xF
+                option["address_id"] = body[1]
+                option["ip"] = ".".join(str(b) for b in body[2:6])
+            elif subtype == REMOVE_ADDR:
+                option["address_id"] = body[1]
+            decoded.append(option)
+        else:
+            decoded.append({"kind": kind, "body": body})
+        index += length
+    return decoded
+
+
+def parse_frame(frame: bytes) -> dict:
+    """Decode one Ethernet/IPv4/TCP frame back to header fields."""
+    if len(frame) < 14 + 20 + 20:
+        raise ValueError("frame too short for Ethernet/IPv4/TCP")
+    ethertype = struct.unpack(">H", frame[12:14])[0]
+    if ethertype != 0x0800:
+        raise ValueError(f"not IPv4 (ethertype {ethertype:#06x})")
+    ip = frame[14:]
+    ihl = (ip[0] & 0xF) * 4
+    total_length = struct.unpack(">H", ip[2:4])[0]
+    protocol = ip[9]
+    if protocol != 6:
+        raise ValueError(f"not TCP (protocol {protocol})")
+    src_ip = ".".join(str(b) for b in ip[12:16])
+    dst_ip = ".".join(str(b) for b in ip[16:20])
+    tcp = ip[ihl:total_length]
+    (src_port, dst_port, seq, ack, offset_byte, flag_byte,
+     window, checksum, _urgent) = struct.unpack(">HHIIBBHHH", tcp[:20])
+    header_len = (offset_byte >> 4) * 4
+    return {
+        "src_ip": src_ip,
+        "dst_ip": dst_ip,
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "seq": seq,
+        "ack": ack,
+        "flags": Flags(syn=bool(flag_byte & 0x02),
+                       ack=bool(flag_byte & 0x10),
+                       fin=bool(flag_byte & 0x01),
+                       rst=bool(flag_byte & 0x04)),
+        "window": window,
+        "checksum": checksum,
+        "header_length": header_len,
+        "options": parse_tcp_options(tcp[20:header_len]),
+        "payload_len": len(tcp) - header_len,
+    }
+
+
+def read_pcap(path) -> List[dict]:
+    """Parse a pcap file written by :func:`write_pcap`; returns one
+    dict per record: parsed frame fields plus ``time`` and lengths."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    magic, major, minor, _tz, _sig, _snaplen, linktype = struct.unpack(
+        "<IHHiIII", data[:24])
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"bad pcap magic {magic:#010x}")
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"unexpected linktype {linktype}")
+    records: List[dict] = []
+    index = 24
+    while index + 16 <= len(data):
+        ts_sec, ts_usec, incl_len, orig_len = struct.unpack(
+            "<IIII", data[index:index + 16])
+        index += 16
+        frame = data[index:index + incl_len]
+        if len(frame) < incl_len:
+            break  # truncated tail
+        index += incl_len
+        parsed = parse_frame(frame)
+        parsed["time"] = ts_sec + ts_usec / 1_000_000
+        parsed["captured_length"] = incl_len
+        parsed["original_length"] = orig_len
+        records.append(parsed)
+    return records

@@ -93,6 +93,26 @@ class Instrumentation(NullInstrumentation):
             return None
         return events / elapsed
 
+    def merge_report(self, report: Dict[str, Any]) -> None:
+        """Fold another instrumentation's :meth:`report` into this one.
+
+        Campaign workers run in separate processes, so their phase
+        timers and counters never reach the parent's profiler; the
+        executor ships each worker's report back and the parent merges
+        them here (``--profile`` under ``--jobs N``).  Phase times and
+        counters accumulate; ``peak_heap`` takes the maximum.
+        """
+        if not report:
+            return
+        for name, elapsed in report.get("phases_s", {}).items():
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+        for name, value in report.get("counters", {}).items():
+            if name == "peak_heap":
+                if value > self.counters.get("peak_heap", 0):
+                    self.counters["peak_heap"] = value
+            else:
+                self.add(name, value)
+
     def report(self) -> Dict[str, Any]:
         """A JSON-ready summary of everything collected so far."""
         report: Dict[str, Any] = {

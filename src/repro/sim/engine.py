@@ -53,6 +53,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.obs.bus import NULL_TRACE_BUS
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
@@ -169,6 +171,12 @@ class Simulator:
         self.heap_compactions = 0
         #: High-water mark of the heap length (live + stale entries).
         self.peak_heap = 0
+        #: Protocol-event trace bus (see :mod:`repro.obs.bus`).  The
+        #: default is the shared no-op; components cache a reference at
+        #: construction, so install a real bus *before* building the
+        #: protocol stack.  Tracing is passive -- swapping the bus
+        #: never changes simulation results.
+        self.trace = NULL_TRACE_BUS
 
     @property
     def heap_len(self) -> int:

@@ -200,6 +200,11 @@ class TcpEndpoint:
         self.controller = controller
         self.delegate = delegate
         self.name = name
+        # Trace bus, cached: construct endpoints *after* installing a
+        # real bus on the simulator.  ``trace_sf`` is the owning
+        # subflow's index (None for plain single-path TCP).
+        self._trace = sim.trace
+        self.trace_sf: Optional[int] = None
 
         self.state = "closed"
         self.mss = config.mss
@@ -338,6 +343,10 @@ class TcpEndpoint:
         if self._syn_attempts == 1:
             self.rto_estimator.sample(self.sim.now - self._syn_sent_at)
         self.controller.attach(self)
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "tcp.established",
+                             subflow=self.trace_sf, name=self.name,
+                             attempts=self._syn_attempts)
         if self.delegate is not None:
             self.delegate.on_established(self)
         elif self.on_established is not None:
@@ -486,6 +495,11 @@ class TcpEndpoint:
                 self._in_recovery = False
                 self._dupacks = 0
                 self.cwnd = max(self.ssthresh, float(self.mss))
+                if self._trace.enabled:
+                    self._trace.emit(
+                        self.sim.now, "cc.cwnd", subflow=self.trace_sf,
+                        name=self.name, cwnd=self.cwnd,
+                        ssthresh=self.ssthresh, reason="recovery_exit")
             elif self.config.use_sack:
                 # Partial ACK with SACK: the scoreboard knows the holes;
                 # retransmit the front-most one and let pipe pace the rest.
@@ -524,6 +538,11 @@ class TcpEndpoint:
         self.ssthresh = max(self._flight_size() / 2.0, 2.0 * self.mss)
         self.controller.on_loss(self)
         self.stats.fast_retransmits += 1
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "tcp.fast_retransmit",
+                             subflow=self.trace_sf, name=self.name,
+                             dupacks=self._dupacks,
+                             recover=self._recover)
         if self.config.use_sack:
             # RFC 6675-style: hold cwnd at ssthresh; transmission is
             # paced by the pipe, which SACK arrivals deflate.
@@ -532,6 +551,11 @@ class TcpEndpoint:
         else:
             self.cwnd = self.ssthresh + \
                 self.config.dupack_threshold * self.mss
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "cc.cwnd", subflow=self.trace_sf,
+                             name=self.name, cwnd=self.cwnd,
+                             ssthresh=self.ssthresh,
+                             reason="fast_retransmit")
         self._retransmit_front()
 
     def _retransmit_front(self) -> None:
@@ -759,9 +783,14 @@ class TcpEndpoint:
 
     def _arm_rto_timer(self) -> None:
         if self._rto_event is None and self.snd_una < self.snd_nxt:
+            timeout = self.rto_estimator.rto
             self._rto_event = self.sim.schedule(
-                self.rto_estimator.rto, self._on_rto,
+                timeout, self._on_rto,
                 name=f"{self.name}.rto")
+            if self._trace.enabled:
+                self._trace.emit(self.sim.now, "rto.arm",
+                                 subflow=self.trace_sf, name=self.name,
+                                 timeout=timeout)
 
     def _restart_rto_timer(self) -> None:
         # Runs on every ACK that advances snd_una, so reuse the pending
@@ -800,6 +829,15 @@ class TcpEndpoint:
         self._lost_count = len(self._sent)
         self.controller.on_loss(self)
         self.rto_estimator.backoff()
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "rto.fire",
+                             subflow=self.trace_sf, name=self.name,
+                             consecutive=self._consecutive_timeouts,
+                             backoff=self.rto_estimator.backoff_count,
+                             next_rto=self.rto_estimator.rto)
+            self._trace.emit(self.sim.now, "cc.cwnd", subflow=self.trace_sf,
+                             name=self.name, cwnd=self.cwnd,
+                             ssthresh=self.ssthresh, reason="rto")
         self._retransmit_front()
         self._arm_rto_timer()
         if self.delegate is not None:
@@ -813,6 +851,10 @@ class TcpEndpoint:
         if self.state in ("failed", "closed"):
             return
         self.state = "failed"
+        if self._trace.enabled:
+            self._trace.emit(self.sim.now, "tcp.failed",
+                             subflow=self.trace_sf, name=self.name,
+                             timeouts=self.stats.timeouts)
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None

@@ -36,6 +36,12 @@ class RtoEstimator:
         """Current timeout, including any exponential backoff."""
         return min(self._rto * self._backoff, self.max_rto)
 
+    @property
+    def backoff_count(self) -> int:
+        """Current exponential-backoff multiplier (1 = no backoff);
+        surfaced in ``rto.fire`` trace events."""
+        return self._backoff
+
     def sample(self, rtt: float) -> None:
         """Incorporate one RTT measurement (seconds)."""
         if rtt < 0:

@@ -60,6 +60,10 @@ class RadioStateMachine:
         if self.state is RadioState.IDLE:
             self.state = RadioState.PROMOTING
             self.promotions += 1
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.emit(self.sim.now, "rrc.state", old="idle",
+                           new="promoting", delay=self.promotion_delay)
             self.sim.schedule(self.promotion_delay, self._promoted,
                               name="rrc.promote")
 
@@ -81,6 +85,10 @@ class RadioStateMachine:
 
     def warm_up(self) -> None:
         """Bring the radio to CONNECTED immediately (the paper's pings)."""
+        trace = self.sim.trace
+        if trace.enabled and self.state is not RadioState.CONNECTED:
+            trace.emit(self.sim.now, "rrc.state", old=self.state.value,
+                       new="connected", reason="warm-up")
         self.state = RadioState.CONNECTED
         self.touch()
         self._flush()
@@ -89,6 +97,10 @@ class RadioStateMachine:
         if self.state is not RadioState.PROMOTING:
             return
         self.state = RadioState.CONNECTED
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "rrc.state", old="promoting",
+                       new="connected", reason="promotion-complete")
         self.touch()
         self._flush()
 
@@ -103,6 +115,10 @@ class RadioStateMachine:
     def _demote(self) -> None:
         self.state = RadioState.IDLE
         self._demotion_timer = None
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, "rrc.state", old="connected",
+                       new="idle", reason="inactivity")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RadioStateMachine {self.state.value}>"

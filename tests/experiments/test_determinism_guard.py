@@ -21,7 +21,8 @@ from repro.wireless.profiles import TimeOfDay
 KB = 1024
 
 
-def _campaign_csvs(fast: bool, level: str):
+def _campaign_csvs(fast: bool, level: str, trace: str = "off",
+                   trace_dir=None):
     """Run the guard campaign; return its figure CSVs as bytes."""
     original = Link.use_fast_scheduling
     Link.use_fast_scheduling = fast
@@ -32,7 +33,8 @@ def _campaign_csvs(fast: bool, level: str):
                    FlowSpec.mptcp(carrier="att", controller="coupled")),
             sizes=(64 * KB,), repetitions=1,
             periods=(TimeOfDay.NIGHT,), base_seed=7)
-        campaign = Campaign(spec, capture_level=level)
+        campaign = Campaign(spec, capture_level=level, trace=trace,
+                            trace_dir=trace_dir)
         results = campaign.run()
     finally:
         Link.use_fast_scheduling = original
@@ -62,3 +64,19 @@ def test_legacy_scheduling_with_full_capture(reference_csvs):
     """The fully-legacy configuration (what the pre-overhaul code
     effectively ran) still reproduces today's bytes."""
     assert _campaign_csvs(fast=False, level="full") == reference_csvs
+
+
+@pytest.mark.parametrize("trace", ["ring", "jsonl"])
+def test_tracing_leaves_campaign_bytes_untouched(reference_csvs, trace,
+                                                 tmp_path):
+    """Protocol-event tracing is passive: running the same campaign
+    with the flight recorder or full JSONL streaming enabled must
+    leave every figure CSV byte-identical."""
+    traced = _campaign_csvs(fast=True, level="metrics-only",
+                            trace=trace, trace_dir=str(tmp_path))
+    assert traced == reference_csvs
+    if trace == "jsonl":
+        # The trace actually streamed (one file per campaign cell).
+        files = sorted(tmp_path.glob("run-*.jsonl"))
+        assert len(files) == 2
+        assert all(path.stat().st_size > 0 for path in files)

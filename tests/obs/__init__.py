@@ -1,0 +1,1 @@
+"""Tests for repro.obs: tracing, pcap export, telemetry."""

@@ -1,0 +1,200 @@
+"""Telemetry unit tests: run log, heartbeats, worker aggregation, and
+the progress renderer."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.experiments.config import FlowSpec
+from repro.experiments.runner import RunDescriptor, RunResult
+from repro.obs.telemetry import (
+    Heartbeat,
+    ProgressRenderer,
+    RunLog,
+    WorkerTelemetry,
+    read_heartbeats,
+    write_heartbeat,
+)
+from repro.trace.metrics import ConnectionMetrics
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+
+
+def _descriptor(index=0, seed=1234):
+    return RunDescriptor(index=index,
+                         spec=FlowSpec.single_path("wifi"),
+                         size=64 * KB, seed=seed,
+                         period=TimeOfDay.NIGHT)
+
+
+# ----------------------------------------------------------------------
+# RunLog
+# ----------------------------------------------------------------------
+
+def test_run_log_appends_and_reads_back(tmp_path):
+    path = tmp_path / "run_log.jsonl"
+    with RunLog(path) as log:
+        log.log("start", key="a", seed=7)
+        log.log("finish", key="a", seed=7, duration_s=0.5)
+    records = RunLog.read(path)
+    assert [record["event"] for record in records] == ["start", "finish"]
+    assert records[0]["seed"] == 7
+    assert all("wall" in record for record in records)
+
+
+def test_run_log_appends_across_instances(tmp_path):
+    """O_APPEND semantics: two sequential writers (as across worker
+    generations) extend the same file instead of truncating it."""
+    path = tmp_path / "run_log.jsonl"
+    with RunLog(path) as log:
+        log.log("start", key="a")
+    with RunLog(path) as log:
+        log.log("start", key="b")
+    assert [record["key"] for record in RunLog.read(path)] == ["a", "b"]
+
+
+def test_run_log_closed_raises(tmp_path):
+    log = RunLog(tmp_path / "run_log.jsonl")
+    log.close()
+    with pytest.raises(ValueError):
+        log.log("start")
+    log.close()  # idempotent
+
+
+def test_run_log_read_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "run_log.jsonl"
+    with RunLog(path) as log:
+        log.log("start", key="a")
+    with open(path, "a") as handle:
+        handle.write('{"event": "fini')  # worker killed mid-write
+    assert len(RunLog.read(path)) == 1
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+
+def test_heartbeat_write_read_round_trip(tmp_path):
+    write_heartbeat(str(tmp_path), "w1", done=3, total=10,
+                    events_per_sec=50_000, current="mp2:2097152")
+    write_heartbeat(str(tmp_path), "w2", done=1, total=10)
+    beats = read_heartbeats(str(tmp_path))
+    assert set(beats) == {"w1", "w2"}
+    view = Heartbeat(beats["w1"])
+    assert (view.done, view.total) == (3, 10)
+    assert view.events_per_sec == 50_000
+    assert view.current == "mp2:2097152"
+
+
+def test_heartbeat_replace_leaves_no_temp_files(tmp_path):
+    for _ in range(3):
+        write_heartbeat(str(tmp_path), "w1", done=1)
+    assert os.listdir(tmp_path) == ["w1.json"]
+
+
+def test_read_heartbeats_skips_garbage(tmp_path):
+    write_heartbeat(str(tmp_path), "w1", done=1)
+    (tmp_path / "w2.json").write_text("{not json")
+    beats = read_heartbeats(str(tmp_path))
+    assert set(beats) == {"w1"}
+    assert read_heartbeats(str(tmp_path / "missing")) == {}
+
+
+# ----------------------------------------------------------------------
+# WorkerTelemetry
+# ----------------------------------------------------------------------
+
+def test_worker_telemetry_record_shapes(tmp_path):
+    log_path = tmp_path / "run_log.jsonl"
+    beat_dir = tmp_path / "heartbeats"
+    telemetry = WorkerTelemetry(run_log_path=str(log_path),
+                                heartbeat_dir=str(beat_dir),
+                                total=2, label="w-test")
+    descriptor = _descriptor(seed=4242)
+    telemetry.run_started(descriptor)
+    result = RunResult(spec=descriptor.spec, size=descriptor.size,
+                       seed=descriptor.seed, period=descriptor.period,
+                       completed=True, download_time=1.5,
+                       metrics=ConnectionMetrics(download_time=1.5))
+    telemetry.run_finished(descriptor, result, duration=0.25, events=1000)
+    telemetry.close()
+
+    start, finish = RunLog.read(log_path)
+    assert start["event"] == "start"
+    assert start["seed"] == 4242
+    assert start["spec"] == descriptor.spec.identity
+    assert start["worker"] == "w-test"
+    assert finish["event"] == "finish"
+    assert finish["events"] == 1000
+    assert finish["download_time"] == 1.5
+
+    (payload,) = read_heartbeats(str(beat_dir)).values()
+    assert payload["done"] == 1
+    assert payload["total"] == 2
+    assert payload["events_per_sec"] == 4000  # 1000 events / 0.25 s
+    assert payload["current"] is None  # between runs
+
+
+def test_worker_telemetry_fail_record_names_seed_and_spec(tmp_path):
+    log_path = tmp_path / "run_log.jsonl"
+    telemetry = WorkerTelemetry(run_log_path=str(log_path), label="w-test")
+    descriptor = _descriptor(seed=9999)
+    telemetry.run_started(descriptor)
+    telemetry.run_failed(descriptor, duration=0.1,
+                         error=RuntimeError("boom"))
+    telemetry.close()
+    _start, fail = RunLog.read(log_path)
+    assert fail["event"] == "fail"
+    assert fail["seed"] == 9999
+    assert fail["spec"] == descriptor.spec.identity
+    assert "boom" in fail["error"]
+
+
+def test_worker_telemetry_disabled_is_inert(tmp_path):
+    telemetry = WorkerTelemetry()
+    assert not telemetry.enabled
+    descriptor = _descriptor()
+    telemetry.run_started(descriptor)
+    telemetry.run_failed(descriptor, duration=0.0, error=ValueError("x"))
+    telemetry.close()
+    assert os.listdir(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# ProgressRenderer
+# ----------------------------------------------------------------------
+
+def test_progress_renderer_shows_per_worker_lines(tmp_path):
+    beat_dir = str(tmp_path / "heartbeats")
+    stream = io.StringIO()
+    renderer = ProgressRenderer(beat_dir, total=8, interval=60.0,
+                                stream=stream)
+    write_heartbeat(beat_dir, "w1", done=2, total=8,
+                    events_per_sec=40_000, current="mp2:2097152")
+    write_heartbeat(beat_dir, "w2", done=1, total=8,
+                    events_per_sec=35_000, current=None)
+    renderer.note_done(3)
+    renderer.stop()  # renders a final snapshot without starting
+
+    output = stream.getvalue()
+    assert "[progress] 3/8 runs" in output
+    assert "2 worker(s)" in output
+    assert "75,000 ev/s" in output
+    assert "w1: 2 runs" in output
+    assert "mp2:2097152" in output
+    assert "w2: 1 runs" in output
+    assert "idle" in output
+
+
+def test_progress_renderer_thread_lifecycle(tmp_path):
+    stream = io.StringIO()
+    renderer = ProgressRenderer(str(tmp_path / "hb"), total=1,
+                                interval=0.01, stream=stream)
+    renderer.start()
+    renderer.note_done(1)
+    renderer.stop()
+    assert "[progress] 1/1 runs" in stream.getvalue()
+    assert renderer._thread is None
