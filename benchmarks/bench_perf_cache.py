@@ -1,0 +1,224 @@
+"""Run-cache and dispatch benchmark: cold vs warm, LJF vs plan order.
+
+The workload is the mix the paper's figures actually produce: fig02
+style cells (2 MB baseline downloads) interleaved with fig09-style
+cells (16 MB large flows) across MP-2 and single-path WiFi — the
+shape where plan-order submission leaves the pool tail-bound on a
+16 MB straggler, and where re-running a campaign recomputes every
+cell from scratch without the cache.
+
+Four configurations, all over the same plan and the same worker
+count, every one asserted byte-identical on download times:
+
+* **plan_order**   -- dispatch="plan", chunk=1, no cache (the old
+  submission behaviour).
+* **ljf_chunked**  -- longest-job-first submission with tiny-cell
+  chunking, no cache.
+* **cold**         -- ljf+chunk against an empty cache directory
+  (computes and stores every cell).
+* **warm**         -- the same cache directory again: every cell must
+  hit (this is exactly the cross-campaign scenario — fig2, fig3 and
+  tab2 request identical cells).
+
+Results land in the ``cache`` section of BENCH_PERF.json.  ``--check``
+gates CI: the warm pass must hit >= 90% (hard — that is determinism,
+not timing) and show a wall-clock reduction over the cold pass
+(softened by REPRO_PERF_SOFT=1 on noisy runners, like the other perf
+gates).
+
+Usage::
+
+    python benchmarks/bench_perf_cache.py             # run + update JSON
+    python benchmarks/bench_perf_cache.py --quick     # smaller flows (CI)
+    python benchmarks/bench_perf_cache.py --check     # assert the gates
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cache import RunCache  # noqa: E402
+from repro.experiments.config import FlowSpec  # noqa: E402
+from repro.experiments.parallel import execute_plan  # noqa: E402
+from repro.experiments.runner import Campaign, CampaignSpec  # noqa: E402
+from repro.wireless.profiles import TimeOfDay  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "output" / \
+    "BENCH_PERF.json"
+
+MB = 1024 * 1024
+
+#: Minimum warm-pass hit rate ``--check`` enforces (hard: a low rate
+#: means keys shifted, which is a correctness bug, not noise).
+HIT_RATE_FLOOR = 0.90
+#: Minimum warm-vs-cold wall reduction ``--check`` enforces (soft).
+WARM_REDUCTION_FLOOR = 0.50
+
+
+def _plan(quick: bool):
+    sizes = (1 * MB, 4 * MB) if quick else (2 * MB, 16 * MB)
+    spec = CampaignSpec(
+        name="bench-cache",
+        specs=(FlowSpec.mptcp(carrier="att", controller="coupled"),
+               FlowSpec.single_path("wifi")),
+        sizes=sizes, repetitions=2,
+        periods=(TimeOfDay.AFTERNOON,), base_seed=2013)
+    return Campaign(spec).plan()
+
+
+def _run(plan, jobs, reps, **kwargs):
+    """Best-of-reps wall clock for one execute_plan configuration."""
+    best = None
+    oracle = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        results = execute_plan(plan, jobs=jobs, **kwargs)
+        wall = time.perf_counter() - started
+        times = [result.download_time for result in results]
+        if any(time_s is None for time_s in times):
+            raise AssertionError("benchmark transfer incomplete")
+        if oracle is None:
+            oracle = times
+        elif times != oracle:
+            raise AssertionError(
+                f"determinism violation: {times!r} != {oracle!r}")
+        if best is None or wall < best:
+            best = wall
+    return best, oracle
+
+
+def bench(jobs: int, reps: int, quick: bool, scratch: Path) -> dict:
+    plan = _plan(quick)
+    section = {"jobs": jobs, "reps": reps, "cells": len(plan),
+               "workload": "fig02+fig09 mix"
+                           + (" (quick)" if quick else "")}
+
+    plan_wall, oracle = _run(plan, jobs, reps,
+                             dispatch="plan", chunk=1)
+    section["plan_order_wall_s"] = round(plan_wall, 3)
+    print(f"{'plan-order':12s} {plan_wall:7.3f}s")
+
+    ljf_wall, times = _run(plan, jobs, reps, dispatch="ljf", chunk=4)
+    if times != oracle:
+        raise AssertionError("LJF+chunk changed results")
+    section["ljf_chunked_wall_s"] = round(ljf_wall, 3)
+    section["dispatch_reduction"] = round(1.0 - ljf_wall / plan_wall, 3)
+    print(f"{'ljf+chunk':12s} {ljf_wall:7.3f}s   "
+          f"(-{section['dispatch_reduction']:.1%} vs plan order)")
+
+    # Cold: a fresh store per rep (each pass computes and stores).
+    cold_best = None
+    for rep in range(reps):
+        root = scratch / f"cold-{rep}"
+        shutil.rmtree(root, ignore_errors=True)
+        wall, times = _run(plan, jobs, 1, dispatch="ljf", chunk=4,
+                           cache=str(root))
+        if times != oracle:
+            raise AssertionError("cold cache changed results")
+        if cold_best is None or wall < cold_best[0]:
+            cold_best = (wall, root)
+    cold_wall, warm_root = cold_best
+    section["cold_wall_s"] = round(cold_wall, 3)
+    print(f"{'cache cold':12s} {cold_wall:7.3f}s")
+
+    # Warm: every later campaign that needs these cells — fig2, fig3
+    # and tab2 share the whole baseline matrix — sees this path.
+    warm_best = None
+    hit_rate = None
+    for _ in range(reps):
+        cache = RunCache(warm_root)
+        wall, times = _run(plan, jobs, 1, dispatch="ljf", chunk=4,
+                           cache=cache)
+        if times != oracle:
+            raise AssertionError("warm cache changed results")
+        hit_rate = cache.hit_rate
+        cache.close()
+        if warm_best is None or wall < warm_best:
+            warm_best = wall
+    section["warm_wall_s"] = round(warm_best, 3)
+    section["warm_hit_rate"] = round(hit_rate, 4)
+    section["warm_reduction"] = round(1.0 - warm_best / cold_wall, 3)
+    print(f"{'cache warm':12s} {warm_best:7.3f}s   "
+          f"(-{section['warm_reduction']:.1%} vs cold, "
+          f"{hit_rate:.0%} hits)")
+    return section
+
+
+def merge_output(path: Path, section: dict) -> None:
+    document = {}
+    if path.exists():
+        document = json.loads(path.read_text())
+    document.setdefault("schema", "repro-bench-perf/1")
+    document["cache"] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def check(section: dict) -> int:
+    """The CI gates; returns a shell exit status."""
+    soft = os.environ.get("REPRO_PERF_SOFT", "0") == "1"
+    failures = []
+    if section["warm_hit_rate"] < HIT_RATE_FLOOR:
+        # Never softened: a cold key is a correctness regression.
+        print(f"FAIL: warm hit rate {section['warm_hit_rate']:.0%} "
+              f"< {HIT_RATE_FLOOR:.0%}")
+        return 1
+    if section["warm_reduction"] < WARM_REDUCTION_FLOOR:
+        failures.append(
+            f"warm pass reduced wall by {section['warm_reduction']:.1%}"
+            f" < {WARM_REDUCTION_FLOOR:.0%}")
+    if section["dispatch_reduction"] < 0:
+        failures.append(
+            f"LJF+chunk slower than plan order "
+            f"({section['dispatch_reduction']:.1%})")
+    for failure in failures:
+        print(("WARN" if soft else "FAIL") + f": {failure}")
+    return 0 if (soft or not failures) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (default 2)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per configuration; fastest "
+                             "rep kept (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="1/4 MB flows instead of 2/16 MB (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the hit-rate and wall gates")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--scratch", type=Path, default=None,
+                        help="cache scratch directory (default: a "
+                             "fresh temp dir, removed afterwards)")
+    args = parser.parse_args(argv)
+
+    scratch = args.scratch
+    cleanup = False
+    if scratch is None:
+        import tempfile
+        scratch = Path(tempfile.mkdtemp(prefix="bench-cache-"))
+        cleanup = True
+    try:
+        section = bench(args.jobs, args.reps, args.quick, scratch)
+    finally:
+        if cleanup:
+            shutil.rmtree(scratch, ignore_errors=True)
+    merge_output(args.output, section)
+    print(f"wrote {args.output}")
+    if args.check:
+        return check(section)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Cross-campaign run cache and cost-aware dispatch.
+
+* :mod:`repro.cache.store` -- :class:`RunCache`, the sharded
+  content-addressed on-disk result store shared across campaigns
+  (keyed by ``descriptor_key`` + storage ``FORMAT_VERSION``).
+* :mod:`repro.cache.cost` -- :class:`CostModel` wall-clock estimates
+  (run-log calibrated, heuristic fallback) and the longest-job-first
+  ordering / tiny-cell chunking used by
+  :func:`repro.experiments.parallel.execute_plan`.
+"""
+
+from repro.cache.cost import (
+    CostModel,
+    build_tasks,
+    chunk_positions,
+    order_longest_first,
+)
+from repro.cache.store import RunCache, cache_digest
+
+__all__ = [
+    "RunCache",
+    "cache_digest",
+    "CostModel",
+    "build_tasks",
+    "chunk_positions",
+    "order_longest_first",
+]

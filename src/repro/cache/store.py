@@ -1,0 +1,253 @@
+"""The cross-campaign run cache: a content-addressed result store.
+
+The paper's measurement matrix is re-run from scratch by every
+figure/table campaign even though many cells are bit-identical across
+campaigns — ``fig2``, ``fig3`` and ``tab2`` all execute the *same*
+"baseline" campaign, and every run is a pure function of its
+:class:`~repro.experiments.runner.RunDescriptor` (the determinism
+guarantee the parallel executor is built on).  :class:`RunCache`
+exploits that purity: completed runs are stored on disk keyed by
+``(FlowSpec.identity, size, seed, period, FORMAT_VERSION)``, shared
+across campaigns and invocations, so ``repro all`` computes each
+unique cell exactly once and later campaigns warm-start.
+
+Layout (all under one cache directory)::
+
+    meta.json           {"schema": 1, "format_version": N}
+    index.jsonl         one entry digest per line (O(1) membership)
+    objects/ab/<sha256>.json   the stored result, content-addressed
+
+Design points:
+
+* **Content addressing.**  The entry name is the SHA-256 of the cell's
+  :func:`~repro.experiments.runner.descriptor_key` *plus* the storage
+  ``FORMAT_VERSION``, sharded over 256 two-hex-digit subdirectories.
+  Because the version is part of the address, a format bump can never
+  serve a stale row even if the metadata stamp were tampered with.
+* **Atomic writes.**  Objects are written to a temp file and
+  ``os.replace``d into place — the same discipline as
+  :func:`repro.experiments.storage.save_results` — so readers (and
+  concurrent campaigns) never observe a torn entry.
+* **O(1) membership.**  ``index.jsonl`` is an append-only digest list
+  loaded into a set at open.  Losing an index line (crash between the
+  object replace and the index append) is safe: the entry merely reads
+  as a miss and is re-put idempotently.
+* **Explicit invalidation.**  ``meta.json`` stamps the format version;
+  opening a cache written under a different version wipes it (objects
+  and index) before any lookup, so a bump is a *full* miss.
+* **Corruption tolerance.**  A truncated or corrupted object is
+  skipped with a :class:`RuntimeWarning` and recomputed — mirroring
+  ``load_results``' truncated-line handling — never a crash.
+
+Results are stored at full fidelity (``max_samples=None``): a cache
+hit must hand back *exactly* what a fresh run would compute, or the
+serial-equals-cached determinism guarantee breaks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments import storage as _storage
+from repro.experiments.runner import RunResult, descriptor_key
+from repro.experiments.storage import result_from_dict, result_to_dict
+
+#: Bump when the on-disk cache layout itself changes shape.
+CACHE_SCHEMA = 1
+
+
+def cache_digest(key: str, format_version: int) -> str:
+    """Content address of one cell: descriptor key + format version."""
+    return hashlib.sha256(
+        f"{key}|v{format_version}".encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Sharded, content-addressed on-disk store of completed runs.
+
+    ``format_version`` defaults to the *current*
+    :data:`repro.experiments.storage.FORMAT_VERSION`; passing an
+    explicit value exists for tests that exercise invalidation.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 format_version: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.format_version = (_storage.FORMAT_VERSION
+                               if format_version is None
+                               else format_version)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.invalidated = False
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._objects = self.root / "objects"
+        self._index_path = self.root / "index.jsonl"
+        self._check_version()
+        self._index = self._load_index()
+        # Open eagerly, like the journal: an unwritable cache directory
+        # must fail before simulation work is spent on it.
+        self._index_handle = open(self._index_path, "a")
+
+    # ------------------------------------------------------------------
+    # Open-time bookkeeping
+    # ------------------------------------------------------------------
+
+    def _check_version(self) -> None:
+        """Wipe the store if it was written under another version."""
+        meta_path = self.root / "meta.json"
+        meta = None
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                meta = None  # unreadable stamp: treat as stale
+        if meta is not None and meta.get("schema") == CACHE_SCHEMA \
+                and meta.get("format_version") == self.format_version:
+            return
+        if meta is not None or self._index_path.exists() \
+                or self._objects.exists():
+            # Stale entries could never be *served* (the version is in
+            # the digest), but leaving them would grow the store
+            # without bound across bumps — so invalidation is explicit.
+            shutil.rmtree(self._objects, ignore_errors=True)
+            try:
+                os.unlink(self._index_path)
+            except OSError:
+                pass
+            self.invalidated = meta is not None
+        self._write_json(meta_path, {"schema": CACHE_SCHEMA,
+                                     "format_version": self.format_version})
+
+    def _load_index(self) -> set:
+        index = set()
+        try:
+            with open(self._index_path, "r") as handle:
+                for line in handle:
+                    digest = line.strip()
+                    if len(digest) == 64:
+                        index.add(digest)
+                    # else: a torn trailing line from a killed writer;
+                    # the object reads as a miss and is re-put.
+        except OSError:
+            pass
+        return index
+
+    def _write_json(self, path: Path, payload: dict) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{path.name}.",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def key_of(self, result: RunResult) -> str:
+        return descriptor_key(result.spec, result.size,
+                              result.seed, result.period)
+
+    def __contains__(self, key: str) -> bool:
+        return cache_digest(key, self.format_version) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The stored result for one descriptor key, or ``None``.
+
+        Never raises on a bad entry: corruption demotes the entry to a
+        miss (with a warning) and the campaign recomputes the cell.
+        """
+        digest = cache_digest(key, self.format_version)
+        if digest not in self._index:
+            self.misses += 1
+            return None
+        path = self._object_path(digest)
+        try:
+            wrapper = json.loads(path.read_text())
+            if wrapper.get("key") != key or \
+                    wrapper.get("format_version") != self.format_version:
+                raise ValueError("entry does not match its address")
+            result = result_from_dict(wrapper["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            warnings.warn(f"run cache {self.root}: skipping corrupt "
+                          f"entry {digest[:12]} (will recompute)",
+                          RuntimeWarning)
+            self._index.discard(digest)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: RunResult) -> bool:
+        """Store one completed run (idempotent per key).
+
+        The object lands atomically *before* its index line, so a
+        crash between the two leaves a re-puttable miss, never a
+        dangling index entry pointing at nothing durable.
+        """
+        key = self.key_of(result)
+        digest = cache_digest(key, self.format_version)
+        if digest in self._index:
+            return False
+        if self._index_handle is None:
+            raise ValueError(f"run cache {self.root} is closed")
+        path = self._object_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_json(path, {
+            "key": key,
+            "format_version": self.format_version,
+            "result": result_to_dict(result, max_samples=None),
+        })
+        self._index_handle.write(digest + "\n")
+        self._index_handle.flush()
+        self._index.add(digest)
+        self.puts += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Stats / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def stats(self) -> dict:
+        return {"entries": len(self._index), "hits": self.hits,
+                "misses": self.misses, "puts": self.puts,
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def close(self) -> None:
+        if self._index_handle is not None:
+            self._index_handle.close()
+            self._index_handle = None
+
+    def __enter__(self) -> "RunCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -147,7 +147,30 @@ def _render_instrumentation(instrumentation) -> str:
     return "\n".join(lines)
 
 
-def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
+class _open_cache:
+    """The CLI's shared cache session: one :class:`RunCache` and one
+    :class:`CostModel` spanning every campaign of the invocation
+    (``--no-cache`` yields a null session; the cost model survives
+    either way so dispatch still learns across campaigns)."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.cache import CostModel
+        self.store = None
+        self.cost_model = CostModel()
+        if not args.no_cache:
+            from repro.cache import RunCache
+            self.store = RunCache(args.cache)
+
+    def __enter__(self) -> "_open_cache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.store is not None:
+            self.store.close()
+
+
+def _run_artifact(artifact: Artifact, args: argparse.Namespace,
+                  cache=None, cost_model=None) -> None:
     spec = _build_campaign(artifact, args)
     total = spec.total_runs()
     print(f"\n{artifact.title}")
@@ -185,12 +208,15 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
         from repro.perf import Instrumentation
         instrumentation = Instrumentation()
 
+    hits_before = cache.hits if cache is not None else 0
     campaign = Campaign(spec, progress=progress, jobs=args.jobs,
                         journal=args.resume,
                         capture_level=args.capture,
                         trace=args.trace, trace_dir=trace_dir,
                         run_log=run_log, heartbeat_dir=heartbeat_dir,
-                        instrumentation=instrumentation)
+                        instrumentation=instrumentation,
+                        cache=cache, cost_model=cost_model,
+                        chunk=args.chunk)
     if renderer is not None:
         renderer.start()
     try:
@@ -209,8 +235,13 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace) -> None:
     if run_log is not None:
         print(f"run log: {run_log}")
     elapsed = time.time() - started
+    cache_note = ""
+    if cache is not None:
+        hits = cache.hits - hits_before
+        if hits:
+            cache_note = f", {hits}/{total} from run cache"
     print(f"done in {elapsed:.1f}s "
-          f"({campaign.completed_fraction():.0%} completed)\n")
+          f"({campaign.completed_fraction():.0%} completed{cache_note})\n")
     for label, builder in artifact.rows.items():
         headers, rows = builder(results)
         print(render_table(headers, rows, title=label))
@@ -278,6 +309,22 @@ def _main(argv: Optional[List[str]] = None) -> int:
                         help="journal completed runs to FILE and, on "
                              "re-invocation, skip cells already "
                              "recorded there instead of recomputing")
+    parser.add_argument("--cache", metavar="DIR", default=".repro-cache",
+                        help="cross-campaign run cache directory: "
+                             "completed cells are stored keyed by "
+                             "(config, size, seed, period, format "
+                             "version) and restored by any later "
+                             "campaign that needs the identical cell "
+                             "— results stay byte-identical (default: "
+                             ".repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the run cache: recompute every "
+                             "cell even if a stored result exists")
+    parser.add_argument("--chunk", type=int, default=4, metavar="N",
+                        help="batch up to N tiny cells per worker "
+                             "task to amortize pickling/IPC overhead "
+                             "(expensive cells always travel alone; "
+                             "1 disables batching; default 4)")
     parser.add_argument("--csv", metavar="DIR",
                         help="also export rows as CSV into DIR")
     parser.add_argument("--plot", action="store_true",
@@ -343,7 +390,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
             {"download time": scenarios.download_time_rows,
              "cellular share": scenarios.traffic_share_rows},
             plot=scenarios.download_time_plot)
-        _run_artifact(artifact, args)
+        with _open_cache(args) as cache:
+            _run_artifact(artifact, args, cache=cache.store,
+                          cost_model=cache.cost_model)
         return 0
     if args.artifact == "scorecard":
         from repro.experiments.scorecard import render_scorecard, \
@@ -360,8 +409,19 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(check.ok for check in checks) else 1
     selected = (sorted(artifacts) if args.artifact == "all"
                 else [args.artifact])
-    for name in selected:
-        _run_artifact(artifacts[name], args)
+    # One cache and one cost model span every selected artifact, so
+    # `repro all` computes each unique cell exactly once — fig2, fig3
+    # and tab2 share the whole "baseline" matrix — and later campaigns
+    # dispatch with wall times calibrated by the earlier ones.
+    with _open_cache(args) as cache:
+        for name in selected:
+            _run_artifact(artifacts[name], args, cache=cache.store,
+                          cost_model=cache.cost_model)
+        if cache.store is not None and cache.store.hits:
+            stats = cache.store.stats()
+            print(f"run cache {args.cache}: {stats['hits']} hits / "
+                  f"{stats['misses']} misses "
+                  f"({stats['entries']} entries)")
     return 0
 
 

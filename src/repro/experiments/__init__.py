@@ -28,6 +28,7 @@ from repro.experiments.runner import (
     Measurement,
     RunDescriptor,
     RunResult,
+    descriptor_key,
     run_key,
 )
 from repro.experiments.stats import (
@@ -65,6 +66,7 @@ __all__ = [
     "Measurement",
     "RunResult",
     "RunDescriptor",
+    "descriptor_key",
     "run_key",
     "Campaign",
     "CampaignSpec",

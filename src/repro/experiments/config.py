@@ -125,6 +125,26 @@ class FlowSpec:
     def server_interfaces(self) -> int:
         return 2 if (self.mode == "mp" and self.paths == 4) else 1
 
+    @property
+    def cost_weight(self) -> float:
+        """Relative simulation cost per transferred byte.
+
+        The fallback input to :class:`repro.cache.CostModel` when no
+        calibration data exists yet: MPTCP runs pay for DSS mapping,
+        scheduler decisions and per-subflow ACK clocking on top of the
+        single-path packet pipeline, and four subflows cost more than
+        two.  The constants are deliberately coarse — dispatch ordering
+        only needs the *ranking* of cells to be roughly right, and
+        observed wall times replace this heuristic as soon as a run
+        log or a live campaign provides them.
+        """
+        if self.mode == "sp":
+            return 1.0
+        weight = 1.8 if self.paths == 2 else 2.6
+        if self.middlebox != "none":
+            weight *= 1.1
+        return weight
+
     def tcp_config(self) -> TcpConfig:
         return TcpConfig(initial_ssthresh=self.ssthresh,
                          rcv_buffer=self.rcv_buffer)

@@ -1,4 +1,4 @@
-"""Parallel, resumable campaign execution.
+"""Parallel, resumable, cache-warmed campaign execution.
 
 The paper's methodology (Section 3.2) is a large measurement matrix —
 configurations x file sizes x repetitions x day periods — and every
@@ -8,26 +8,41 @@ parallel: :func:`execute_plan` fans the cells of a
 :meth:`Campaign.plan` out over a :class:`ProcessPoolExecutor` and
 reassembles the results in serial order.
 
-Two properties are guaranteed:
+Three properties are guaranteed:
 
 * **Determinism** — each run is a pure function of its picklable
   :class:`RunDescriptor` (spec, size, seed, period, profiles), so the
   reassembled results list is bit-for-bit equal to what the serial
-  loop produces, whatever the worker count or completion order.
+  loop produces, whatever the worker count, dispatch order, chunking
+  or cache state.
 * **Resumability** — with a :class:`ResultJournal`, every completed
   run is streamed to disk before the next progress tick, and cells
   already journaled are restored instead of recomputed.  Killing a
   campaign after k runs and re-invoking it executes exactly the
   remaining ``total - k`` cells.
+* **Cache warm-starts** — with a :class:`repro.cache.RunCache`, cells
+  stored by *any* previous campaign (same descriptor key and storage
+  format version) are restored instead of recomputed, so campaigns
+  that share configuration cells — fig2/fig3/tab2 all run the same
+  "baseline" matrix — compute each unique cell exactly once.
+
+Dispatch is cost-aware: pending cells are submitted longest-job-first
+(a :class:`repro.cache.CostModel` calibrated from run-log wall times,
+falling back to a size x config heuristic) so the pool never ends
+tail-bound on a straggler, tiny cells are batched into chunks to
+amortize pickling/IPC overhead, and submission is streamed through a
+bounded in-flight window (``jobs x window`` futures) instead of
+materializing every pickled descriptor and future upfront.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import RunDescriptor, RunResult
 from repro.experiments.storage import ResultJournal
@@ -37,15 +52,39 @@ from repro.experiments.storage import ResultJournal
 #: execution results arrive in completion order, not plan order.
 ProgressFn = Callable[[int, int, RunResult], None]
 
+#: Pool construction hook; tests swap in an instrumented executor to
+#: assert submission-window bounds without real worker processes.
+_pool_factory = ProcessPoolExecutor
+
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for 'all cores' (``jobs=0``)."""
-    return os.cpu_count() or 1
+    """Worker count when the caller asks for 'all cores' (``jobs=0``).
+
+    Respects CPU affinity where the platform exposes it: in a
+    container or cgroup pinned to a subset of the machine,
+    ``os.cpu_count()`` still reports every installed core and would
+    oversubscribe the pool.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    return affinity or os.cpu_count() or 1
 
 
 def execute_descriptor(descriptor: RunDescriptor) -> RunResult:
     """Worker entry point; must be a module-level name to pickle."""
     return descriptor.run()
+
+
+def execute_chunk(descriptors: Sequence[RunDescriptor]
+                  ) -> List[RunResult]:
+    """Worker entry point for a batched task of tiny cells.
+
+    One submission, one pickle round-trip, ``len(descriptors)`` runs;
+    results come back in task order.
+    """
+    return [descriptor.run() for descriptor in descriptors]
 
 
 # ----------------------------------------------------------------------
@@ -83,14 +122,16 @@ def _reset_worker() -> None:
 
 
 def execute_descriptor_ex(descriptor: RunDescriptor
-                          ) -> Tuple[RunResult, Optional[dict]]:
+                          ) -> Tuple[RunResult, Optional[dict], float]:
     """Worker entry point with telemetry and instrumentation.
 
-    Returns ``(result, report)`` where ``report`` is the run's
+    Returns ``(result, report, wall_s)``: ``report`` is the run's
     :meth:`Instrumentation.report` for parent-side merging (``None``
-    unless profiling was requested).  A run that raises leaves a
-    ``fail`` record -- naming the seed and FlowSpec identity -- in the
-    shared run log before the exception propagates to the parent.
+    unless profiling was requested) and ``wall_s`` is the run's wall
+    time, surfaced to the parent as a live cost-model calibration
+    sample.  A run that raises leaves a ``fail`` record -- naming the
+    seed and FlowSpec identity -- in the shared run log before the
+    exception propagates to the parent.
     """
     from repro.perf.instrumentation import Instrumentation
     telemetry = _WORKER_TELEMETRY
@@ -105,11 +146,27 @@ def execute_descriptor_ex(descriptor: RunDescriptor
             telemetry.run_failed(descriptor,
                                  time.perf_counter() - started, error)
         raise
+    wall = time.perf_counter() - started
     if telemetry is not None:
         events = int(inst.counters.get("events_processed", 0))
-        telemetry.run_finished(descriptor, result,
-                               time.perf_counter() - started, events)
-    return result, (inst.report() if _WORKER_PROFILED else None)
+        telemetry.run_finished(descriptor, result, wall, events)
+    return result, (inst.report() if _WORKER_PROFILED else None), wall
+
+
+def execute_chunk_ex(descriptors: Sequence[RunDescriptor]
+                     ) -> List[Tuple[RunResult, Optional[dict], float]]:
+    """Telemetry-carrying variant of :func:`execute_chunk`."""
+    return [execute_descriptor_ex(descriptor)
+            for descriptor in descriptors]
+
+
+def _default_cost_model(run_log: Optional[str]):
+    """A cost model for one campaign: run-log calibrated when a
+    previous invocation left finish records, heuristic otherwise."""
+    from repro.cache import CostModel
+    if run_log is not None and os.path.exists(run_log):
+        return CostModel.from_run_log(run_log)
+    return CostModel()
 
 
 def execute_plan(plan: Sequence[RunDescriptor],
@@ -119,13 +176,34 @@ def execute_plan(plan: Sequence[RunDescriptor],
                  run_log: Optional[str] = None,
                  heartbeat_dir: Optional[str] = None,
                  instrumentation=None,
+                 cache=None,
+                 cost_model=None,
+                 dispatch: str = "ljf",
+                 chunk: int = 1,
+                 window: int = 2,
                  ) -> List[RunResult]:
     """Execute campaign cells, serially or across worker processes.
 
     ``jobs`` <= 1 runs in-process in plan order (the historical serial
-    behaviour); ``jobs`` = 0 or None means one worker per CPU core.
-    ``journal`` may be a path (opened and closed here) or an existing
-    :class:`ResultJournal`.  The returned list is always in plan order.
+    behaviour); ``jobs`` = 0 or None means one worker per available
+    CPU (affinity-aware).  ``journal`` may be a path (opened and
+    closed here) or an existing :class:`ResultJournal`.  ``cache`` may
+    be a directory path (opened and closed here) or an existing
+    :class:`repro.cache.RunCache`; cells found in either store are
+    restored instead of recomputed, cache hits are mirrored into the
+    journal (so crash-resume still sees a complete record) and journal
+    hits are mirrored into the cache (so old journals warm the shared
+    store).  The returned list is always in plan order, bit-identical
+    to serial execution regardless of any of these knobs.
+
+    Dispatch under ``jobs > 1`` is cost-aware: ``dispatch`` picks the
+    submission order ("ljf" longest-job-first, or "plan"),
+    ``cost_model`` (a :class:`repro.cache.CostModel`; default:
+    calibrated from ``run_log`` if one exists) supplies the estimates,
+    ``chunk`` > 1 batches tiny cells into one task, and at most
+    ``jobs x window`` submitted tasks are in flight at once — the rest
+    of the plan stays unsubmitted until a slot frees, capping
+    parent-side memory.
 
     ``run_log`` (a path) streams start/finish/fail records for every
     run; ``heartbeat_dir`` makes each worker publish live heartbeat
@@ -143,18 +221,28 @@ def execute_plan(plan: Sequence[RunDescriptor],
     owns_journal = isinstance(journal, (str, Path))
     if owns_journal:
         journal = ResultJournal(journal)
+    owns_cache = isinstance(cache, (str, Path))
+    if owns_cache:
+        from repro.cache import RunCache
+        cache = RunCache(cache)
     try:
         slots: List[Optional[RunResult]] = [None] * total
         pending: List[int] = []
         done = 0
         for position, descriptor in enumerate(plan):
-            cached = (journal.get(descriptor.key)
-                      if journal is not None else None)
-            if cached is not None:
-                slots[position] = cached
+            key = descriptor.key
+            restored = journal.get(key) if journal is not None else None
+            if restored is not None and cache is not None:
+                cache.put(restored)   # old journals warm the cache
+            elif restored is None and cache is not None:
+                restored = cache.get(key)
+                if restored is not None and journal is not None:
+                    journal.record(restored)   # keep resume complete
+            if restored is not None:
+                slots[position] = restored
                 done += 1
                 if progress is not None:
-                    progress(done, total, cached)
+                    progress(done, total, restored)
             else:
                 pending.append(position)
 
@@ -162,6 +250,8 @@ def execute_plan(plan: Sequence[RunDescriptor],
             nonlocal done
             if journal is not None:
                 journal.record(result)
+            if cache is not None:
+                cache.put(result)
             slots[position] = result
             done += 1
             if progress is not None:
@@ -171,15 +261,19 @@ def execute_plan(plan: Sequence[RunDescriptor],
             if instrumentation is not None and report:
                 instrumentation.merge_report(report)
 
+        if cost_model is None:
+            cost_model = _default_cost_model(run_log)
+
         if jobs <= 1 or len(pending) <= 1:
             if telemetered:
                 _init_worker(run_log, heartbeat_dir, total,
                              instrumentation is not None)
                 try:
                     for position in pending:
-                        result, report = execute_descriptor_ex(
+                        result, report, wall = execute_descriptor_ex(
                             plan[position])
                         merge(report)
+                        cost_model.observe(plan[position], wall)
                         finish(position, result)
                 finally:
                     _reset_worker()
@@ -187,42 +281,73 @@ def execute_plan(plan: Sequence[RunDescriptor],
                 for position in pending:
                     finish(position, plan[position].run())
         else:
+            from repro.cache import build_tasks
             workers = min(jobs, len(pending))
-            futures = {}
-            entry = (execute_descriptor_ex if telemetered
-                     else execute_descriptor)
+            tasks = deque(build_tasks(pending, plan, cost_model,
+                                      dispatch, chunk, workers))
+            max_inflight = workers * max(1, window)
+            inflight: Dict[object, List[int]] = {}
+            entry = (execute_chunk_ex if telemetered else execute_chunk)
             pool_kwargs = {}
             if telemetered:
                 pool_kwargs = dict(
                     initializer=_init_worker,
                     initargs=(run_log, heartbeat_dir, total,
                               instrumentation is not None))
+
             try:
-                with ProcessPoolExecutor(max_workers=workers,
-                                         **pool_kwargs) as pool:
-                    futures = {pool.submit(entry,
-                                           plan[position]): position
-                               for position in pending}
-                    for future in as_completed(futures):
-                        if telemetered:
-                            result, report = future.result()
-                            merge(report)
-                        else:
-                            result = future.result()
-                        finish(futures[future], result)
+                with _pool_factory(max_workers=workers,
+                                   **pool_kwargs) as pool:
+
+                    def top_up() -> None:
+                        while tasks and len(inflight) < max_inflight:
+                            positions = tasks.popleft()
+                            future = pool.submit(
+                                entry,
+                                [plan[position] for position in positions])
+                            inflight[future] = positions
+
+                    top_up()
+                    while inflight:
+                        completed, _ = wait(inflight,
+                                            return_when=FIRST_COMPLETED)
+                        for future in completed:
+                            positions = inflight.pop(future)
+                            payloads = future.result()
+                            for position, payload in zip(positions,
+                                                         payloads):
+                                if telemetered:
+                                    result, report, wall = payload
+                                    merge(report)
+                                    cost_model.observe(plan[position],
+                                                       wall)
+                                else:
+                                    result = payload
+                                finish(position, result)
+                        top_up()
             except BaseException:
                 # Pool shutdown has drained the siblings by now; runs
-                # that finished but were never yielded by as_completed
-                # must still reach the journal, or a failed worker
-                # throws away their completed work on resume.
-                if journal is not None:
-                    for future, position in futures.items():
-                        if (slots[position] is None and future.done()
-                                and not future.cancelled()
+                # that finished but were never consumed from their
+                # futures must still reach the journal (and cache), or
+                # a failed worker throws away their completed work on
+                # resume.  (Cells that finished *inside* a failing
+                # chunk are lost with it — the chunk's future carries
+                # only the exception.)
+                if journal is not None or cache is not None:
+                    for future, positions in inflight.items():
+                        if not (future.done() and not future.cancelled()
                                 and future.exception() is None):
-                            payload = future.result()
-                            journal.record(payload[0] if telemetered
-                                           else payload)
+                            continue
+                        for position, payload in zip(positions,
+                                                     future.result()):
+                            if slots[position] is not None:
+                                continue
+                            result = (payload[0] if telemetered
+                                      else payload)
+                            if journal is not None:
+                                journal.record(result)
+                            if cache is not None:
+                                cache.put(result)
                 raise
 
         missing = [position for position, result in enumerate(slots)
@@ -237,3 +362,5 @@ def execute_plan(plan: Sequence[RunDescriptor],
     finally:
         if owns_journal:
             journal.close()
+        if owns_cache:
+            cache.close()

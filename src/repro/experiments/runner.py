@@ -35,13 +35,26 @@ from repro.wireless.profiles import TimeOfDay
 _EVENTS_PER_PACKET = 60
 
 
-def run_key(spec: FlowSpec, size: int, seed: int, period: TimeOfDay) -> str:
-    """The resume-journal key of one campaign cell.
+def descriptor_key(spec: FlowSpec, size: int, seed: int,
+                   period: TimeOfDay) -> str:
+    """The canonical identity of one campaign cell.
 
     Built from the spec's full :attr:`FlowSpec.identity` so ablation
-    specs sharing a label never collide.
+    specs sharing a label never collide.  This single function keys
+    *both* persistence layers — the per-campaign resume journal
+    (:class:`repro.experiments.storage.ResultJournal`) and the
+    cross-campaign run cache (:class:`repro.cache.RunCache`) — so the
+    two can never disagree about which cell a stored result belongs
+    to.  The cache additionally folds the storage
+    ``FORMAT_VERSION`` into its on-disk digest; the journal does not
+    need to, because a journal file never outlives the campaign
+    invocation cycle the way the shared cache does.
     """
     return f"{spec.identity}|{size}|{seed}|{period.value}"
+
+
+#: Backwards-compatible alias (the journal grew this name first).
+run_key = descriptor_key
 
 
 @dataclass
@@ -295,7 +308,7 @@ class RunDescriptor:
 
     @property
     def key(self) -> str:
-        return run_key(self.spec, self.size, self.seed, self.period)
+        return descriptor_key(self.spec, self.size, self.seed, self.period)
 
     def trace_path(self) -> Optional[str]:
         """Per-run trace file: the event stream for ``jsonl`` mode, the
@@ -355,11 +368,26 @@ class Campaign:
                  trace: str = "off", trace_dir: Optional[str] = None,
                  run_log: Optional[str] = None,
                  heartbeat_dir: Optional[str] = None,
-                 instrumentation=None) -> None:
+                 instrumentation=None,
+                 cache=None, cost_model=None,
+                 dispatch: str = "ljf", chunk: int = 1,
+                 window: int = 2) -> None:
         self.spec = spec
         self.progress = progress
         self.jobs = jobs
         self.journal = journal
+        #: Cross-campaign run cache (a directory path or an open
+        #: :class:`repro.cache.RunCache`); cells already stored there
+        #: are restored instead of recomputed, across campaigns.
+        self.cache = cache
+        #: Dispatch policy under ``jobs > 1``: cost model, submission
+        #: order ("ljf" or "plan"), tiny-cell chunk size and the
+        #: bounded in-flight submission window.  None of these can
+        #: change a single result byte — only wall-clock.
+        self.cost_model = cost_model
+        self.dispatch = dispatch
+        self.chunk = chunk
+        self.window = window
         #: Campaigns only consume aggregate metrics, so the cheapest
         #: capture level is the default; raise it to ``"full"`` when
         #: per-packet records are wanted for post-hoc analysis.
@@ -413,7 +441,12 @@ class Campaign:
                                     journal=self.journal,
                                     run_log=self.run_log,
                                     heartbeat_dir=self.heartbeat_dir,
-                                    instrumentation=self.instrumentation)
+                                    instrumentation=self.instrumentation,
+                                    cache=self.cache,
+                                    cost_model=self.cost_model,
+                                    dispatch=self.dispatch,
+                                    chunk=self.chunk,
+                                    window=self.window)
         return self.results
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import FlowSpec
-from repro.experiments.runner import RunResult, run_key
+from repro.experiments.runner import RunResult, descriptor_key
 from repro.trace.analyzer import FlowAnalysis
 from repro.trace.metrics import ConnectionMetrics
 from repro.wireless.profiles import TimeOfDay
@@ -254,12 +254,18 @@ class ResultJournal:
     """Append-only resume cache of completed campaign cells.
 
     Each completed run is streamed to a JSON-lines file keyed by
-    :func:`repro.experiments.runner.run_key` — ``(spec, size, seed,
-    period)`` — and flushed to disk immediately, so an interrupted
-    campaign loses at most the run in flight.  Re-opening the journal
-    restores every completed cell; a partial trailing line left by a
-    mid-write crash is truncated away on open, so subsequent appends
-    land on a clean line boundary and the file stays loadable.
+    :func:`repro.experiments.runner.descriptor_key` — ``(spec, size,
+    seed, period)`` — and flushed to disk immediately, so an
+    interrupted campaign loses at most the run in flight.
+
+    The journal is the *per-campaign crash-resume* layer; the
+    *cross-campaign* layer is :class:`repro.cache.RunCache`.  Both are
+    thin adapters over the same :func:`descriptor_key` function (see
+    :meth:`key_of`), so a journal-resumed cell and a cache-hit cell can
+    never disagree about which plan position they restore.  Re-opening
+    the journal restores every completed cell; a partial trailing line
+    left by a mid-write crash is truncated away on open, so subsequent
+    appends land on a clean line boundary and the file stays loadable.
 
     Rows are stored at full fidelity (``max_samples=None``) by default:
     a resumed campaign must hand back *exactly* what a fresh run would
@@ -275,8 +281,7 @@ class ResultJournal:
         if self.path.exists():
             results, good = _scan_results(self.path)
             for result in results:
-                self._results[run_key(result.spec, result.size,
-                                      result.seed, result.period)] = result
+                self._results[self.key_of(result)] = result
             # A truncated tail must be cut off before appending — the
             # next record would otherwise concatenate onto the partial
             # line, corrupting the journal for every later load.
@@ -298,6 +303,13 @@ class ResultJournal:
             self._handle.write("\n")
             self._handle.flush()
 
+    @staticmethod
+    def key_of(result: RunResult) -> str:
+        """The journal key of a completed run — by construction the
+        same string the run cache keys on."""
+        return descriptor_key(result.spec, result.size,
+                              result.seed, result.period)
+
     def __contains__(self, key: str) -> bool:
         return key in self._results
 
@@ -309,7 +321,7 @@ class ResultJournal:
 
     def record(self, result: RunResult) -> None:
         """Persist one completed run (idempotent per key)."""
-        key = run_key(result.spec, result.size, result.seed, result.period)
+        key = self.key_of(result)
         if key in self._results:
             return
         if self._handle is None:

@@ -26,7 +26,7 @@ import os
 import sys
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class RunLog:
@@ -71,6 +71,34 @@ class RunLog:
                 except json.JSONDecodeError:
                     break
         return records
+
+
+def run_log_wall_times(path) -> Dict[Tuple[str, int], List[float]]:
+    """Observed wall seconds per ``(FlowSpec.identity, size)``.
+
+    Reads a run log's ``finish`` records — the per-run ``wall_s``
+    surfaced to the parent for dispatch-cost calibration
+    (:meth:`repro.cache.CostModel.from_run_log`).  Records from before
+    the ``size`` field existed fall back to parsing it out of the run
+    key; unparseable records are skipped, never fatal.
+    """
+    times: Dict[Tuple[str, int], List[float]] = {}
+    for record in RunLog.read(path):
+        if record.get("event") != "finish":
+            continue
+        duration = record.get("duration_s")
+        identity = record.get("spec")
+        size = record.get("size")
+        if size is None:
+            # Old logs: the key is "identity|size|seed|period".
+            try:
+                size = int(str(record.get("key")).rsplit("|", 3)[1])
+            except (IndexError, ValueError):
+                continue
+        if duration is None or identity is None:
+            continue
+        times.setdefault((identity, int(size)), []).append(float(duration))
+    return times
 
 
 # ----------------------------------------------------------------------
@@ -166,9 +194,13 @@ class WorkerTelemetry:
         self.busy_s += duration
         self.current = None
         if self.run_log is not None:
+            # ``size`` + ``duration_s`` make finish records directly
+            # consumable as cost-model calibration samples
+            # (:func:`run_log_wall_times`) without parsing the key.
             self.run_log.log("finish", key=descriptor.key,
                              seed=descriptor.seed,
                              spec=descriptor.spec.identity,
+                             size=descriptor.size,
                              duration_s=round(duration, 6), events=events,
                              completed=result.completed,
                              download_time=result.download_time,

@@ -1,13 +1,16 @@
-"""Determinism guard: the hot-path overhaul must not move a single
-byte of campaign output.
+"""Determinism guard: no optimization may move a single byte of
+campaign output.
 
-Runs one small campaign under every combination the overhaul made
+Runs one small campaign under every combination the perf work made
 switchable -- legacy closure-based link scheduling vs the fast
-arg-carrying path, and each CSV-supporting capture level -- and
-asserts the rendered CSVs are byte-identical."""
+arg-carrying path, each CSV-supporting capture level, and every run
+cache / dispatch configuration (cache off, cache cold, cache warm,
+chunked submission, LJF vs plan-order dispatch) -- and asserts the
+rendered CSVs are byte-identical."""
 
 import pytest
 
+from repro.cache import RunCache
 from repro.experiments.config import FlowSpec
 from repro.experiments.report import csv_text
 from repro.experiments.runner import Campaign, CampaignSpec
@@ -21,8 +24,9 @@ from repro.wireless.profiles import TimeOfDay
 KB = 1024
 
 
-def _campaign_csvs(fast: bool, level: str, trace: str = "off",
-                   trace_dir=None):
+def _campaign_csvs(fast: bool = True, level: str = "metrics-only",
+                   trace: str = "off", trace_dir=None, jobs: int = 1,
+                   cache=None, chunk: int = 1, dispatch: str = "ljf"):
     """Run the guard campaign; return its figure CSVs as bytes."""
     original = Link.use_fast_scheduling
     Link.use_fast_scheduling = fast
@@ -34,7 +38,8 @@ def _campaign_csvs(fast: bool, level: str, trace: str = "off",
             sizes=(64 * KB,), repetitions=1,
             periods=(TimeOfDay.NIGHT,), base_seed=7)
         campaign = Campaign(spec, capture_level=level, trace=trace,
-                            trace_dir=trace_dir)
+                            trace_dir=trace_dir, jobs=jobs,
+                            cache=cache, chunk=chunk, dispatch=dispatch)
         results = campaign.run()
     finally:
         Link.use_fast_scheduling = original
@@ -64,6 +69,40 @@ def test_legacy_scheduling_with_full_capture(reference_csvs):
     """The fully-legacy configuration (what the pre-overhaul code
     effectively ran) still reproduces today's bytes."""
     assert _campaign_csvs(fast=False, level="full") == reference_csvs
+
+
+def test_cache_cold_warm_and_off_agree_byte_for_byte(reference_csvs,
+                                                     tmp_path):
+    """The run cache's three states — off (the reference), cold
+    (computing and storing) and warm (serving every cell from disk) —
+    must all yield the same campaign bytes."""
+    root = tmp_path / "cache"
+    cold = _campaign_csvs(cache=str(root))
+    assert cold == reference_csvs
+    warm_cache = RunCache(root)
+    warm = _campaign_csvs(cache=warm_cache)
+    assert warm_cache.hits == 2, "warm pass must serve every cell"
+    warm_cache.close()
+    assert warm == reference_csvs
+
+
+def test_chunked_submission_matches(reference_csvs):
+    assert _campaign_csvs(jobs=2, chunk=2) == reference_csvs
+
+
+@pytest.mark.parametrize("dispatch", ["ljf", "plan"])
+def test_dispatch_order_matches(reference_csvs, dispatch):
+    assert _campaign_csvs(jobs=2, dispatch=dispatch) == reference_csvs
+
+
+def test_cached_chunked_ljf_combined(reference_csvs, tmp_path):
+    """The full production configuration — cache + chunking + LJF
+    under worker processes — against the plain serial reference."""
+    root = tmp_path / "cache"
+    assert _campaign_csvs(jobs=2, cache=str(root), chunk=2,
+                          dispatch="ljf") == reference_csvs
+    assert _campaign_csvs(jobs=2, cache=str(root), chunk=2,
+                          dispatch="ljf") == reference_csvs
 
 
 @pytest.mark.parametrize("trace", ["ring", "jsonl"])

@@ -1,0 +1,254 @@
+"""Cost-aware dispatch: the cost model, LJF ordering, chunking, the
+bounded in-flight submission window, and affinity-aware job counts."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cache import CostModel, build_tasks, chunk_positions, \
+    order_longest_first
+from repro.cache.cost import SETUP_COST_S, TINY_COST_S
+from repro.experiments import parallel as parallel_module
+from repro.experiments.config import FlowSpec
+from repro.experiments.parallel import default_jobs, execute_plan
+from repro.experiments.runner import Campaign, CampaignSpec, \
+    RunDescriptor
+from repro.experiments.storage import result_to_dict
+from repro.obs.telemetry import RunLog, run_log_wall_times
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _descriptor(index, spec, size, seed=1):
+    return RunDescriptor(index=index, spec=spec, size=size, seed=seed,
+                         period=TimeOfDay.NIGHT)
+
+
+def full_dicts(results):
+    return [result_to_dict(result, max_samples=None) for result in results]
+
+
+# ----------------------------------------------------------------------
+# default_jobs affinity
+# ----------------------------------------------------------------------
+
+def test_default_jobs_respects_cpu_affinity(monkeypatch):
+    monkeypatch.setattr(parallel_module.os, "sched_getaffinity",
+                        lambda pid: {0, 1, 2}, raising=False)
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+    assert default_jobs() == 3
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    monkeypatch.delattr(parallel_module.os, "sched_getaffinity",
+                        raising=False)
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 5)
+    assert default_jobs() == 5
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+def test_heuristic_ranks_by_size_and_config():
+    model = CostModel()
+    wifi = FlowSpec.single_path("wifi")
+    mp2 = FlowSpec.mptcp(carrier="att")
+    mp4 = FlowSpec.mptcp(carrier="att", paths=4)
+    small_sp = model.estimate(_descriptor(0, wifi, 64 * KB))
+    big_sp = model.estimate(_descriptor(1, wifi, 16 * MB))
+    big_mp2 = model.estimate(_descriptor(2, mp2, 16 * MB))
+    big_mp4 = model.estimate(_descriptor(3, mp4, 16 * MB))
+    assert small_sp < big_sp < big_mp2 < big_mp4
+
+
+def test_observations_override_the_heuristic():
+    model = CostModel()
+    wifi = FlowSpec.single_path("wifi")
+    descriptor = _descriptor(0, wifi, 2 * MB)
+    model.observe(descriptor, 3.0)
+    model.observe(descriptor, 5.0)
+    assert model.estimate(descriptor) == pytest.approx(4.0)
+    assert model.calibrated == 1
+
+
+def test_same_identity_scales_to_other_sizes():
+    model = CostModel()
+    wifi = FlowSpec.single_path("wifi")
+    model.observe(_descriptor(0, wifi, 2 * MB), SETUP_COST_S + 2.0)
+    scaled = model.estimate(_descriptor(1, wifi, 4 * MB))
+    assert scaled == pytest.approx(SETUP_COST_S + 4.0)
+
+
+def test_descriptor_without_spec_gets_default_cost():
+    class Bare:
+        key = "bare"
+
+        def run(self):
+            raise NotImplementedError
+
+    assert CostModel().estimate(Bare()) == SETUP_COST_S
+
+
+def test_calibration_from_run_log(tmp_path):
+    path = tmp_path / "run_log.jsonl"
+    wifi = FlowSpec.single_path("wifi")
+    with RunLog(path) as log:
+        log.log("start", key="x", spec=wifi.identity, size=2 * MB)
+        log.log("finish", key="x", spec=wifi.identity, size=2 * MB,
+                duration_s=7.5)
+        log.log("finish", key="y", spec=wifi.identity, size=2 * MB,
+                duration_s=8.5)
+        log.log("fail", key="z", spec=wifi.identity, size=2 * MB,
+                duration_s=99.0)
+    times = run_log_wall_times(path)
+    assert times == {(wifi.identity, 2 * MB): [7.5, 8.5]}
+    model = CostModel.from_run_log(path)
+    assert model.estimate(_descriptor(0, wifi, 2 * MB)) == \
+        pytest.approx(8.0)
+
+
+def test_wall_times_parse_size_from_old_log_keys(tmp_path):
+    path = tmp_path / "run_log.jsonl"
+    with RunLog(path) as log:
+        log.log("finish", key="mode=sp;x=1|65536|9|night",
+                spec="mode=sp;x=1", duration_s=1.5)
+    assert run_log_wall_times(path) == {("mode=sp;x=1", 65536): [1.5]}
+
+
+# ----------------------------------------------------------------------
+# Ordering and chunking
+# ----------------------------------------------------------------------
+
+def _mixed_plan():
+    wifi = FlowSpec.single_path("wifi")
+    mp2 = FlowSpec.mptcp(carrier="att")
+    return [
+        _descriptor(0, wifi, 8 * KB),
+        _descriptor(1, mp2, 16 * MB),
+        _descriptor(2, wifi, 8 * KB),
+        _descriptor(3, wifi, 16 * MB),
+        _descriptor(4, mp2, 8 * KB),
+        _descriptor(5, wifi, 8 * KB),
+    ]
+
+
+def test_ljf_puts_expensive_cells_first():
+    plan = _mixed_plan()
+    order = order_longest_first(range(len(plan)), plan, CostModel())
+    assert order[:2] == [1, 3], "16 MB cells lead, MPTCP before SP"
+    assert order[2] == 4, "MPTCP 8 KB outranks SP 8 KB"
+    assert order[3:] == [0, 2, 5], "ties keep plan order"
+
+
+def test_chunking_batches_tiny_cells_only():
+    plan = _mixed_plan()
+    model = CostModel()
+    order = order_longest_first(range(len(plan)), plan, model)
+    tasks = chunk_positions(order, plan, model, chunk=2)
+    assert tasks == [[1], [3], [4, 0], [2, 5]], \
+        "expensive cells travel alone; tiny cells pack in pairs"
+    assert chunk_positions(order, plan, model, chunk=1) == \
+        [[position] for position in order]
+
+
+def test_chunking_respects_tiny_threshold():
+    plan = _mixed_plan()
+    model = CostModel()
+    for descriptor in plan:
+        model.observe(descriptor, TINY_COST_S * 2)  # nothing is tiny
+    tasks = chunk_positions(range(len(plan)), plan, model, chunk=4)
+    assert all(len(task) == 1 for task in tasks)
+
+
+def test_build_tasks_caps_chunk_to_keep_workers_busy():
+    wifi = FlowSpec.single_path("wifi")
+    plan = [_descriptor(index, wifi, 8 * KB) for index in range(8)]
+    tasks = build_tasks(range(8), plan, CostModel(), "ljf",
+                        chunk=64, workers=4)
+    assert len(tasks) >= 4, "batching must never starve the pool"
+    with pytest.raises(ValueError, match="dispatch"):
+        build_tasks(range(8), plan, CostModel(), "sjf", 1, 4)
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism of the new dispatch paths
+# ----------------------------------------------------------------------
+
+def small_campaign(base_seed=7):
+    return CampaignSpec(
+        name="dispatch",
+        specs=(FlowSpec.single_path("wifi"), FlowSpec.mptcp(carrier="att")),
+        sizes=(8 * KB, 32 * KB), repetitions=1,
+        periods=(TimeOfDay.NIGHT,), base_seed=base_seed)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(jobs=2, dispatch="plan"),
+    dict(jobs=2, dispatch="ljf"),
+    dict(jobs=2, dispatch="ljf", chunk=3),
+    dict(jobs=2, window=1),
+])
+def test_dispatch_paths_equal_serial(kwargs):
+    spec = small_campaign()
+    serial = Campaign(spec, jobs=1).run()
+    assert full_dicts(Campaign(spec, **kwargs).run()) == \
+        full_dicts(serial)
+
+
+# ----------------------------------------------------------------------
+# Bounded in-flight window
+# ----------------------------------------------------------------------
+
+class _TrackingPool(ThreadPoolExecutor):
+    """A pool that records the peak number of in-flight futures."""
+
+    peak = 0
+
+    def __init__(self, max_workers=None, **kwargs):
+        super().__init__(max_workers=max_workers)
+        self._lock = threading.Lock()
+        self._outstanding = 0
+
+    def submit(self, fn, *args, **kwargs):
+        with self._lock:
+            self._outstanding += 1
+            _TrackingPool.peak = max(_TrackingPool.peak,
+                                     self._outstanding)
+        future = super().submit(fn, *args, **kwargs)
+
+        def note_done(_):
+            with self._lock:
+                self._outstanding -= 1
+
+        future.add_done_callback(note_done)
+        return future
+
+
+def test_inflight_futures_never_exceed_jobs_times_window(monkeypatch):
+    """Satellite: submission is streamed — the whole plan is never
+    materialized as futures upfront."""
+    wifi = FlowSpec.single_path("wifi")
+    plan = [_descriptor(index, wifi, 8 * KB, seed=index)
+            for index in range(12)]
+    monkeypatch.setattr(parallel_module, "_pool_factory", _TrackingPool)
+    _TrackingPool.peak = 0
+    jobs, window = 2, 2
+    serial = [descriptor.run() for descriptor in plan]
+    windowed = execute_plan(plan, jobs=jobs, window=window)
+    assert 0 < _TrackingPool.peak <= jobs * window
+    assert full_dicts(windowed) == full_dicts(serial)
+
+
+def test_window_of_one_still_completes(monkeypatch):
+    wifi = FlowSpec.single_path("wifi")
+    plan = [_descriptor(index, wifi, 8 * KB, seed=index)
+            for index in range(5)]
+    monkeypatch.setattr(parallel_module, "_pool_factory", _TrackingPool)
+    _TrackingPool.peak = 0
+    results = execute_plan(plan, jobs=3, window=1)
+    assert _TrackingPool.peak <= 3
+    assert len(results) == 5 and all(r is not None for r in results)
