@@ -110,6 +110,9 @@ def _artifacts() -> Dict[str, Artifact]:
         Artifact("tab6", "Table 6: MPTCP RTT and OFO delay",
                  s.latency_campaign,
                  {"rtt and ofo": s.mptcp_rtt_ofo_rows}),
+        Artifact("sched", "Scheduler lab: policy regret vs oracle",
+                 s.scheduler_lab_campaign,
+                 {"scheduler regret": s.scheduler_regret_rows}),
     ]
     return {artifact.name: artifact for artifact in artifacts}
 

@@ -56,6 +56,10 @@ class MptcpConfig:
 
     controller: str = "coupled"
     scheduler: str = "minrtt"
+    #: Path-manager strategy spec (see
+    #: :func:`repro.core.path_manager.make_path_manager`): ``fullmesh``
+    #: (the Linux default), ``primary-backup``, or ``ndiffports[:ports=N]``.
+    path_manager: str = "fullmesh"
     rcv_buffer: int = 8 * 1024 * 1024
     penalization: bool = False
     simultaneous_syn: bool = False
@@ -83,6 +87,13 @@ class MptcpConnection:
         self.config = config
         self.token = token
         self.name = name
+        self.controller = make_controller(config.controller)
+        self.scheduler = make_scheduler(config.scheduler)
+        if self.scheduler.needs_path_metrics:
+            # Metric-driven schedulers feed off the trace bus; install
+            # the aggregating tap before anything caches ``sim.trace``.
+            from repro.obs.pathmetrics import ensure_path_metrics
+            ensure_path_metrics(sim)
         # Trace bus, cached at construction (hot-path probe sites);
         # install a real bus on the simulator before building
         # connections.
@@ -90,8 +101,6 @@ class MptcpConnection:
         #: Addresses this (server) side may advertise via ADD_ADDR.
         self.server_addrs = list(server_addrs or [])
 
-        self.controller = make_controller(config.controller)
-        self.scheduler = make_scheduler(config.scheduler)
         self.subflows: List[Subflow] = []
         self.path_manager = None  # set by client-side factory
 
@@ -105,12 +114,16 @@ class MptcpConnection:
         self._close_requested = False
         self._send_complete_handled = False
         #: Un-DATA_ACKed DSN ranges in flight per subflow:
-        #: id(subflow) -> list of [dsn_start, dsn_end, reinjected].
+        #: subflow.index -> list of [dsn_start, dsn_end, reinjected].
+        #: Keyed by the persistent index, never ``id()`` -- ids are
+        #: recycled by the allocator, so an id key can silently alias a
+        #: dead subflow's state onto a later one.
         self._outstanding: Dict[int, List[List]] = {}
         #: DSN ranges reclaimed from a timed-out/failed subflow,
-        #: awaiting retransmission on a healthy one.
+        #: awaiting retransmission on a healthy one:
+        #: [start, end, origin_subflow_index].
         self._reinjection_queue: List[List[int]] = []
-        #: Redundant-scheduler copies: [start, end, target_subflow_id].
+        #: Redundant-scheduler copies: [start, end, target_subflow_index].
         self._duplication_queue: List[List[int]] = []
 
         # Receive-side state.
@@ -132,7 +145,7 @@ class MptcpConnection:
         #: The one subflow that carries the connection after fallback.
         self._fallback_subflow: Optional[Subflow] = None
 
-        # Penalization bookkeeping (per subflow id -> last penalty time).
+        # Penalization bookkeeping (subflow.index -> last penalty time).
         self._last_penalty: Dict[int, float] = {}
 
         # Application callbacks.
@@ -141,6 +154,11 @@ class MptcpConnection:
         self.on_close: Optional[Callable[[], None]] = None
 
         self.established_at: Optional[float] = None
+
+        # Stateful schedulers bind to their connection (and, for
+        # metric-driven ones, to the path-metrics tap) last, once the
+        # trace plumbing above is settled.
+        self.scheduler.attach(self)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -156,11 +174,11 @@ class MptcpConnection:
         testbed); the remaining addresses join once permitted by the
         subflow-establishment policy.
         """
-        from repro.core.path_manager import PathManager  # cycle guard
+        from repro.core.path_manager import make_path_manager  # cycle guard
         connection = cls(sim, host, "client", remote_port, config,
                          token=next(_tokens), name=name)
-        connection.path_manager = PathManager(
-            connection, local_addrs, remote_addr,
+        connection.path_manager = make_path_manager(
+            config.path_manager, connection, local_addrs, remote_addr,
             simultaneous_syn=config.simultaneous_syn,
             max_subflows=config.max_subflows)
         return connection
@@ -172,7 +190,8 @@ class MptcpConnection:
         assert self.path_manager is not None
         self.path_manager.start()
 
-    def open_subflow(self, local_addr: str, remote_addr: str) -> Subflow:
+    def open_subflow(self, local_addr: str, remote_addr: str,
+                     backup: Optional[bool] = None) -> Subflow:
         """Create and actively open one subflow (client side).
 
         A subflow carries MP_CAPABLE (initial) rather than MP_JOIN as
@@ -182,6 +201,11 @@ class MptcpConnection:
         reopened subflow to a join: if the first SYN died (interface
         outage during the handshake), a join would sit in the server's
         pending queue forever and the connection would never establish.
+
+        ``backup`` overrides the config's ``backup_paths`` rule (used
+        by the primary-backup path manager, which opens *every* join in
+        backup mode regardless of path name); ``None`` keeps the
+        default behaviour.  The initial subflow is never backup.
         """
         live_initial = any(
             subflow.is_initial and subflow.endpoint is not None
@@ -189,9 +213,10 @@ class MptcpConnection:
             for subflow in self.subflows)
         is_initial = self.established_at is None and not live_initial
         path_name = path_name_of(local_addr)
+        if backup is None:
+            backup = path_name in self.config.backup_paths
         subflow = Subflow(self, path_name, is_initial,
-                          backup=(not is_initial
-                                  and path_name in self.config.backup_paths))
+                          backup=(not is_initial and backup))
         endpoint = TcpEndpoint(
             self.sim, self.host, local_addr, self.host.ephemeral_port(),
             remote_addr, self.remote_port, self.config.tcp,
@@ -293,6 +318,9 @@ class MptcpConnection:
         self.fallback_reason = reason
         self.fallback_at = self.sim.now
         self._fallback_subflow = survivor
+        # Single-path from here on: pending redundant copies for the
+        # deregistered siblings are unservable.
+        self._duplication_queue.clear()
         if self._trace.enabled:
             self._trace.emit(
                 self.sim.now, "mptcp.fallback",
@@ -422,6 +450,7 @@ class MptcpConnection:
                                  path=subflow.path_name,
                                  dsn=reinjection[0], length=reinjection[1],
                                  reason="reinjection")
+            self.scheduler.on_allocated(subflow, reinjection[1])
             return reinjection
         duplication = self._serve_duplication(subflow, max_bytes)
         if duplication is not None:
@@ -431,6 +460,7 @@ class MptcpConnection:
                                  path=subflow.path_name,
                                  dsn=duplication[0], length=duplication[1],
                                  reason="duplicate")
+            self.scheduler.on_allocated(subflow, duplication[1])
             return duplication
         if self.next_dsn >= self.total_queued:
             return None
@@ -445,12 +475,16 @@ class MptcpConnection:
                                  window_limit=window_limit)
             self._maybe_penalize()
             return None
-        if not self.scheduler.admits(self.subflows, subflow):
+        if not self.scheduler.admits(self.subflows, subflow,
+                                     window_limit - self.next_dsn):
             # A preferred (strictly faster) subflow still has window
             # budget: give it the data first; this subflow will be
             # offered the remainder on the next push or ACK event.
             # Pumping only strictly-faster subflows keeps the recursion
-            # well-founded (each hop decreases SRTT).
+            # well-founded (each hop decreases SRTT).  Backups this
+            # very method would refuse (a regular path is operational)
+            # are skipped: pumping them goes nowhere, and counting them
+            # preferred would stall the only eligible regular path.
             if self._trace.enabled:
                 self._trace.emit(self.sim.now, "sched.refuse",
                                  subflow=subflow.index,
@@ -460,7 +494,10 @@ class MptcpConnection:
             for preferred in self.scheduler.order(self.subflows):
                 if (preferred is not subflow
                         and preferred.srtt() < subflow.srtt()
-                        and preferred.can_send()):
+                        and preferred.can_send()
+                        and not (preferred.backup
+                                 and self._regular_path_available(
+                                     preferred))):
                     preferred.pump()
             return None
         length = min(max_bytes, self.total_queued - self.next_dsn,
@@ -469,13 +506,14 @@ class MptcpConnection:
         self.next_dsn += length
         self.bytes_allocated[subflow.path_name] = (
             self.bytes_allocated.get(subflow.path_name, 0) + length)
-        self._outstanding.setdefault(id(subflow), []).append(
+        self._outstanding.setdefault(subflow.index, []).append(
             [dsn, dsn + length, False])
         if self._trace.enabled:
             self._trace.emit(self.sim.now, "sched.select",
                              subflow=subflow.index, path=subflow.path_name,
                              dsn=dsn, length=length, reason="fresh",
                              candidates=self._trace_candidates())
+        self.scheduler.on_allocated(subflow, length)
         if self.scheduler.duplicates:
             self._queue_duplicates(subflow, dsn, dsn + length)
         return dsn, length
@@ -495,7 +533,7 @@ class MptcpConnection:
         for other in self.subflows:
             if other is origin or not other.established:
                 continue
-            self._duplication_queue.append([start, end, id(other)])
+            self._duplication_queue.append([start, end, other.index])
             queued = True
         if queued:
             self.push()
@@ -510,7 +548,7 @@ class MptcpConnection:
             if start >= entry[1]:
                 self._duplication_queue.pop(index)  # already delivered
                 continue
-            if entry[2] != id(subflow):
+            if entry[2] != subflow.index:
                 index += 1
                 continue
             length = min(max_bytes, entry[1] - start)
@@ -533,7 +571,7 @@ class MptcpConnection:
             if start >= entry[1]:
                 self._reinjection_queue.pop(index)  # already acked
                 continue
-            if entry[2] == id(subflow):
+            if entry[2] == subflow.index:
                 index += 1  # never back onto the path that timed out
                 continue
             length = min(max_bytes, entry[1] - start)
@@ -543,7 +581,7 @@ class MptcpConnection:
                 entry[0] = start + length
             self.bytes_reinjected[subflow.path_name] = (
                 self.bytes_reinjected.get(subflow.path_name, 0) + length)
-            self._outstanding.setdefault(id(subflow), []).append(
+            self._outstanding.setdefault(subflow.index, []).append(
                 [start, start + length, True])
             return start, length
         return None
@@ -555,7 +593,7 @@ class MptcpConnection:
 
         ``force`` queues even with no healthy sibling (used when the
         subflow is dead for good, so its own RTO cannot carry on)."""
-        ranges = self._outstanding.get(id(subflow), [])
+        ranges = self._outstanding.get(subflow.index, [])
         healthy = [other for other in self.established_subflows()
                    if other is not subflow]
         if not healthy and not force:
@@ -565,7 +603,7 @@ class MptcpConnection:
             if start >= entry[1] or entry[2]:
                 continue
             entry[2] = True
-            self._reinjection_queue.append([start, entry[1], id(subflow)])
+            self._reinjection_queue.append([start, entry[1], subflow.index])
             if self._trace.enabled:
                 self._trace.emit(self.sim.now, "mptcp.reinject",
                                  subflow=subflow.index,
@@ -765,6 +803,13 @@ class MptcpConnection:
     def on_subflow_failed(self, subflow: Subflow) -> None:
         """A subflow gave up entirely: reclaim and stop scheduling it."""
         self._reclaim_outstanding(subflow)
+        # Redundant copies aimed at the dead subflow can never be
+        # served; left queued they keep ``has_pending_data`` true
+        # forever (and, pre-index-keying, could mis-target a later
+        # subflow reusing the id).
+        self._duplication_queue = [
+            entry for entry in self._duplication_queue
+            if entry[2] != subflow.index]
         if (self.role == "client" and self.path_manager is not None):
             self.path_manager.on_subflow_failed(subflow)
         # Tell the peer on the surviving subflows (dead-address option
@@ -818,10 +863,10 @@ class MptcpConnection:
         slowest = max(candidates, key=lambda subflow: subflow.srtt())
         endpoint = slowest.endpoint
         assert endpoint is not None
-        last = self._last_penalty.get(id(slowest), -1.0)
+        last = self._last_penalty.get(slowest.index, -1.0)
         if self.sim.now - last < slowest.srtt():
             return  # at most once per RTT
-        self._last_penalty[id(slowest)] = self.sim.now
+        self._last_penalty[slowest.index] = self.sim.now
         endpoint.ssthresh = max(endpoint.cwnd / 2.0, 2.0 * endpoint.mss)
         endpoint.cwnd = endpoint.ssthresh
 

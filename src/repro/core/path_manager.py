@@ -12,18 +12,47 @@ Section 4.1.2 evaluates a modification: *simultaneous SYNs*, where the
 client, knowing a priori that the server is MPTCP-capable and holding
 a pre-authorized key, fires the JOIN SYNs at connect time instead of
 waiting one default-path RTT.  ``simultaneous_syn=True`` enables it.
+
+Like the scheduler, the establishment policy is a pluggable strategy
+(:func:`make_path_manager`), mirroring the path managers Linux MPTCP
+ships:
+
+=================  ===================================================
+``fullmesh``       The default above: every local x remote pair.
+``primary-backup`` Same pair coverage, but every join is opened in
+                   backup mode -- the extra paths are established and
+                   kept warm yet only carry data once the primary
+                   fails (Paasch et al.'s handover configuration,
+                   without having to enumerate path names in
+                   ``backup_paths``).
+``ndiffports``     N parallel subflows over the *single* default
+                   address pair, distinguished only by source port
+                   (``ndiffports:ports=2``) -- the ECMP-exploiting
+                   manager from the datacenter MPTCP work; ADD_ADDR
+                   advertisements are ignored.
+=================  ===================================================
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, Type, TYPE_CHECKING
+
+from repro.core.scheduler import parse_strategy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.connection import MptcpConnection
 
 
 class PathManager:
-    """Decides which (local, remote) address pairs become subflows."""
+    """Decides which (local, remote) address pairs become subflows.
+
+    This base class *is* the full-mesh strategy; subclasses adjust
+    which pairs open (:meth:`start` / :meth:`on_add_addr` /
+    :meth:`on_initial_established`) or how
+    (:meth:`_open_subflow`).
+    """
+
+    name = "fullmesh"
 
     def __init__(self, connection: "MptcpConnection",
                  local_addrs: List[str], remote_addr: str,
@@ -37,7 +66,10 @@ class PathManager:
         self.simultaneous_syn = simultaneous_syn
         self.max_subflows = max_subflows
         self._known_remotes: List[str] = [remote_addr]
-        self._pairs_opened: Set[Tuple[str, str]] = set()
+        #: Keys of the open attempts made so far.  A key is normally
+        #: the (local, remote) pair; ndiffports appends a port ordinal
+        #: so several subflows may share one address pair.
+        self._pairs_opened: Set[tuple] = set()
         self._subflow_by_pair: dict = {}
         #: Local addresses the OS currently reports as down; advertised
         #: to the peer (MP_FAIL-style) so it stops using them at once.
@@ -63,18 +95,24 @@ class PathManager:
             for local in self.local_addrs:
                 self._open(local, remote)
 
-    def _open(self, local: str, remote: str) -> None:
+    def _open_subflow(self, local: str, remote: str):
+        """Actually open one subflow; strategies override the *how*."""
+        return self.connection.open_subflow(local, remote)
+
+    def _open(self, local: str, remote: str,
+              key: Optional[tuple] = None) -> None:
         if getattr(self.connection, "is_fallback", False):
             return  # no new subflows after fallback (RFC 6824 S3.6)
-        pair = (local, remote)
-        if pair in self._pairs_opened:
+        if key is None:
+            key = (local, remote)
+        if key in self._pairs_opened:
             return
         if (self.max_subflows is not None
                 and len(self._pairs_opened) >= self.max_subflows):
             return
-        self._pairs_opened.add(pair)
-        subflow = self.connection.open_subflow(local, remote)
-        self._subflow_by_pair[pair] = subflow
+        self._pairs_opened.add(key)
+        subflow = self._open_subflow(local, remote)
+        self._subflow_by_pair[key] = subflow
         sim = getattr(self.connection, "sim", None)  # None in test fakes
         if sim is not None and sim.trace.enabled:
             sim.trace.emit(sim.now, "path.open",
@@ -107,33 +145,145 @@ class PathManager:
                 self.connection.kill_subflow(subflow)
         self.connection.push()  # surviving subflows carry the signal
 
+    def _reclaim_if_dead(self, key: tuple) -> None:
+        """Forget a key whose subflow died (failed outright, or gave up
+        mid-handshake: SYN retries exhausted leave the endpoint
+        "closed" without ever having established) so it can reopen."""
+        existing = self._subflow_by_pair.get(key)
+        if existing is not None and existing.endpoint is not None:
+            endpoint = existing.endpoint
+            dead = (endpoint.state == "failed"
+                    or (endpoint.state == "closed"
+                        and endpoint.stats.established_at is None))
+            if dead:
+                self._pairs_opened.discard(key)
+                del self._subflow_by_pair[key]
+
     def on_interface_up(self, local: str) -> None:
         """An interface recovered (e.g. WiFi re-associated): reopen its
         subflows toward every known server address.
 
         A pair is reclaimed when its subflow failed outright, and also
-        when its endpoint silently gave up mid-handshake (SYN retries
-        exhausted leave the endpoint "closed" without ever having
-        established) — otherwise the dead pair blocks reopening and an
-        unestablished connection can never recover.
+        when its endpoint silently gave up mid-handshake — otherwise
+        the dead pair blocks reopening and an unestablished connection
+        can never recover.
         """
         self.down_locals.discard(local)
         sim = getattr(self.connection, "sim", None)  # None in test fakes
         if sim is not None and sim.trace.enabled:
             sim.trace.emit(sim.now, "path.up", local=local)
         for remote in self._known_remotes:
-            pair = (local, remote)
-            existing = self._subflow_by_pair.get(pair)
-            if existing is not None and existing.endpoint is not None:
-                endpoint = existing.endpoint
-                dead = (endpoint.state == "failed"
-                        or (endpoint.state == "closed"
-                            and endpoint.stats.established_at is None))
-                if dead:
-                    self._pairs_opened.discard(pair)
-                    del self._subflow_by_pair[pair]
+            self._reclaim_if_dead((local, remote))
             self._open(local, remote)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<PathManager {len(self._pairs_opened)} pairs, "
+        return (f"<{type(self).__name__} {len(self._pairs_opened)} pairs, "
                 f"simultaneous={self.simultaneous_syn}>")
+
+
+class PrimaryBackupPathManager(PathManager):
+    """Full-mesh pair coverage with every join in backup mode.
+
+    The joins complete their handshakes (so failover needs no new
+    three-way handshake) but advertise the B-bit, and the connection's
+    allocator keeps them idle while any regular subflow is
+    operational.
+    """
+
+    name = "primary-backup"
+
+    def _open_subflow(self, local: str, remote: str):
+        return self.connection.open_subflow(local, remote, backup=True)
+
+
+class NDiffPortsPathManager(PathManager):
+    """N subflows over the default address pair, split by source port.
+
+    Exploits ECMP-style load balancing rather than genuine multi-homing
+    (the datacenter path manager); extra local interfaces and ADD_ADDR
+    advertisements are deliberately ignored.  Each open draws a fresh
+    ephemeral source port, which is what distinguishes the subflows.
+    """
+
+    name = "ndiffports"
+
+    def __init__(self, connection: "MptcpConnection",
+                 local_addrs: List[str], remote_addr: str,
+                 simultaneous_syn: bool = False,
+                 max_subflows: Optional[int] = None,
+                 ports: int = 2) -> None:
+        super().__init__(connection, local_addrs, remote_addr,
+                         simultaneous_syn=simultaneous_syn,
+                         max_subflows=max_subflows)
+        if ports < 1:
+            raise ValueError("ndiffports needs at least one port")
+        self.ports = int(ports)
+
+    def _key(self, ordinal: int) -> tuple:
+        return (self.local_addrs[0], self.primary_remote, ordinal)
+
+    def start(self) -> None:
+        self._open(self.local_addrs[0], self.primary_remote,
+                   key=self._key(0))
+        if self.simultaneous_syn:
+            self._open_extra_ports()
+
+    def on_initial_established(self) -> None:
+        self._open_extra_ports()
+
+    def _open_extra_ports(self) -> None:
+        for ordinal in range(1, self.ports):
+            self._open(self.local_addrs[0], self.primary_remote,
+                       key=self._key(ordinal))
+
+    def on_add_addr(self, addrs: tuple) -> None:
+        """Single address pair by design: advertisements are ignored."""
+
+    def on_interface_up(self, local: str) -> None:
+        self.down_locals.discard(local)
+        sim = getattr(self.connection, "sim", None)  # None in test fakes
+        if sim is not None and sim.trace.enabled:
+            sim.trace.emit(sim.now, "path.up", local=local)
+        if local != self.local_addrs[0]:
+            return
+        for ordinal in range(self.ports):
+            self._reclaim_if_dead(self._key(ordinal))
+            self._open(local, self.primary_remote, key=self._key(ordinal))
+
+
+_PATH_MANAGERS: Dict[str, Type[PathManager]] = {
+    cls.name: cls for cls in (PathManager, PrimaryBackupPathManager,
+                              NDiffPortsPathManager)}
+
+
+def path_manager_names() -> List[str]:
+    """The registered path-manager strategy names, sorted."""
+    return sorted(_PATH_MANAGERS)
+
+
+def make_path_manager(spec: str, connection: "MptcpConnection",
+                      local_addrs: List[str], remote_addr: str,
+                      simultaneous_syn: bool = False,
+                      max_subflows: Optional[int] = None) -> PathManager:
+    """Build a path manager from a strategy spec.
+
+    Specs use the scheduler syntax: ``fullmesh`` (the default),
+    ``primary-backup``, or ``ndiffports:ports=3``.
+    """
+    name, params = parse_strategy(spec)
+    cls = _PATH_MANAGERS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown path manager {name!r}; expected one of "
+            f"{path_manager_names()}")
+    kwargs = {}
+    if cls is NDiffPortsPathManager:
+        if "ports" in params:
+            kwargs["ports"] = int(params.pop("ports"))
+    if params:
+        raise ValueError(
+            f"bad path-manager spec {spec!r}: unknown parameters "
+            f"{sorted(params)}")
+    return cls(connection, local_addrs, remote_addr,
+               simultaneous_syn=simultaneous_syn,
+               max_subflows=max_subflows, **kwargs)

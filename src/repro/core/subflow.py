@@ -60,6 +60,10 @@ class Subflow:
         return (self.established
                 and self.endpoint.flight_bytes < int(self.endpoint.cwnd))
 
+    def cwnd_bytes(self) -> int:
+        """Current congestion window in bytes (0 when unbound)."""
+        return 0 if self.endpoint is None else int(self.endpoint.cwnd)
+
     def pump(self) -> None:
         """Give the subflow a chance to transmit (scheduler push)."""
         if self.endpoint is not None:

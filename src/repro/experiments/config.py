@@ -28,7 +28,14 @@ class FlowSpec:
     controller: str = "coupled"    # reno | coupled | olia
     paths: int = 2                 # mp only: 2 or 4
     simultaneous_syn: bool = False
-    scheduler: str = "minrtt"      # minrtt | roundrobin
+    #: Scheduler strategy spec (see
+    #: :func:`repro.core.scheduler.make_scheduler`): a registry name
+    #: such as ``minrtt`` / ``roundrobin`` / ``redundant`` / ``blest``
+    #: / ``qoe``, optionally parameterized (``weighted:wifi=2,att=1``).
+    scheduler: str = "minrtt"
+    #: Path-manager strategy spec (mp only): ``fullmesh`` (default),
+    #: ``primary-backup``, or ``ndiffports[:ports=N]``.
+    path_manager: str = "fullmesh"
     penalization: bool = False
     ssthresh: int = 64 * 1024
     rcv_buffer: int = 8 * 1024 * 1024
@@ -38,6 +45,15 @@ class FlowSpec:
     middlebox: str = "none"
     middlebox_path: str = "wifi"   # wifi | cell | server
     middlebox_prob: float = 1.0
+    #: Application workload driving the flow: ``bulk`` (HTTP download,
+    #: the paper's measurement), ``pageload`` (app.web page fetch),
+    #: ``video`` (periodic streaming blocks), ``realtime`` (fixed-rate
+    #: frames, latency-sensitive).
+    workload: str = "bulk"
+    #: Access-network pair: ``default`` (the paper's WiFi + carrier
+    #: testbed) or a name from
+    #: :data:`repro.wireless.profiles.PATH_PAIRS` (e.g. ``dual-lte``).
+    path_pair: str = "default"
 
     def __post_init__(self) -> None:
         if self.mode not in ("sp", "mp"):
@@ -57,6 +73,27 @@ class FlowSpec:
                 f"bad middlebox path {self.middlebox_path!r}")
         if not 0.0 <= self.middlebox_prob <= 1.0:
             raise ValueError("middlebox_prob must be within [0, 1]")
+        if self.workload not in ("bulk", "pageload", "video", "realtime"):
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.workload != "bulk" and self.mode != "mp":
+            raise ValueError(
+                "non-bulk workloads are multipath measurements; "
+                "use mode='mp'")
+        from repro.core.path_manager import path_manager_names
+        from repro.core.scheduler import parse_strategy, scheduler_names
+        if parse_strategy(self.scheduler)[0] not in scheduler_names():
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; "
+                             f"known: {', '.join(scheduler_names())}")
+        if parse_strategy(self.path_manager)[0] not in path_manager_names():
+            raise ValueError(
+                f"unknown path manager {self.path_manager!r}; "
+                f"known: {', '.join(path_manager_names())}")
+        if self.path_pair != "default":
+            from repro.wireless.profiles import PATH_PAIRS
+            if self.path_pair not in PATH_PAIRS:
+                raise ValueError(
+                    f"unknown path pair {self.path_pair!r}; known: "
+                    f"default, {', '.join(sorted(PATH_PAIRS))}")
 
     # ------------------------------------------------------------------
     # Constructors matching the paper's vocabulary
@@ -114,11 +151,20 @@ class FlowSpec:
         configured: every pre-existing spec must keep the identity (and
         hence the derived per-run seeds and journal keys) it had before
         middleboxes existed, or committed campaign outputs would shift.
+        The scheduler-lab fields (``path_manager``, ``workload``,
+        ``path_pair``) are gated the same way: defaulted values stay
+        out of the identity string.
         """
         values = asdict(self)
         if values["middlebox"] == "none":
             for name in ("middlebox", "middlebox_path", "middlebox_prob"):
                 del values[name]
+        if values["path_manager"] == "fullmesh":
+            del values["path_manager"]
+        if values["workload"] == "bulk":
+            del values["workload"]
+        if values["path_pair"] == "default":
+            del values["path_pair"]
         return ";".join(f"{name}={values[name]}" for name in sorted(values))
 
     @property
@@ -155,6 +201,7 @@ class FlowSpec:
         return MptcpConfig(
             controller=self.controller,
             scheduler=self.scheduler,
+            path_manager=self.path_manager,
             rcv_buffer=self.rcv_buffer,
             penalization=self.penalization,
             simultaneous_syn=self.simultaneous_syn,

@@ -117,12 +117,13 @@ class Measurement:
                 else NULL_INSTRUMENTATION)
         spec = self.spec
         with inst.phase("setup"):
+            wifi_profile, cell_profile = self._path_pair_profiles()
             testbed = Testbed(TestbedConfig(
                 carrier=spec.carrier, wifi=spec.wifi,
                 server_interfaces=spec.server_interfaces,
                 period=self.period, seed=self.seed,
-                wifi_profile=self.wifi_profile,
-                cell_profile=self.cell_profile))
+                wifi_profile=wifi_profile,
+                cell_profile=cell_profile))
             trace_bus = self._install_trace(testbed)
             server_capture = PacketCapture(testbed.server,
                                            level=self.capture_level)
@@ -186,6 +187,27 @@ class Measurement:
                 trace_bus.close()
 
     # ------------------------------------------------------------------
+
+    def _path_pair_profiles(self):
+        """The access-profile overrides for this run.
+
+        Explicit per-measurement overrides win; otherwise a non-default
+        ``spec.path_pair`` maps its primary onto the testbed's WiFi
+        slot and its secondary onto the cellular slot.  (Path *names*
+        derive from interface addresses, so CSVs still label the
+        primary ``wifi`` -- the pair swaps the physics, not the
+        labels.)
+        """
+        wifi_profile = self.wifi_profile
+        cell_profile = self.cell_profile
+        if self.spec.path_pair != "default":
+            from repro.wireless.profiles import PATH_PAIRS
+            pair = PATH_PAIRS[self.spec.path_pair]
+            if wifi_profile is None:
+                wifi_profile = pair.primary
+            if cell_profile is None:
+                cell_profile = pair.secondary
+        return wifi_profile, cell_profile
 
     def _install_trace(self, testbed: Testbed):
         """Build and install the trace bus on the fresh simulator.
@@ -263,19 +285,46 @@ class Measurement:
         mptcp_config = spec.mptcp_config()
         size = self.size
 
-        def on_connection(connection: MptcpConnection) -> None:
-            HttpServerSession.fixed(connection, size)
+        if spec.workload == "bulk":
+            # The paper's measurement, byte-for-byte as before the
+            # workload dimension existed.
+            def on_connection(connection: MptcpConnection) -> None:
+                HttpServerSession.fixed(connection, size)
+
+            MptcpListener(testbed.sim, testbed.server, HTTP_PORT,
+                          mptcp_config,
+                          server_addrs=testbed.server_addrs,
+                          on_connection=on_connection)
+            connection = MptcpConnection.client(
+                testbed.sim, testbed.client, testbed.client_addrs,
+                testbed.server_addrs[0], HTTP_PORT, mptcp_config)
+            client = HttpClient(testbed.sim, connection, size)
+            client.start()
+            connection.connect()
+            return client, connection
+
+        from repro.experiments.workloads import build_workload
+
+        # The listener must exist before the client connects, but the
+        # driver (which owns the server-side wiring) is built on the
+        # client connection -- hand the accept callback through a
+        # holder filled in below.  Accepts only happen once the
+        # simulation runs, after the holder is populated.
+        holder = {}
 
         MptcpListener(testbed.sim, testbed.server, HTTP_PORT, mptcp_config,
                       server_addrs=testbed.server_addrs,
-                      on_connection=on_connection)
+                      on_connection=lambda server_conn:
+                      holder["driver"].on_connection(server_conn))
         connection = MptcpConnection.client(
             testbed.sim, testbed.client, testbed.client_addrs,
             testbed.server_addrs[0], HTTP_PORT, mptcp_config)
-        client = HttpClient(testbed.sim, connection, size)
-        client.start()
+        driver = build_workload(spec.workload, testbed.sim, connection,
+                                seed=self.seed, size=size)
+        holder["driver"] = driver
+        driver.start()
         connection.connect()
-        return client, connection
+        return driver, connection
 
 
 @dataclass(frozen=True)

@@ -177,6 +177,52 @@ def fallback_campaign(repetitions: int = 3,
         repetitions=repetitions, periods=periods, base_seed=base_seed)
 
 
+#: The scheduler policies the lab sweeps (registry specs; see
+#: :mod:`repro.core.scheduler`).  The weighted entry targets the
+#: testbed's path names -- note both access slots keep their
+#: address-derived names ("wifi"/"att") even under a non-default
+#: path pair.
+LAB_SCHEDULERS = ("minrtt", "roundrobin", "redundant",
+                  "weighted:wifi=2,att=1", "blest", "cheapest", "qoe")
+
+#: Access-network pairs the lab sweeps: the paper's WiFi+LTE testbed
+#: and the dual-LTE pair of PATH_PAIRS.
+LAB_PATH_PAIRS = ("default", "dual-lte")
+
+
+def scheduler_lab_campaign(repetitions: int = 2,
+                           periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
+                           base_seed: int = 2013,
+                           schedulers: Tuple[str, ...] = LAB_SCHEDULERS,
+                           workloads: Optional[Tuple[str, ...]] = None,
+                           path_pairs: Tuple[str, ...] = LAB_PATH_PAIRS,
+                           ) -> CampaignSpec:
+    """Scheduler lab: every policy x workload x path pair, MP-2 coupled.
+
+    The paper fixes the scheduler to minRTT (its Section 2 describes
+    the default policy); this campaign asks how much that choice
+    matters by sweeping the registry's policies over the workload
+    shapes the paper discusses and over two access-network pairs.
+    :func:`scheduler_regret_rows` reduces the matrix to regret vs the
+    per-(workload, pair) oracle.
+    """
+    if workloads is None:
+        from repro.experiments.workloads import WORKLOADS
+        workloads = WORKLOADS
+    specs: List[FlowSpec] = []
+    for pair in path_pairs:
+        for workload in workloads:
+            for scheduler in schedulers:
+                specs.append(FlowSpec.mptcp(
+                    carrier="att", controller="coupled",
+                    scheduler=scheduler, workload=workload,
+                    path_pair=pair))
+    return CampaignSpec(
+        name="scheduler-lab", specs=tuple(specs),
+        sizes=(512 * KB,),
+        repetitions=repetitions, periods=periods, base_seed=base_seed)
+
+
 def latency_campaign(repetitions: int = 2,
                      periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
                      base_seed: int = 2013) -> CampaignSpec:
@@ -421,6 +467,55 @@ def fallback_rows(results: Sequence[RunResult]
                      f"{completed / len(bucket):.2f}",
                      f"{(plain + infinite) / len(bucket):.2f}",
                      str(plain), str(infinite), time_text, goodput_text])
+    return headers, rows
+
+
+def scheduler_regret_rows(results: Sequence[RunResult]
+                          ) -> Tuple[List[str], List[List[str]]]:
+    """Scheduler lab: per-policy regret vs the per-cell oracle.
+
+    Every (workload, path pair) cell defines an *oracle*: the lowest
+    mean quality metric any swept scheduler achieved there (download
+    time, page-load time, mean block time or mean frame latency --
+    lower is always better).  A policy's regret is how far above the
+    oracle its own mean lands, as a percentage; the oracle row itself
+    shows 0.0.  ``completion`` is the fraction of runs that finished,
+    reported separately because an incomplete run contributes no
+    metric sample.
+    """
+    headers = ["workload", "path pair", "scheduler", "n",
+               "mean metric (s)", "oracle (s)", "regret (%)",
+               "completion"]
+    cells: Dict[Tuple[str, str], Dict[str, List[RunResult]]] = {}
+    for result in results:
+        spec = result.spec
+        if spec.mode != "mp":
+            continue
+        cell = cells.setdefault((spec.workload, spec.path_pair), {})
+        cell.setdefault(spec.scheduler, []).append(result)
+    rows: List[List[str]] = []
+    for (workload, pair), by_scheduler in sorted(cells.items()):
+        means: Dict[str, float] = {}
+        for scheduler, bucket in by_scheduler.items():
+            times = [result.download_time for result in bucket
+                     if result.download_time is not None]
+            if times:
+                means[scheduler] = sum(times) / len(times)
+        oracle = min(means.values()) if means else None
+        for scheduler, bucket in sorted(by_scheduler.items()):
+            completed = sum(1 for result in bucket if result.completed)
+            completion = f"{completed / len(bucket):.2f}"
+            mean = means.get(scheduler)
+            if mean is None or oracle is None:
+                rows.append([workload, pair, scheduler, "0",
+                             "-", "-", "-", completion])
+                continue
+            regret = mean / oracle - 1.0
+            count = sum(1 for result in bucket
+                        if result.download_time is not None)
+            rows.append([workload, pair, scheduler, str(count),
+                         f"{mean:.3f}", f"{oracle:.3f}",
+                         f"{100 * regret:.1f}", completion])
     return headers, rows
 
 

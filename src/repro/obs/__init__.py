@@ -42,6 +42,10 @@ __all__ = [
     "make_trace_bus",
     "read_jsonl",
     "ring_of",
+    "PathHealth",
+    "PathMetricsTap",
+    "ensure_path_metrics",
+    "metrics_tap",
     "WireTap",
     "write_pcap",
     "read_pcap",
@@ -51,6 +55,10 @@ __all__ = [
 ]
 
 _LAZY = {
+    "PathHealth": "repro.obs.pathmetrics",
+    "PathMetricsTap": "repro.obs.pathmetrics",
+    "ensure_path_metrics": "repro.obs.pathmetrics",
+    "metrics_tap": "repro.obs.pathmetrics",
     "WireTap": "repro.obs.pcap",
     "write_pcap": "repro.obs.pcap",
     "read_pcap": "repro.obs.pcap",

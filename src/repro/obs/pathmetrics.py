@@ -1,0 +1,175 @@
+"""Live per-path QoE metrics aggregated from the trace bus.
+
+The QoE-adaptive scheduler needs a running picture of each path's
+health -- smoothed RTT, loss rate, throughput -- without adding any
+instrumentation of its own.  The probe points already exist: every
+scheduler decision is traced as ``sched.select`` (carrying the path,
+the bytes served and, for fresh allocations, every candidate's SRTT),
+and every loss signal as ``tcp.fast_retransmit`` / ``rto.fire``.  This
+module turns those events into per-path EWMAs by installing one extra
+*sink* on the simulator's trace bus.
+
+The tap is an ordinary sink (``retains = False``): it never emits,
+never schedules, never draws random numbers -- observation stays
+strictly passive, so enabling it cannot move a byte of campaign
+output (the determinism guard pins this).  Like the engine's bus
+module, this file is deliberately dependency-light.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.bus import NullTraceBus, TraceBus, TraceEvent
+
+#: One MSS worth of payload; converts served bytes to a segment count
+#: comparable with loss-event counts.
+_SEGMENT = 1448
+
+
+class PathHealth:
+    """Running QoE estimate for one path."""
+
+    __slots__ = ("path", "srtt", "bytes_served", "loss_events",
+                 "throughput", "_window_start", "_window_bytes")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: EWMA of the path's SRTT as sampled at scheduling decisions
+        #: (seconds); ``None`` until first sampled.
+        self.srtt: Optional[float] = None
+        self.bytes_served = 0
+        self.loss_events = 0
+        #: EWMA of delivered goodput (bytes/second); ``None`` until
+        #: one measurement window has elapsed.
+        self.throughput: Optional[float] = None
+        self._window_start: Optional[float] = None
+        self._window_bytes = 0
+
+    def note_srtt(self, srtt: float, gain: float) -> None:
+        if self.srtt is None:
+            self.srtt = srtt
+        else:
+            self.srtt += gain * (srtt - self.srtt)
+
+    def note_served(self, t: float, nbytes: int, window: float,
+                    gain: float) -> None:
+        self.bytes_served += nbytes
+        if self._window_start is None:
+            self._window_start = t
+        self._window_bytes += nbytes
+        elapsed = t - self._window_start
+        if elapsed >= window:
+            rate = self._window_bytes / elapsed
+            if self.throughput is None:
+                self.throughput = rate
+            else:
+                self.throughput += gain * (rate - self.throughput)
+            self._window_start = t
+            self._window_bytes = 0
+
+    def note_loss(self) -> None:
+        self.loss_events += 1
+
+    def loss_rate(self) -> float:
+        """Loss events per segment served (0 when nothing served)."""
+        segments = self.bytes_served // _SEGMENT
+        if segments <= 0:
+            return 0.0
+        return self.loss_events / segments
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srtt = "-" if self.srtt is None else f"{self.srtt * 1000:.1f}ms"
+        return (f"<PathHealth {self.path} srtt={srtt} "
+                f"loss={self.loss_rate():.4f} "
+                f"served={self.bytes_served}>")
+
+
+class PathMetricsTap:
+    """Trace-bus sink aggregating per-path health from probe events.
+
+    Consumes:
+
+    * ``sched.select`` -- bytes served per path (``path``/``length``),
+      plus per-candidate SRTT samples on fresh allocations;
+    * ``tcp.fast_retransmit`` and ``rto.fire`` -- loss events; the
+      path is the last component of the endpoint name
+      (``"mptcp-client.att" -> "att"``).
+    """
+
+    retains = False
+
+    def __init__(self, srtt_gain: float = 0.25,
+                 throughput_window: float = 0.5,
+                 throughput_gain: float = 0.5) -> None:
+        self.srtt_gain = srtt_gain
+        self.throughput_window = throughput_window
+        self.throughput_gain = throughput_gain
+        self.paths: Dict[str, PathHealth] = {}
+
+    def _health(self, path: str) -> PathHealth:
+        health = self.paths.get(path)
+        if health is None:
+            health = self.paths[path] = PathHealth(path)
+        return health
+
+    def path(self, name: str) -> Optional[PathHealth]:
+        """The health record for ``name`` (None before any event)."""
+        return self.paths.get(name)
+
+    def __call__(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == "sched.select":
+            data = event.data
+            path = data.get("path")
+            length = data.get("length")
+            if path is not None and length:
+                self._health(path).note_served(
+                    event.t, length, self.throughput_window,
+                    self.throughput_gain)
+            for candidate in data.get("candidates", ()):
+                srtt = candidate.get("srtt")
+                cpath = candidate.get("path")
+                if srtt is not None and cpath is not None:
+                    self._health(cpath).note_srtt(srtt, self.srtt_gain)
+        elif kind in ("tcp.fast_retransmit", "rto.fire"):
+            name = event.data.get("name")
+            if name:
+                self._health(name.rsplit(".", 1)[-1]).note_loss()
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def metrics_tap(bus) -> Optional[PathMetricsTap]:
+    """The bus's path-metrics tap, if one is installed."""
+    for sink in getattr(bus, "sinks", ()):
+        if isinstance(sink, PathMetricsTap):
+            return sink
+    return None
+
+
+def ensure_path_metrics(sim) -> PathMetricsTap:
+    """Install a :class:`PathMetricsTap` on ``sim.trace`` (idempotent).
+
+    When tracing is off (``NULL_TRACE_BUS``) the simulator gets a real
+    bus whose only sink is the tap, so the QoE scheduler works without
+    user-visible tracing; when a bus already exists the tap is added
+    alongside its sinks.  Must run *before* the protocol stack is
+    built -- endpoints and connections cache ``sim.trace`` at
+    construction time.
+    """
+    bus = sim.trace
+    if isinstance(bus, NullTraceBus):
+        tap = PathMetricsTap()
+        sim.trace = TraceBus(tap)
+        return tap
+    existing = metrics_tap(bus)
+    if existing is not None:
+        return existing
+    tap = PathMetricsTap()
+    bus.add_sink(tap)
+    return tap

@@ -229,6 +229,44 @@ SPRINT_EVDO = PathProfile(
     promotion_delay=1.5,
 )
 
+#: A Dual-LTE pair modelled on the "Is two greater than one?" dual-
+#: carrier measurement study (PAPERS.md): two LTE modems from distinct
+#: operators, similar technology but visibly different base RTT and
+#: achievable rate, both with deep buffers and ARQ-repaired loss.
+#: Carrier A is the faster/closer one, carrier B slower with wilder
+#: rate modulation -- the regime where scheduler choice dominates.
+LTE_A = PathProfile(
+    name="lte-a",
+    technology="4G LTE carrier A (dual-SIM router, primary operator)",
+    down_rate=20 * MBPS,
+    up_rate=8 * MBPS,
+    prop_delay=18 * MS,
+    down_buffer=1024 * KB,
+    up_buffer=256 * KB,
+    jitter_mean=2 * MS,
+    arq=ArqConfig(error_rate=0.02, recovery_min=0.012, recovery_max=0.04,
+                  residual_loss=0.003),
+    modulation=RateModulation(rho=0.94, sigma=0.06, interval=0.1,
+                              floor=0.4, ceiling=1.5),
+    promotion_delay=0.26,
+)
+
+LTE_B = PathProfile(
+    name="lte-b",
+    technology="4G LTE carrier B (dual-SIM router, secondary operator)",
+    down_rate=11 * MBPS,
+    up_rate=4 * MBPS,
+    prop_delay=26 * MS,
+    down_buffer=1536 * KB,
+    up_buffer=256 * KB,
+    jitter_mean=4 * MS,
+    arq=ArqConfig(error_rate=0.03, recovery_min=0.02, recovery_max=0.07,
+                  residual_loss=0.01),
+    modulation=RateModulation(rho=0.97, sigma=0.11, interval=0.2,
+                              floor=0.1, ceiling=1.6),
+    promotion_delay=0.26,
+)
+
 #: The server's Gigabit-Ethernet LAN segments (two subnets at UMass),
 #: with a couple of milliseconds of campus/Internet core delay folded in.
 SERVER_ETHERNET = PathProfile(
@@ -252,4 +290,27 @@ CARRIER_PROFILES: Dict[str, PathProfile] = {
 WIFI_PROFILES: Dict[str, PathProfile] = {
     "home": HOME_WIFI,
     "public": PUBLIC_WIFI,
+}
+
+
+@dataclass(frozen=True)
+class PathPair:
+    """A named pair of access networks for a two-path MPTCP client.
+
+    ``primary`` replaces the testbed's WiFi slot (the default path) and
+    ``secondary`` its cellular slot.  Note the testbed derives path
+    *names* from interface addresses, so in figures/CSVs the primary
+    still reports as ``wifi`` and the secondary as the chosen carrier
+    name -- the pair changes the physics, not the labels.
+    """
+
+    name: str
+    primary: PathProfile
+    secondary: PathProfile
+
+
+#: Named path pairs selectable via ``FlowSpec.path_pair``.  "default"
+#: (not listed here) keeps the paper's WiFi + carrier testbed.
+PATH_PAIRS: Dict[str, PathPair] = {
+    "dual-lte": PathPair("dual-lte", LTE_A, LTE_B),
 }

@@ -38,6 +38,7 @@ def add_subflow(connection, name, srtt=0.05, budget=True, backup=False):
                       backup=backup)
     subflow.endpoint = FakeEndpoint(srtt=srtt, budget=budget)
     connection.subflows.append(subflow)
+    subflow.index = len(connection.subflows) - 1
     return subflow
 
 
@@ -47,7 +48,7 @@ def test_allocation_tracks_outstanding_ranges():
     connection.send(5000)
     allocation = connection.allocate(wifi, 1448)
     assert allocation == (0, 1448)
-    assert connection._outstanding[id(wifi)] == [[0, 1448, False]]
+    assert connection._outstanding[wifi.index] == [[0, 1448, False]]
 
 
 def test_reclaim_queues_unacked_ranges_for_other_paths():

@@ -3,18 +3,31 @@
 import pytest
 
 from repro.core.scheduler import (
+    BlestScheduler,
+    CheapestFirstScheduler,
     LowestRttScheduler,
+    QoeAdaptiveScheduler,
+    RedundantScheduler,
     RoundRobinScheduler,
+    WeightedScheduler,
+    eligible_for_data,
     make_scheduler,
+    parse_strategy,
+    scheduler_names,
 )
 
 
 class FakeSubflow:
-    def __init__(self, name, rtt, established=True, budget=True):
+    def __init__(self, name, rtt, established=True, budget=True,
+                 backup=False, index=None, path=None, cwnd=20_000):
         self.name = name
         self._rtt = rtt
         self.established = established
         self._budget = budget
+        self.backup = backup
+        self.index = index
+        self.path_name = path if path is not None else name
+        self._cwnd = cwnd
 
     def srtt(self):
         return self._rtt
@@ -22,44 +35,91 @@ class FakeSubflow:
     def can_send(self):
         return self.established and self._budget
 
+    def cwnd_bytes(self):
+        return self._cwnd
+
     def __repr__(self):
         return self.name
+
+
+def flows(*subflows):
+    """Assign persistent indices the way the connection does."""
+    for index, subflow in enumerate(subflows):
+        if subflow.index is None:
+            subflow.index = index
+    return list(subflows)
 
 
 def test_make_scheduler_by_name():
     assert isinstance(make_scheduler("minrtt"), LowestRttScheduler)
     assert isinstance(make_scheduler("roundrobin"), RoundRobinScheduler)
+    assert isinstance(make_scheduler("redundant"), RedundantScheduler)
+    assert isinstance(make_scheduler("blest"), BlestScheduler)
+    assert isinstance(make_scheduler("weighted"), WeightedScheduler)
+    assert isinstance(make_scheduler("cheapest"), CheapestFirstScheduler)
+    assert isinstance(make_scheduler("qoe"), QoeAdaptiveScheduler)
 
 
 def test_make_scheduler_unknown():
     with pytest.raises(ValueError):
-        make_scheduler("blest")
+        make_scheduler("lia-scheduler")
+
+
+def test_scheduler_names_lists_registry():
+    assert "minrtt" in scheduler_names()
+    assert "blest" in scheduler_names()
+
+
+def test_parse_strategy_plain_and_parameterized():
+    assert parse_strategy("blest") == ("blest", {})
+    name, params = parse_strategy("weighted:wifi=2,att=1")
+    assert name == "weighted"
+    assert params == {"wifi": "2", "att": "1"}
+
+
+def test_parse_strategy_rejects_malformed_params():
+    with pytest.raises(ValueError):
+        parse_strategy("weighted:wifi")
+
+
+def test_make_scheduler_with_parameters():
+    weighted = make_scheduler("weighted:wifi=3,att=1")
+    assert weighted.weights == {"wifi": 3.0, "att": 1.0}
+    blest = make_scheduler("blest:bias=1.5")
+    assert blest.bias == 1.5
+    cheapest = make_scheduler("cheapest:path=att,budget=1024")
+    assert cheapest.cheap_path == "att" and cheapest.budget == 1024
+
+
+def test_make_scheduler_rejects_params_on_plain_policies():
+    with pytest.raises(ValueError):
+        make_scheduler("minrtt:foo=1")
 
 
 def test_minrtt_prefers_fastest_path():
     wifi = FakeSubflow("wifi", 0.03)
     cell = FakeSubflow("cell", 0.08)
-    order = LowestRttScheduler().order([cell, wifi])
+    order = LowestRttScheduler().order(flows(cell, wifi))
     assert order == [wifi, cell]
 
 
 def test_minrtt_skips_unestablished():
     wifi = FakeSubflow("wifi", 0.03)
     joining = FakeSubflow("cell", 0.01, established=False)
-    order = LowestRttScheduler().order([wifi, joining])
+    order = LowestRttScheduler().order(flows(wifi, joining))
     assert order == [wifi]
 
 
 def test_minrtt_stable_for_equal_rtts():
     a = FakeSubflow("a", 0.05)
     b = FakeSubflow("b", 0.05)
-    assert LowestRttScheduler().order([a, b]) == [a, b]
+    assert LowestRttScheduler().order(flows(a, b)) == [a, b]
 
 
 def test_roundrobin_rotates():
     scheduler = RoundRobinScheduler()
     a, b, c = (FakeSubflow(n, 0.05) for n in "abc")
-    subflows = [a, b, c]
+    subflows = flows(a, b, c)
     assert scheduler.order(subflows)[0] is a
     assert scheduler.order(subflows)[0] is b
     assert scheduler.order(subflows)[0] is c
@@ -68,7 +128,7 @@ def test_roundrobin_rotates():
 
 def test_roundrobin_covers_all_subflows_each_call():
     scheduler = RoundRobinScheduler()
-    subflows = [FakeSubflow(n, 0.05) for n in "abc"]
+    subflows = flows(*(FakeSubflow(n, 0.05) for n in "abc"))
     order = scheduler.order(subflows)
     assert sorted(s.name for s in order) == ["a", "b", "c"]
 
@@ -77,29 +137,279 @@ def test_roundrobin_empty():
     assert RoundRobinScheduler().order([]) == []
 
 
+def test_roundrobin_rotation_survives_subflow_churn():
+    """Regression: the old cursor indexed the *filtered* ready list, so
+    a subflow dying mid-transfer made the rotation skip or double-serve
+    paths.  Rotating by persistent subflow identity, killing ``b``
+    right after it was served must hand the next turn to ``c``."""
+    scheduler = RoundRobinScheduler()
+    a, b, c = (FakeSubflow(n, 0.05) for n in "abc")
+    subflows = flows(a, b, c)
+    assert scheduler.order(subflows)[0] is a
+    assert scheduler.order(subflows)[0] is b
+    b.established = False  # dies after taking its turn
+    assert scheduler.order(subflows)[0] is c, \
+        "a dead subflow must not reset the rotation onto earlier paths"
+    assert scheduler.order(subflows)[0] is a
+    b.established = True  # reopened (same persistent identity)
+    assert scheduler.order(subflows)[0] is b
+
+
+def test_roundrobin_newly_established_subflow_waits_its_turn():
+    scheduler = RoundRobinScheduler()
+    a, b, c = (FakeSubflow(n, 0.05) for n in "abc")
+    b.established = False
+    subflows = flows(a, b, c)
+    assert scheduler.order(subflows)[0] is a
+    b.established = True  # joins mid-flow
+    assert scheduler.order(subflows)[0] is b
+    assert scheduler.order(subflows)[0] is c
+
+
 def test_minrtt_denies_slow_path_while_fast_has_budget():
     wifi = FakeSubflow("wifi", 0.03, budget=True)
     cell = FakeSubflow("cell", 0.3)
     scheduler = LowestRttScheduler()
-    assert not scheduler.admits([wifi, cell], cell)
+    assert not scheduler.admits(flows(wifi, cell), cell)
     assert scheduler.admits([wifi, cell], wifi)
 
 
 def test_minrtt_admits_slow_path_once_fast_is_full():
     wifi = FakeSubflow("wifi", 0.03, budget=False)
     cell = FakeSubflow("cell", 0.3)
-    assert LowestRttScheduler().admits([wifi, cell], cell)
+    assert LowestRttScheduler().admits(flows(wifi, cell), cell)
 
 
 def test_minrtt_ignores_unestablished_competitors():
     joining = FakeSubflow("wifi", 0.03, established=False)
     cell = FakeSubflow("cell", 0.3)
-    assert LowestRttScheduler().admits([joining, cell], cell)
+    assert LowestRttScheduler().admits(flows(joining, cell), cell)
+
+
+def test_minrtt_fast_backup_does_not_veto_regular_path():
+    """Regression: a low-RTT *backup* subflow used to be counted as a
+    preferred path even though ``Connection.allocate`` refuses to give
+    backups data while a regular path is operational — so the only
+    eligible path was denied and the transfer stalled."""
+    backup = FakeSubflow("cell", 0.02, backup=True)
+    regular = FakeSubflow("wifi", 0.2)
+    assert LowestRttScheduler().admits(flows(backup, regular), regular)
+
+
+def test_minrtt_backup_vetoes_once_it_is_the_last_resort():
+    """With no regular sibling alive, the backup is eligible again and
+    the normal lowest-SRTT preference applies to it."""
+    backup = FakeSubflow("cell", 0.02, backup=True)
+    slow_backup = FakeSubflow("wifi", 0.2, backup=True)
+    assert not LowestRttScheduler().admits(
+        flows(backup, slow_backup), slow_backup)
+
+
+def test_eligible_for_data_mirrors_allocate_gate():
+    regular = FakeSubflow("wifi", 0.05)
+    backup = FakeSubflow("cell", 0.02, backup=True)
+    subflows = flows(regular, backup)
+    assert eligible_for_data(subflows, regular)
+    assert not eligible_for_data(subflows, backup)
+    regular.established = False
+    assert eligible_for_data(subflows, backup)
 
 
 def test_roundrobin_admits_everyone():
     wifi = FakeSubflow("wifi", 0.03, budget=True)
     cell = FakeSubflow("cell", 0.3)
     scheduler = RoundRobinScheduler()
-    assert scheduler.admits([wifi, cell], cell)
+    assert scheduler.admits(flows(wifi, cell), cell)
     assert scheduler.admits([wifi, cell], wifi)
+
+
+def test_redundant_duplicates_and_orders_by_rtt():
+    scheduler = RedundantScheduler()
+    assert scheduler.duplicates
+    wifi = FakeSubflow("wifi", 0.03)
+    cell = FakeSubflow("cell", 0.3)
+    assert scheduler.order(flows(cell, wifi)) == [wifi, cell]
+    assert scheduler.admits([wifi, cell], cell)
+
+
+# ----------------------------------------------------------------------
+# Weighted
+# ----------------------------------------------------------------------
+
+
+def test_weighted_prefers_underweight_path():
+    scheduler = WeightedScheduler({"wifi": 3, "att": 1})
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.08)
+    subflows = flows(wifi, att)
+    # Nothing served yet: deficits tie at 0, SRTT breaks the tie.
+    assert scheduler.order(subflows)[0] is wifi
+    scheduler.on_allocated(wifi, 3000)
+    # wifi deficit 1000, att 0: att is more underweight now.
+    assert scheduler.order(subflows)[0] is att
+    assert not scheduler.admits(subflows, wifi)
+    assert scheduler.admits(subflows, att)
+    scheduler.on_allocated(att, 2000)
+    assert scheduler.order(subflows)[0] is wifi
+
+
+def test_weighted_converges_to_configured_share():
+    scheduler = WeightedScheduler({"wifi": 3, "att": 1})
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.08)
+    subflows = flows(wifi, att)
+    for _ in range(400):
+        chosen = scheduler.order(subflows)[0]
+        scheduler.on_allocated(chosen, 1448)
+    served = scheduler._served
+    assert served["wifi"] / served["att"] == pytest.approx(3.0, rel=0.1)
+
+
+def test_weighted_admits_when_preferred_path_has_no_budget():
+    scheduler = WeightedScheduler({"wifi": 3, "att": 1})
+    wifi = FakeSubflow("wifi", 0.03, budget=False)
+    att = FakeSubflow("att", 0.08)
+    subflows = flows(wifi, att)
+    scheduler.on_allocated(att, 5000)  # att far ahead of its share
+    assert scheduler.admits(subflows, att), \
+        "a cwnd-limited underweight path must not block the other"
+
+
+def test_weighted_rejects_nonpositive_weight():
+    with pytest.raises(ValueError):
+        WeightedScheduler({"wifi": 0})
+
+
+# ----------------------------------------------------------------------
+# BLEST / ECF
+# ----------------------------------------------------------------------
+
+
+def test_blest_behaves_like_minrtt_while_fast_path_open():
+    scheduler = BlestScheduler()
+    wifi = FakeSubflow("wifi", 0.03, budget=True)
+    cell = FakeSubflow("cell", 0.3)
+    subflows = flows(wifi, cell)
+    assert scheduler.order(subflows) == [wifi, cell]
+    assert not scheduler.admits(subflows, cell, window=10**6)
+    assert scheduler.admits(subflows, wifi, window=10**6)
+
+
+def test_blest_refuses_slow_path_when_send_would_block_fast_window():
+    """The fast path is momentarily cwnd-limited, but the whole
+    remaining window fits in what it will drain within one slow-path
+    RTT: sending on the slow path would block the fast one."""
+    scheduler = BlestScheduler()
+    wifi = FakeSubflow("wifi", 0.03, budget=False, cwnd=50_000)
+    cell = FakeSubflow("cell", 0.3)
+    subflows = flows(wifi, cell)
+    # Estimate: 50_000 * (0.3 / 0.03) = 500_000 bytes drained.
+    assert not scheduler.admits(subflows, cell, window=100_000)
+    assert scheduler.admits(subflows, cell, window=2_000_000), \
+        "a window far beyond the fast path's drain rate must spill"
+
+
+def test_blest_without_window_estimate_degrades_to_minrtt():
+    scheduler = BlestScheduler()
+    wifi = FakeSubflow("wifi", 0.03, budget=False)
+    cell = FakeSubflow("cell", 0.3)
+    assert scheduler.admits(flows(wifi, cell), cell)
+
+
+def test_blest_bias_scales_the_refusal():
+    wifi = FakeSubflow("wifi", 0.03, budget=False, cwnd=50_000)
+    cell = FakeSubflow("cell", 0.3)
+    subflows = flows(wifi, cell)
+    window = 600_000  # just above the unbiased 500_000 estimate
+    assert BlestScheduler(bias=1.0).admits(subflows, cell, window=window)
+    assert not BlestScheduler(bias=1.5).admits(subflows, cell,
+                                               window=window)
+
+
+def test_blest_ignores_ineligible_backup_as_fast_path():
+    backup = FakeSubflow("cell", 0.02, backup=True)
+    regular = FakeSubflow("wifi", 0.2)
+    assert BlestScheduler().admits(flows(backup, regular), regular,
+                                   window=10**6)
+
+
+# ----------------------------------------------------------------------
+# Cheapest-first
+# ----------------------------------------------------------------------
+
+
+def test_cheapest_prefers_cheap_path_within_budget():
+    scheduler = CheapestFirstScheduler(path="att", budget=10_000)
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.3)
+    subflows = flows(wifi, att)
+    assert scheduler.order(subflows)[0] is att
+    assert scheduler.admits(subflows, att)
+    assert not scheduler.admits(subflows, wifi), \
+        "the metered path only takes spill-over while the budget lasts"
+
+
+def test_cheapest_spills_when_cheap_path_has_no_budget():
+    scheduler = CheapestFirstScheduler(path="att", budget=10_000)
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.3, budget=False)
+    subflows = flows(wifi, att)
+    assert scheduler.admits(subflows, wifi)
+
+
+def test_cheapest_flips_roles_once_budget_spent():
+    scheduler = CheapestFirstScheduler(path="att", budget=10_000)
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.3)
+    subflows = flows(wifi, att)
+    scheduler.on_allocated(att, 10_000)
+    assert not scheduler.budget_left
+    assert scheduler.order(subflows)[0] is wifi
+    assert scheduler.admits(subflows, wifi)
+    assert not scheduler.admits(subflows, att), \
+        "after the cap the cheap path becomes the last resort"
+    att_last = FakeSubflow("att", 0.3)
+    wifi.established = False
+    assert scheduler.admits(flows(wifi, att_last), att_last)
+
+
+def test_cheapest_defaults_to_initial_subflow_path():
+    scheduler = CheapestFirstScheduler()
+    wifi = FakeSubflow("wifi", 0.03, index=0)
+    att = FakeSubflow("att", 0.3, index=1)
+    assert scheduler._is_cheap(wifi) and not scheduler._is_cheap(att)
+
+
+def test_cheapest_only_charges_cheap_path_bytes():
+    scheduler = CheapestFirstScheduler(path="att", budget=10_000)
+    wifi = FakeSubflow("wifi", 0.03)
+    att = FakeSubflow("att", 0.3)
+    flows(wifi, att)
+    scheduler.on_allocated(wifi, 50_000)
+    assert scheduler.budget_left
+    scheduler.on_allocated(att, 9_999)
+    assert scheduler.budget_left
+    scheduler.on_allocated(att, 1)
+    assert not scheduler.budget_left
+
+
+# ----------------------------------------------------------------------
+# QoE-adaptive (degenerate/unit paths; plumbing covered in
+# tests/obs/test_pathmetrics.py and the scheduler-lab tests)
+# ----------------------------------------------------------------------
+
+
+def test_qoe_without_attachment_behaves_like_minrtt():
+    scheduler = QoeAdaptiveScheduler()
+    wifi = FakeSubflow("wifi", 0.03)
+    cell = FakeSubflow("cell", 0.3)
+    subflows = flows(wifi, cell)
+    assert scheduler.order(subflows) == [wifi, cell]
+    assert not scheduler.admits(subflows, cell)
+    assert scheduler.admits(subflows, wifi)
+    assert scheduler.policy == "balanced"
+
+
+def test_qoe_is_flagged_as_needing_path_metrics():
+    assert QoeAdaptiveScheduler.needs_path_metrics
+    assert not LowestRttScheduler.needs_path_metrics

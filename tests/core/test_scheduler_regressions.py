@@ -1,0 +1,116 @@
+"""End-to-end regressions for the scheduler-admission bugs.
+
+Three bugs surfaced by the scheduler lab, each pinned here against the
+full testbed (the unit-level contracts live in ``test_scheduler.py``):
+
+1. A *backup* subflow with a lower SRTT than the regular path used to
+   stall the transfer: ``LowestRttScheduler.admits`` counted the
+   backup as the preferred competitor, while ``Connection.allocate``
+   refuses to serve a backup when a regular path is available --
+   nobody ever sent.
+2. Round-robin rotation used to drift when the ready set churned
+   (the rotation index pointed into the *filtered* list).
+3. The redundant scheduler's duplication queue used to key targets by
+   ``id()`` and never purge entries for dead subflows.
+"""
+
+from dataclasses import replace
+
+from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+from repro.core.connection import MptcpConfig, MptcpConnection, \
+    MptcpListener
+from repro.testbed import Testbed, TestbedConfig
+from repro.wireless.mobility import InterfaceOutage
+from repro.wireless.profiles import ATT_LTE, HOME_WIFI
+
+KB = 1024
+MS = 1e-3
+
+#: The stall scenario: the default (regular) path is much slower than
+#: the cellular path, and the cellular path is configured as backup.
+SLOW_WIFI = replace(HOME_WIFI, prop_delay=80 * MS)
+FAST_CELL = replace(ATT_LTE, prop_delay=4 * MS)
+
+
+def start(testbed, size, config):
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    return connection, client
+
+
+def test_fast_backup_does_not_stall_transfer():
+    """Bug 1: a lower-SRTT backup subflow must not veto the regular
+    path it is not allowed to replace."""
+    testbed = Testbed(TestbedConfig(seed=11, wifi_profile=SLOW_WIFI,
+                                    cell_profile=FAST_CELL))
+    config = MptcpConfig(backup_paths=("att",))
+    connection, client = start(testbed, 512 * KB, config)
+    testbed.run(until=60.0)
+    assert client.record.complete, \
+        "transfer stalled: the fast backup vetoed the slow regular path"
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) == 0, "backup path must stay idle"
+    assert shares.get("wifi", 0) >= 512 * KB
+
+
+def test_fast_backup_still_engages_on_wifi_failure():
+    """The admission fix must not break handover: once the regular
+    path dies, the fast backup is the last resort and serves."""
+    testbed = Testbed(TestbedConfig(seed=11, wifi_profile=SLOW_WIFI,
+                                    cell_profile=FAST_CELL))
+    config = MptcpConfig(backup_paths=("att",))
+    connection, client = start(testbed, 512 * KB, config)
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=0.6, up_at=None)
+    manager = connection.path_manager
+    outage.on_down.append(lambda: manager.on_interface_down("client.wifi"))
+    # Failure detection is RTO-backoff driven; the 80 ms path needs a
+    # while to give up.
+    testbed.run(until=120.0)
+    assert client.record.complete
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) > 0, "backup must engage after the outage"
+
+
+def test_roundrobin_completes_through_subflow_churn():
+    """Bug 2: round-robin must keep serving every live subflow when one
+    path dies mid-transfer."""
+    testbed = Testbed(TestbedConfig(seed=3))
+    config = MptcpConfig(scheduler="roundrobin")
+    connection, client = start(testbed, 2048 * KB, config)
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=0.5, up_at=None)
+    manager = connection.path_manager
+    outage.on_down.append(lambda: manager.on_interface_down("client.wifi"))
+    testbed.run(until=120.0)
+    assert client.record.complete
+    shares = connection.receive_buffer.metrics.bytes_by_path
+    assert shares.get("att", 0) > 0
+
+
+def test_redundant_scheduler_survives_path_failure():
+    """Bug 3: duplication-queue entries targeting a dead subflow must
+    be dropped, not served to whatever reuses the slot."""
+    testbed = Testbed(TestbedConfig(seed=3))
+    config = MptcpConfig(scheduler="redundant")
+    connection, client = start(testbed, 2048 * KB, config)
+    outage = InterfaceOutage(testbed.sim,
+                             testbed.client.interfaces["client.wifi"])
+    outage.schedule(down_at=0.5, up_at=None)
+    manager = connection.path_manager
+    outage.on_down.append(lambda: manager.on_interface_down("client.wifi"))
+    testbed.run(until=120.0)
+    assert client.record.complete
+    dead = [s for s in connection.subflows if s.path_name == "wifi"]
+    for entry in connection._duplication_queue:
+        assert all(entry[2] != s.index for s in dead), \
+            "stale duplication entries must be purged on subflow failure"

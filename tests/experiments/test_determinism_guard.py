@@ -8,6 +8,8 @@ cache / dispatch configuration (cache off, cache cold, cache warm,
 chunked submission, LJF vs plan-order dispatch) -- and asserts the
 rendered CSVs are byte-identical."""
 
+import hashlib
+
 import pytest
 
 from repro.cache import RunCache
@@ -16,12 +18,21 @@ from repro.experiments.report import csv_text
 from repro.experiments.runner import Campaign, CampaignSpec
 from repro.experiments.scenarios import (
     download_time_rows,
+    scheduler_regret_rows,
     traffic_share_rows,
 )
 from repro.netsim.link import Link
 from repro.wireless.profiles import TimeOfDay
 
 KB = 1024
+
+#: SHA-256 of the guard campaign's CSVs, captured before the scheduler
+#: lab landed.  Any change to these bytes means a pre-existing
+#: campaign output moved — exactly what this module exists to forbid.
+PINNED_DOWNLOADS = \
+    "37c30a33edf3a36807dc6efb4a19bab8fc20089aa30d6f893b4e794ea5810d27"
+PINNED_SHARES = \
+    "f314d7f725c10b129153f3c93c7e69782c44576bf99a87b8a5c6b0d0141591aa"
 
 
 def _campaign_csvs(fast: bool = True, level: str = "metrics-only",
@@ -103,6 +114,62 @@ def test_cached_chunked_ljf_combined(reference_csvs, tmp_path):
                           dispatch="ljf") == reference_csvs
     assert _campaign_csvs(jobs=2, cache=str(root), chunk=2,
                           dispatch="ljf") == reference_csvs
+
+
+def test_campaign_bytes_pinned_across_prs(reference_csvs):
+    """The guard campaign's bytes, pinned against the digests captured
+    before the scheduler-lab changes: a refactor of the scheduler or
+    allocator internals must not move any pre-existing campaign CSV."""
+    downloads, shares = reference_csvs
+    assert hashlib.sha256(downloads).hexdigest() == PINNED_DOWNLOADS
+    assert hashlib.sha256(shares).hexdigest() == PINNED_SHARES
+
+
+# ----------------------------------------------------------------------
+# The scheduler-lab campaign under the same guard
+# ----------------------------------------------------------------------
+
+def _sched_campaign_csv(trace: str = "off", trace_dir=None,
+                        jobs: int = 1) -> bytes:
+    """Run a small scheduler-lab matrix; return its regret CSV."""
+    specs = tuple(
+        FlowSpec.mptcp(carrier="att", controller="coupled",
+                       scheduler=scheduler, workload=workload)
+        for scheduler in ("blest", "qoe")
+        for workload in ("bulk", "realtime"))
+    spec = CampaignSpec(
+        name="guard-sched", specs=specs, sizes=(64 * KB,),
+        repetitions=1, periods=(TimeOfDay.NIGHT,), base_seed=7)
+    campaign = Campaign(spec, trace=trace, trace_dir=trace_dir,
+                        jobs=jobs)
+    results = campaign.run()
+    assert all(result.completed for result in results)
+    return csv_text(*scheduler_regret_rows(results)).encode()
+
+
+@pytest.fixture(scope="module")
+def sched_reference_csv():
+    return _sched_campaign_csv()
+
+
+def test_scheduler_campaign_is_deterministic(sched_reference_csv):
+    assert _sched_campaign_csv() == sched_reference_csv
+
+
+def test_scheduler_campaign_parallel_matches(sched_reference_csv):
+    assert _sched_campaign_csv(jobs=2) == sched_reference_csv
+
+
+def test_scheduler_campaign_tracing_is_passive(sched_reference_csv,
+                                               tmp_path):
+    """JSONL tracing shares the bus with the QoE metrics tap; streaming
+    every event must not move the campaign's bytes."""
+    assert _sched_campaign_csv(trace="jsonl",
+                               trace_dir=str(tmp_path)) \
+        == sched_reference_csv
+    files = sorted(tmp_path.glob("run-*.jsonl"))
+    assert len(files) == 4
+    assert all(path.stat().st_size > 0 for path in files)
 
 
 @pytest.mark.parametrize("trace", ["ring", "jsonl"])

@@ -1,0 +1,146 @@
+"""Tests for the per-path QoE metrics tap (repro.obs.pathmetrics)."""
+
+import pytest
+
+from repro.obs.bus import NULL_TRACE_BUS, TraceBus, TraceEvent
+from repro.obs.pathmetrics import (
+    PathHealth,
+    PathMetricsTap,
+    ensure_path_metrics,
+    metrics_tap,
+)
+
+
+class FakeSim:
+    def __init__(self, trace=NULL_TRACE_BUS):
+        self.trace = trace
+
+
+# ----------------------------------------------------------------------
+# PathHealth EWMAs
+# ----------------------------------------------------------------------
+
+def test_srtt_ewma_starts_at_first_sample():
+    health = PathHealth("wifi")
+    assert health.srtt is None
+    health.note_srtt(0.1, gain=0.25)
+    assert health.srtt == 0.1
+    health.note_srtt(0.2, gain=0.25)
+    assert health.srtt == pytest.approx(0.125)
+
+
+def test_throughput_needs_one_full_window():
+    health = PathHealth("wifi")
+    health.note_served(0.0, 1000, window=0.5, gain=0.5)
+    health.note_served(0.25, 1000, window=0.5, gain=0.5)
+    assert health.throughput is None
+    health.note_served(0.5, 1000, window=0.5, gain=0.5)
+    assert health.throughput == pytest.approx(3000 / 0.5)
+    assert health.bytes_served == 3000
+
+
+def test_loss_rate_is_events_per_segment():
+    health = PathHealth("att")
+    assert health.loss_rate() == 0.0
+    health.note_loss()
+    assert health.loss_rate() == 0.0, "no segments served yet"
+    health.note_served(0.0, 1448 * 10, window=0.5, gain=0.5)
+    assert health.loss_rate() == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# The tap as a trace-bus sink
+# ----------------------------------------------------------------------
+
+def test_tap_aggregates_sched_select_events():
+    tap = PathMetricsTap()
+    tap(TraceEvent(0.0, "sched.select", data={
+        "path": "wifi", "length": 2896, "reason": "fresh",
+        "candidates": [
+            {"subflow": 0, "path": "wifi", "srtt": 0.02},
+            {"subflow": 1, "path": "att", "srtt": 0.06},
+        ]}))
+    assert tap.path("wifi").bytes_served == 2896
+    assert tap.path("wifi").srtt == pytest.approx(0.02)
+    assert tap.path("att").srtt == pytest.approx(0.06)
+    assert tap.path("att").bytes_served == 0
+
+
+def test_tap_counts_losses_by_endpoint_name():
+    tap = PathMetricsTap()
+    tap(TraceEvent(1.0, "tcp.fast_retransmit",
+                   data={"name": "mptcp-client.att"}))
+    tap(TraceEvent(1.5, "rto.fire", data={"name": "mptcp-client.wifi"}))
+    assert tap.path("att").loss_events == 1
+    assert tap.path("wifi").loss_events == 1
+
+
+def test_tap_ignores_unrelated_events():
+    tap = PathMetricsTap()
+    tap(TraceEvent(0.0, "cc.cwnd", data={"name": "mptcp-client.wifi"}))
+    tap(TraceEvent(0.0, "sched.select", data={"reason": "reinject"}))
+    assert tap.path("wifi") is None
+
+
+def test_tap_is_passive_sink():
+    tap = PathMetricsTap()
+    assert tap.retains is False
+    tap.flush()
+    tap.close()
+
+
+# ----------------------------------------------------------------------
+# Installation on the simulator bus
+# ----------------------------------------------------------------------
+
+def test_ensure_installs_bus_when_tracing_off():
+    sim = FakeSim()
+    tap = ensure_path_metrics(sim)
+    assert isinstance(sim.trace, TraceBus)
+    assert metrics_tap(sim.trace) is tap
+    assert ensure_path_metrics(sim) is tap, "idempotent"
+
+
+def test_ensure_adds_tap_to_existing_bus():
+    events = []
+    bus = TraceBus(events.append)
+    sim = FakeSim(trace=bus)
+    tap = ensure_path_metrics(sim)
+    assert sim.trace is bus, "existing bus must be kept"
+    assert metrics_tap(bus) is tap
+    assert ensure_path_metrics(sim) is tap
+    bus.emit(0.0, "sched.select", path="wifi", length=100)
+    assert len(events) == 1, "pre-existing sinks still fire"
+    assert tap.path("wifi").bytes_served == 100
+
+
+# ----------------------------------------------------------------------
+# End to end: the QoE scheduler's plumbing
+# ----------------------------------------------------------------------
+
+def test_qoe_scheduler_gets_live_metrics_end_to_end():
+    from repro.app.http import HTTP_PORT, HttpClient, HttpServerSession
+    from repro.core.connection import MptcpConfig, MptcpConnection, \
+        MptcpListener
+    from repro.testbed import Testbed, TestbedConfig
+
+    testbed = Testbed(TestbedConfig(seed=5))
+    config = MptcpConfig(scheduler="qoe")
+    size = 512 * 1024
+    MptcpListener(testbed.sim, testbed.server, HTTP_PORT, config,
+                  server_addrs=testbed.server_addrs,
+                  on_connection=lambda c: HttpServerSession.fixed(c, size))
+    connection = MptcpConnection.client(
+        testbed.sim, testbed.client, testbed.client_addrs,
+        testbed.server_addrs[0], HTTP_PORT, config)
+    client = HttpClient(testbed.sim, connection, size)
+    client.start()
+    connection.connect()
+    tap = metrics_tap(testbed.sim.trace)
+    assert tap is not None, "qoe scheduler must install the tap"
+    assert connection.scheduler._tap is tap
+    testbed.run(until=60.0)
+    assert client.record.complete
+    assert tap.path("wifi") is not None
+    assert tap.path("wifi").srtt is not None
+    assert tap.path("wifi").bytes_served > 0
