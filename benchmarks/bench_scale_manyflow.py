@@ -1,0 +1,304 @@
+"""Many-flow scale benchmark: the shared-world kernel under load.
+
+Three sections:
+
+* **scale** -- a pure fluid world (no packet stack): a closed-loop
+  population of 100 / 1000 / 5000 users hammers the two access-link
+  bottlenecks through one event engine.  Reports wall-clock flows/sec
+  (kernel overhead), completed-flows goodput (should track bottleneck
+  capacity) and peak concurrency (must equal the population -- the
+  `>= 1000 concurrent flows in one engine` acceptance gate).
+* **hybrid** -- one full packet-level MPTCP measurement inside a
+  ``closed-32`` world: the integration cost of hybrid fidelity, with
+  the foreground download time asserted as a determinism oracle.
+* **fairness campaign** -- runs :func:`world_campaign` and writes
+  ``benchmarks/output/manyflow_fairness.csv``, the shared-bottleneck
+  fairness artifact (`repro world` renders the same rows).
+
+Usage::
+
+    python benchmarks/bench_scale_manyflow.py            # run + update JSON
+    python benchmarks/bench_scale_manyflow.py --quick    # CI smoke
+    python benchmarks/bench_scale_manyflow.py --check    # regression gate
+
+``--check`` gates are two-tier, like bench_perf_*: flows/sec floors
+are wall-clock measurements and soften under ``REPRO_PERF_SOFT=1``;
+determinism gates (completion counts, peak concurrency, the hybrid
+download-time oracle) stay hard on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.rng import derive_seed  # noqa: E402
+from repro.world import (  # noqa: E402
+    ClosedLoopUsers,
+    FluidNetwork,
+    make_size_sampler,
+)
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+DEFAULT_OUTPUT = OUTPUT_DIR / "BENCH_PERF.json"
+FAIRNESS_CSV = OUTPUT_DIR / "manyflow_fairness.csv"
+
+#: --check fails when wall-clock flows/sec falls more than this
+#: fraction below the committed baseline (soft under REPRO_PERF_SOFT).
+REGRESSION_TOLERANCE = 0.25
+
+#: Mean ~24 KB, heavy-ish tail, capped at 1 MB: small enough that the
+#: bottlenecks complete hundreds of flows per simulated second, so the
+#: benchmark measures kernel churn rather than one long drain.
+SCALE_SIZES = "lognormal:mu=9.6,sigma=1.0,cap=1048576"
+
+#: The two access-link bottlenecks of the standard testbed (home WiFi
+#: and ATT LTE downlink rates).
+SCALE_CAPACITIES = {"wifi:down": 20e6, "cell:down": 13e6}
+
+
+def run_scale(users: int, horizon: float) -> dict:
+    """One closed-loop population on a fresh engine; returns metrics."""
+    sim = Simulator()
+    fluid = FluidNetwork(sim)
+    for name, capacity in SCALE_CAPACITIES.items():
+        fluid.add_bottleneck(name, capacity)
+    rng = random.Random(derive_seed(2013, f"manyflow:{users}"))
+    loop = ClosedLoopUsers(
+        sim, fluid, rng,
+        routes=[("wifi:down",), ("cell:down",)],
+        sampler=make_size_sampler(SCALE_SIZES),
+        users=users, think_mean=0.0)
+    started = time.perf_counter()
+    loop.start()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - started
+    stats = fluid.stats
+    return {
+        "users": users,
+        "sim_horizon_s": horizon,
+        "wall_s": round(wall, 4),
+        "flows_completed": stats.flows_completed,
+        "flows_per_sec_wall": round(stats.flows_completed / wall, 1)
+        if wall > 0 else 0.0,
+        "flows_per_sim_sec": round(stats.flows_completed / horizon, 1),
+        "goodput_mbps": round(
+            stats.bytes_completed * 8.0 / horizon / 1e6, 3),
+        "peak_concurrent": stats.peak_concurrent,
+        "events": sim.events_scheduled,
+        "jain": round(stats.jain_index, 4),
+    }
+
+
+def run_hybrid(size: int) -> dict:
+    """Full packet-level MPTCP download inside a closed-32 world."""
+    from repro.experiments.config import FlowSpec
+    from repro.experiments.runner import Measurement
+    from repro.wireless.profiles import TimeOfDay
+
+    spec = FlowSpec.mptcp(carrier="att", controller="coupled",
+                          world="closed-32")
+    seed = derive_seed(2013, f"bench-manyflow:{spec.identity}:{size}")
+    started = time.perf_counter()
+    result = Measurement(spec, size, seed=seed,
+                         period=TimeOfDay.NIGHT).run()
+    wall = time.perf_counter() - started
+    assert result.completed, "hybrid run must complete"
+    summary = result.world or {}
+    return {
+        "size": size,
+        "wall_s": round(wall, 4),
+        "download_time": result.download_time,
+        "bg_flows_completed": summary.get("flows_completed", 0),
+        "bg_peak_concurrent": summary.get("peak_concurrent", 0),
+        "jain": round(summary.get("jain", 1.0), 4),
+    }
+
+
+def run_fairness_campaign(quick: bool, jobs: int) -> dict:
+    """The shared-bottleneck fairness campaign; writes the CSV."""
+    from repro.experiments.report import csv_text
+    from repro.experiments.runner import Campaign
+    from repro.experiments.scenarios import (
+        world_campaign,
+        world_fairness_rows,
+    )
+
+    KB = 1024
+    spec = world_campaign(repetitions=1 if quick else 3,
+                          size=(256 * KB if quick else 2048 * KB))
+    started = time.perf_counter()
+    campaign = Campaign(spec, jobs=jobs)
+    results = campaign.run()
+    wall = time.perf_counter() - started
+    headers, rows = world_fairness_rows(results)
+    csv = csv_text(headers, rows)
+    FAIRNESS_CSV.parent.mkdir(parents=True, exist_ok=True)
+    FAIRNESS_CSV.write_text(csv)
+    completed = sum(1 for result in results if result.completed)
+    print(f"fairness campaign: {completed}/{len(results)} cells "
+          f"complete in {wall:.1f}s -> {FAIRNESS_CSV}")
+    return {
+        "cells": len(results),
+        "completed": completed,
+        "wall_s": round(wall, 2),
+        "csv": FAIRNESS_CSV.name,
+    }
+
+
+def run_benchmarks(quick: bool, jobs: int,
+                   with_campaign: bool = True) -> dict:
+    populations = [100, 1000] if quick else [100, 1000, 5000]
+    horizon = 15.0 if quick else 30.0
+    manyflow = {"quick": quick, "scale": {}, "sizes": SCALE_SIZES}
+    for users in populations:
+        entry = run_scale(users, horizon)
+        manyflow["scale"][str(users)] = entry
+        print(f"scale {users:>5} users: "
+              f"{entry['flows_per_sec_wall']:>9,.0f} flows/s wall, "
+              f"{entry['flows_completed']:>6,} completed, "
+              f"peak {entry['peak_concurrent']:,}, "
+              f"{entry['goodput_mbps']:.1f} Mbit/s goodput")
+    KB = 1024
+    manyflow["hybrid"] = run_hybrid(512 * KB if quick else 2048 * KB)
+    print(f"hybrid closed-32: download {manyflow['hybrid']['download_time']:.3f}s "
+          f"({manyflow['hybrid']['bg_flows_completed']} bg flows, "
+          f"wall {manyflow['hybrid']['wall_s']:.2f}s)")
+    if with_campaign:
+        manyflow["fairness"] = run_fairness_campaign(quick, jobs)
+    return manyflow
+
+
+def merge_output(path: Path, manyflow: dict, mode: str) -> None:
+    """Update one mode of the manyflow section of BENCH_PERF.json.
+
+    Baselines are kept per mode (``full`` / ``quick``) so the CI smoke
+    run gates against a quick-shaped baseline instead of silently
+    skipping every comparison.
+    """
+    document = {}
+    if path.exists():
+        document = json.loads(path.read_text())
+    document.setdefault("schema", "repro-bench-perf/1")
+    section = document.setdefault("manyflow", {})
+    section[mode] = manyflow
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def check_regression(path: Path, manyflow: dict, mode: str) -> int:
+    """Gate -- hard: concurrency + determinism; soft: flows/sec."""
+    failures = []
+    hard_failures = []
+
+    # Hard gate 1: every population must actually be concurrent.
+    for users, entry in sorted(manyflow["scale"].items(), key=lambda
+                               item: int(item[0])):
+        expected = entry["users"]
+        peak = entry["peak_concurrent"]
+        verdict = "ok" if peak >= expected else "FAIL"
+        print(f"check concurrency {users:>5}: peak {peak:,} "
+              f"(need {expected:,}): {verdict}")
+        if peak < expected:
+            hard_failures.append(f"{users}-user world only reached "
+                                 f"{peak} concurrent flows")
+
+    if not path.exists():
+        print(f"no baseline at {path}; skipping baseline gates")
+    else:
+        baseline = json.loads(path.read_text()) \
+            .get("manyflow", {}).get(mode, {})
+        if not baseline:
+            print(f"no {mode!r} manyflow baseline; "
+                  "skipping baseline gates")
+        for users, entry in manyflow["scale"].items():
+            reference = baseline.get("scale", {}).get(users)
+            if not reference:
+                continue
+            # Hard gate 2: identical seed + horizon => identical
+            # completion count, on any machine.
+            if entry["flows_completed"] != reference["flows_completed"]:
+                hard_failures.append(
+                    f"{users}-user completions "
+                    f"{entry['flows_completed']} != baseline "
+                    f"{reference['flows_completed']}")
+                print(f"check determinism {users:>5}: FAIL")
+            else:
+                print(f"check determinism {users:>5}: "
+                      f"{entry['flows_completed']:,} completions: ok")
+            # Soft gate: wall-clock flows/sec floor.
+            measured = entry["flows_per_sec_wall"]
+            floor = reference["flows_per_sec_wall"] \
+                * (1.0 - REGRESSION_TOLERANCE)
+            verdict = "ok" if measured >= floor else "REGRESSION"
+            print(f"check flows/sec {users:>5}: {measured:,.0f} vs "
+                  f"baseline {reference['flows_per_sec_wall']:,.0f} "
+                  f"(floor {floor:,.0f}): {verdict}")
+            if measured < floor:
+                failures.append(f"{users}-user flows/sec {measured:,.0f}"
+                                f" < floor {floor:,.0f}")
+        # Hard gate 3: the hybrid download-time oracle.
+        reference = baseline.get("hybrid", {})
+        if reference:
+            expected = reference.get("download_time")
+            measured = manyflow["hybrid"]["download_time"]
+            if expected is not None and measured != expected:
+                hard_failures.append(
+                    f"hybrid oracle moved: {measured!r} != {expected!r}")
+                print("check hybrid oracle: FAIL")
+            else:
+                print(f"check hybrid oracle: {measured:.6f}s: ok")
+
+    if hard_failures:
+        print("FAIL (hard, REPRO_PERF_SOFT does not apply): "
+              + "; ".join(hard_failures))
+        return 1
+    if failures:
+        message = "; ".join(failures)
+        if os.environ.get("REPRO_PERF_SOFT") == "1":
+            print(f"WARNING (REPRO_PERF_SOFT=1): {message}")
+            return 0
+        print(f"FAIL: {message}")
+        print("Set REPRO_PERF_SOFT=1 to soft-fail on machines slower "
+              "than the baseline recorder.")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller populations and campaign (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baseline; "
+                             "flows/sec floors soften under "
+                             "REPRO_PERF_SOFT=1, determinism and "
+                             "concurrency gates stay hard")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="campaign workers (0 = all cores)")
+    parser.add_argument("--no-campaign", action="store_true",
+                        help="skip the fairness campaign section")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    manyflow = run_benchmarks(args.quick, args.jobs,
+                              with_campaign=not args.no_campaign)
+    if args.check:
+        return check_regression(args.output, manyflow, mode)
+    merge_output(args.output, manyflow, mode)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,9 @@ def _artifacts() -> Dict[str, Artifact]:
         Artifact("sched", "Scheduler lab: policy regret vs oracle",
                  s.scheduler_lab_campaign,
                  {"scheduler regret": s.scheduler_regret_rows}),
+        Artifact("world", "Shared-bottleneck fairness vs background load",
+                 s.world_campaign,
+                 {"world fairness": s.world_fairness_rows}),
     ]
     return {artifact.name: artifact for artifact in artifacts}
 

@@ -54,6 +54,11 @@ class FlowSpec:
     #: testbed) or a name from
     #: :data:`repro.wireless.profiles.PATH_PAIRS` (e.g. ``dual-lte``).
     path_pair: str = "default"
+    #: Shared-world background traffic: ``none`` (stand-alone flow,
+    #: the paper's measurement) or a preset from
+    #: :data:`repro.world.WORLDS` (``bg-light``, ``closed-32``, ...)
+    #: filling the access links with fluid background flows.
+    world: str = "none"
 
     def __post_init__(self) -> None:
         if self.mode not in ("sp", "mp"):
@@ -94,6 +99,12 @@ class FlowSpec:
                 raise ValueError(
                     f"unknown path pair {self.path_pair!r}; known: "
                     f"default, {', '.join(sorted(PATH_PAIRS))}")
+        if self.world != "none":
+            from repro.world import WORLDS
+            if self.world not in WORLDS:
+                raise ValueError(
+                    f"unknown world {self.world!r}; known: "
+                    f"none, {', '.join(sorted(WORLDS))}")
 
     # ------------------------------------------------------------------
     # Constructors matching the paper's vocabulary
@@ -152,8 +163,8 @@ class FlowSpec:
         hence the derived per-run seeds and journal keys) it had before
         middleboxes existed, or committed campaign outputs would shift.
         The scheduler-lab fields (``path_manager``, ``workload``,
-        ``path_pair``) are gated the same way: defaulted values stay
-        out of the identity string.
+        ``path_pair``) and the shared-world field (``world``) are gated
+        the same way: defaulted values stay out of the identity string.
         """
         values = asdict(self)
         if values["middlebox"] == "none":
@@ -165,6 +176,8 @@ class FlowSpec:
             del values["workload"]
         if values["path_pair"] == "default":
             del values["path_pair"]
+        if values["world"] == "none":
+            del values["world"]
         return ";".join(f"{name}={values[name]}" for name in sorted(values))
 
     @property
@@ -183,12 +196,26 @@ class FlowSpec:
         only needs the *ranking* of cells to be roughly right, and
         observed wall times replace this heuristic as soon as a run
         log or a live campaign provides them.
+
+        Shared-world cells multiply on top: a world's fluid kernel is
+        cheap per background flow, but the contention it creates slows
+        the foreground transfer (more simulated seconds, more
+        RTO/modulation events) roughly with the steady-state
+        concurrency.  Without this term, LJF dispatch would schedule a
+        many-flow cell as if it were a stand-alone run and a mixed
+        ``repro all`` + ``repro world`` plan would park its most
+        expensive cells last, starving the pool at the tail.
         """
         if self.mode == "sp":
-            return 1.0
-        weight = 1.8 if self.paths == 2 else 2.6
-        if self.middlebox != "none":
-            weight *= 1.1
+            weight = 1.0
+        else:
+            weight = 1.8 if self.paths == 2 else 2.6
+            if self.middlebox != "none":
+                weight *= 1.1
+        if self.world != "none":
+            from repro.world import WORLDS
+            concurrency = WORLDS[self.world].expected_concurrency
+            weight *= 1.5 + min(6.0, 0.25 * concurrency)
         return weight
 
     def tcp_config(self) -> TcpConfig:

@@ -64,12 +64,30 @@ def default_jobs() -> int:
     container or cgroup pinned to a subset of the machine,
     ``os.cpu_count()`` still reports every installed core and would
     oversubscribe the pool.
+
+    ``--jobs`` counts *campaign cells*, never flows: one cell is one
+    worker process running one event engine, and a shared-world cell
+    simulates its thousands of background flows inside that single
+    engine.  A world campaign at ``--jobs 8`` therefore runs 8
+    concurrent worlds -- the fluid kernel is O(log n) per flow event,
+    so a many-flow world stays a one-core job and the affinity-derived
+    default needs no scaling down.  The ``REPRO_JOBS`` environment
+    variable caps the default for the exception: worlds so large that
+    per-process memory, not CPU, is the binding resource.
     """
     try:
         affinity = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):
         affinity = 0
-    return affinity or os.cpu_count() or 1
+    jobs = affinity or os.cpu_count() or 1
+    cap = os.environ.get("REPRO_JOBS", "")
+    try:
+        capped = int(cap)
+    except ValueError:
+        return jobs
+    if capped > 0:
+        jobs = min(jobs, capped)
+    return jobs
 
 
 def execute_descriptor(descriptor: RunDescriptor) -> RunResult:

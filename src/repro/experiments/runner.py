@@ -70,6 +70,10 @@ class RunResult:
     metrics: ConnectionMetrics
     established_at: Optional[float] = None
     subflow_count: int = 0
+    #: Shared-world background-traffic summary (flows started /
+    #: completed, goodput, Jain index, ...) when the spec names a
+    #: world; ``None`` for stand-alone runs.
+    world: Optional[dict] = None
 
     @property
     def key(self) -> Tuple[FlowSpec, int]:
@@ -138,6 +142,7 @@ class Measurement:
                 client, connection = self._start_single_path(testbed)
             else:
                 client, connection = self._start_mptcp(testbed)
+            world = self._start_world(testbed, client)
 
         timeout = self.timeout
         if timeout is None:
@@ -145,6 +150,12 @@ class Measurement:
             # finishes within this, and stalls return early anyway.
             timeout = 120.0 + self.size / 12_500.0
         max_events = 200_000 + (self.size // 1448) * _EVENTS_PER_PACKET
+        if world is not None:
+            # Background contention stretches the foreground transfer
+            # (residual capacity floors at 2% of nominal) and the
+            # fluid kernel adds its own arrival/completion events.
+            timeout *= 4.0
+            max_events += 2_000_000
         try:
             with inst.phase("simulate"):
                 testbed.run(until=timeout, max_events=max_events)
@@ -176,6 +187,7 @@ class Measurement:
                 metrics=metrics,
                 established_at=record.established_at,
                 subflow_count=subflow_count,
+                world=(world.summary() if world is not None else None),
             )
         except BaseException:
             # The flight recorder's reason to exist: persist the last
@@ -260,6 +272,33 @@ class Measurement:
                             rng=testbed.rng.stream("middlebox"),
                             probability=spec.middlebox_prob)
         install_chain(testbed.network, address, chain)
+
+    def _start_world(self, testbed: Testbed, client):
+        """Attach the spec's shared world, if any.
+
+        With ``world == "none"`` (every pre-existing spec) nothing is
+        built, no RNG stream is drawn and no event is scheduled, so
+        stand-alone runs replay bit-for-bit.  Otherwise the foreground
+        connection's client addresses claim fair shares on the world's
+        bottlenecks and background arrivals run until the foreground
+        record completes (so the event queue drains afterwards).
+        """
+        spec = self.spec
+        if spec.world == "none":
+            return None
+        from repro.world import build_world
+        world = build_world(testbed, spec.world)
+        if spec.mode == "sp":
+            addresses = [testbed.client_addrs[0] if spec.interface == "wifi"
+                         else testbed.cellular_addr]
+        else:
+            addresses = list(testbed.client_addrs)
+        world.attach_foreground(addresses)
+        record = getattr(client, "record", None)
+        stop_when = ((lambda: record.complete) if record is not None
+                     else None)
+        world.start(stop_when=stop_when)
+        return world
 
     def _start_single_path(self, testbed: Testbed):
         from repro.tcp.endpoint import TcpEndpoint

@@ -223,6 +223,35 @@ def scheduler_lab_campaign(repetitions: int = 2,
         repetitions=repetitions, periods=periods, base_seed=base_seed)
 
 
+#: Background-traffic levels the world campaign sweeps, light to heavy.
+WORLD_LEVELS = ("bg-none", "bg-light", "bg-medium", "bg-heavy")
+
+
+def world_campaign(repetitions: int = 2,
+                   periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
+                   base_seed: int = 2013,
+                   worlds: Tuple[str, ...] = WORLD_LEVELS,
+                   size: int = 2 * MB) -> CampaignSpec:
+    """Shared-bottleneck fairness: foreground vs fluid background.
+
+    The paper measures MPTCP against real cross-traffic on shared
+    WiFi/LTE access links; this campaign reproduces that contention
+    with the :mod:`repro.world` kernel.  For each background level a
+    single-path WiFi flow and an MP-2 flow download the same object
+    through the same populated world; :func:`world_fairness_rows`
+    reports foreground slowdown and background-population fairness
+    side by side.
+    """
+    specs: List[FlowSpec] = []
+    for world in worlds:
+        specs.append(FlowSpec.single_path("wifi", world=world))
+        specs.append(FlowSpec.mptcp(carrier="att", controller="coupled",
+                                    world=world))
+    return CampaignSpec(
+        name="world", specs=tuple(specs), sizes=(size,),
+        repetitions=repetitions, periods=periods, base_seed=base_seed)
+
+
 def latency_campaign(repetitions: int = 2,
                      periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
                      base_seed: int = 2013) -> CampaignSpec:
@@ -516,6 +545,62 @@ def scheduler_regret_rows(results: Sequence[RunResult]
             rows.append([workload, pair, scheduler, str(count),
                          f"{mean:.3f}", f"{oracle:.3f}",
                          f"{100 * regret:.1f}", completion])
+    return headers, rows
+
+
+def world_fairness_rows(results: Sequence[RunResult]
+                        ) -> Tuple[List[str], List[List[str]]]:
+    """Shared-bottleneck fairness: foreground cost of a busy world.
+
+    One row per (world, config): the foreground download time against
+    the background population it shared the access links with --
+    completed flows, aggregate goodput, mean flow-completion time,
+    peak concurrency, and Jain's fairness index over per-flow
+    throughput.  Slowdown is each config's mean download time over its
+    own ``bg-none`` mean, isolating contention from protocol effects.
+    """
+    headers = ["world", "config", "n", "download time (s)", "slowdown",
+               "bg flows", "bg goodput (Mbit/s)", "bg mean fct (s)",
+               "peak bg", "jain"]
+    cells: Dict[Tuple[str, str], List[RunResult]] = {}
+    for result in results:
+        cells.setdefault((result.spec.world, result.spec.label),
+                         []).append(result)
+    baselines: Dict[str, float] = {}
+    for (world, label), bucket in cells.items():
+        if world != "bg-none":
+            continue
+        times = [result.download_time for result in bucket
+                 if result.download_time is not None]
+        if times:
+            baselines[label] = sum(times) / len(times)
+    rows: List[List[str]] = []
+    for (world, label), bucket in sorted(cells.items()):
+        times = [result.download_time for result in bucket
+                 if result.download_time is not None]
+        mean = sum(times) / len(times) if times else None
+        baseline = baselines.get(label)
+        if mean is None:
+            time_text, slowdown = "-", "-"
+        else:
+            time_text = f"{mean:.3f}"
+            slowdown = (f"{mean / baseline:.2f}x"
+                        if baseline else "-")
+        worlds = [result.world for result in bucket
+                  if result.world is not None]
+        if worlds:
+            count = len(worlds)
+            flows = sum(w["flows_completed"] for w in worlds) / count
+            goodput = sum(w["bg_goodput_bps"] for w in worlds) / count
+            fct = sum(w["mean_fct"] for w in worlds) / count
+            peak = max(w["peak_concurrent"] for w in worlds)
+            jain = sum(w["jain"] for w in worlds) / count
+            tail = [f"{flows:.1f}", f"{goodput / 1e6:.3f}",
+                    f"{fct:.3f}", str(peak), f"{jain:.3f}"]
+        else:
+            tail = ["-", "-", "-", "-", "-"]
+        rows.append([world, label, str(len(bucket)), time_text,
+                     slowdown] + tail)
     return headers, rows
 
 

@@ -109,6 +109,7 @@ def result_to_dict(result: RunResult,
         "download_time": result.download_time,
         "established_at": result.established_at,
         "subflow_count": result.subflow_count,
+        "world": result.world,
         "metrics": {
             "download_time": metrics.download_time,
             "bytes_received": metrics.bytes_received,
@@ -147,6 +148,7 @@ def result_from_dict(data: dict) -> RunResult:
         metrics=metrics,
         established_at=data["established_at"],
         subflow_count=data["subflow_count"],
+        world=data.get("world"),  # absent in pre-world files
     )
 
 

@@ -130,6 +130,7 @@ class Link:
         self._last_modulation_step = 0.0
         self._last_delivery_time = 0.0
         self._down = False
+        self._fluid_bps = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -187,10 +188,34 @@ class Link:
         """Bytes currently buffered (excludes the packet in service)."""
         return self._queue_bytes
 
+    def set_fluid_load(self, load_bps: float) -> None:
+        """Declare bandwidth claimed by fluid-model background flows.
+
+        The shared-world kernel (:mod:`repro.world`) pushes the summed
+        max-min share of every background flow crossing this link here;
+        packet-level flows then see the *residual* capacity through
+        :meth:`current_rate`.  A load of ``0.0`` restores the link to
+        its exact stand-alone behaviour -- the subtraction below is
+        guarded so single-connection runs stay byte-identical.
+        """
+        self._fluid_bps = load_bps
+
     def current_rate(self) -> float:
-        """Instantaneous service rate in bits/s after modulation."""
+        """Instantaneous service rate in bits/s after modulation.
+
+        When a shared world has claimed fluid background load (see
+        :meth:`set_fluid_load`) the packet-level rate is the residual
+        capacity, floored at 2 % of nominal so a saturated bottleneck
+        degrades the foreground flow instead of stalling it outright.
+        """
         self._step_modulation()
-        return self.config.rate_bps * self._rate_multiplier
+        rate = self.config.rate_bps * self._rate_multiplier
+        if self._fluid_bps:
+            rate -= self._fluid_bps
+            floor = 0.02 * self.config.rate_bps
+            if rate < floor:
+                rate = floor
+        return rate
 
     def queueing_delay_estimate(self) -> float:
         """Time a packet arriving now would wait before service begins."""

@@ -289,10 +289,19 @@ class ProgressRenderer:
         beats = [Heartbeat(payload)
                  for payload in read_heartbeats(self.heartbeat_dir).values()]
         done = max(self._done, sum(beat.done for beat in beats))
-        elapsed = time.monotonic() - self._started_at
-        rate = done / elapsed if elapsed > 0 and done else 0.0
-        eta = ((self.total - done) / rate) if rate > 0 else None
-        eta_text = f"ETA {eta:.0f}s" if eta is not None else "ETA ?"
+        remaining = self.total - done
+        if remaining <= 0:
+            # Everything accounted for -- including the degenerate
+            # warm-cache/journal case where every cell was restored
+            # before a single live run (or the campaign was empty).
+            # The observed-rate extrapolation below would divide the
+            # near-zero elapsed time into a nonsense ETA.
+            eta_text = "done"
+        else:
+            elapsed = time.monotonic() - self._started_at
+            rate = done / elapsed if elapsed > 0.0 and done > 0 else 0.0
+            eta_text = (f"ETA {remaining / rate:.0f}s" if rate > 0.0
+                        else "ETA ?")
         total_eps = sum(beat.events_per_sec or 0 for beat in beats)
         lines = [f"[progress] {done}/{self.total} runs"
                  f" | {len(beats)} worker(s)"

@@ -1,0 +1,41 @@
+"""repro.world -- the many-flow shared-world kernel.
+
+Hybrid-fidelity simulation: one event engine hosts the full
+packet-level MPTCP stack for flows under study alongside a fluid
+bandwidth-sharing model (max-min fair shares per bottleneck) for
+hundreds-to-thousands of background flows, coupled through residual
+link capacity.  See ``docs/manyflow.md``.
+"""
+
+from repro.world.arrivals import (
+    SIZE_DISTRIBUTIONS,
+    ClosedLoopUsers,
+    PoissonArrivals,
+    make_size_sampler,
+)
+from repro.world.fluid import (
+    GREEDY,
+    ClassKey,
+    FluidFlow,
+    FluidNetwork,
+    FluidStats,
+    solve_max_min,
+)
+from repro.world.kernel import WORLDS, World, WorldSpec, build_world
+
+__all__ = [
+    "GREEDY",
+    "SIZE_DISTRIBUTIONS",
+    "WORLDS",
+    "ClassKey",
+    "ClosedLoopUsers",
+    "FluidFlow",
+    "FluidNetwork",
+    "FluidStats",
+    "PoissonArrivals",
+    "World",
+    "WorldSpec",
+    "build_world",
+    "make_size_sampler",
+    "solve_max_min",
+]

@@ -1,0 +1,468 @@
+"""Fluid-model bandwidth sharing for background flows.
+
+The shared-world kernel hosts thousands of concurrent flows in one
+event engine.  Simulating every one at packet level would melt the
+calendar queue, so background flows are *fluid*: each is a pure
+(route, size, desired-bandwidth) triple whose transfer rate is the
+max-min fair share of the bottlenecks it crosses, recomputed only on
+flow arrival, departure, or rate-change events -- the desired/available
+bandwidth bookkeeping of the fg-inet dt-simulator design.
+
+Two ideas keep this O(log n) per flow event rather than O(n):
+
+* **Flow classes.**  Max-min fairness gives identical rates to flows
+  with the same route and demand, so flows are grouped into classes
+  keyed by ``(route, desired_bw)``.  The water-filling solver runs over
+  classes (a handful) instead of flows (thousands).
+* **Virtual-time completion tracking.**  Within a class every flow
+  drains at the same rate, so a per-class virtual clock ``V`` -- bits
+  served *per flow* since the class was created -- orders completions.
+  A flow arriving at virtual time ``V`` with ``size_bits`` to move
+  finishes when ``V`` reaches ``V + size_bits``: a constant computed on
+  arrival and kept in a min-heap.  Rate changes only alter the speed at
+  which ``V`` advances; they never reorder the heap.
+
+Packet-level foreground flows participate as *greedy* classes: they
+occupy a fair share in the solver (so background flows do not starve
+them) but their computed rate is never applied to packets -- instead
+the summed background shares are pushed to each :class:`Link` as
+residual-capacity load (:meth:`Link.set_fluid_load`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+#: Demand value marking a greedy flow (wants every bit it can get).
+GREEDY = float("inf")
+
+#: A flow whose remaining service time falls below this is considered
+#: finished -- absorbs float error from advancing virtual clocks.
+_COMPLETION_EPS_S = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class ClassKey:
+    """Identity of a flow class: same route, same per-flow demand."""
+
+    route: Tuple[str, ...]
+    desired_bw: float = GREEDY
+
+
+@dataclass
+class FluidFlow:
+    """One background transfer tracked by the fluid model."""
+
+    flow_id: int
+    key: ClassKey
+    size_bytes: int
+    started_at: float
+    #: Class virtual time (bits per flow) at which this flow completes.
+    finish_v: float = 0.0
+    finished_at: Optional[float] = None
+    on_complete: Optional[Callable[["FluidFlow"], None]] = None
+
+    @property
+    def duration(self) -> float:
+        """Flow completion time, or -1.0 while still in flight."""
+        if self.finished_at is None:
+            return -1.0
+        return self.finished_at - self.started_at
+
+
+class FlowClass:
+    """All live fluid flows sharing one :class:`ClassKey`.
+
+    ``virtual_bits`` is the per-flow service accumulated since the
+    class was created; ``heap`` orders member flows by the virtual time
+    at which they finish.  Packet-level participants use ``pinned``
+    membership instead of the heap (they never "complete" in fluid
+    terms -- the packet stack decides that).
+    """
+
+    __slots__ = ("key", "heap", "virtual_bits", "rate_bps", "pinned")
+
+    def __init__(self, key: ClassKey) -> None:
+        self.key = key
+        self.heap: List[Tuple[float, int, FluidFlow]] = []
+        self.virtual_bits = 0.0
+        self.rate_bps = 0.0
+        #: Packet-level flows attached to this class (greedy demand,
+        #: no fluid completion tracking).
+        self.pinned = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.heap) + self.pinned
+
+    def advance(self, dt: float) -> None:
+        if dt > 0.0 and self.heap:
+            self.virtual_bits += self.rate_bps * dt
+
+    def next_completion_in(self) -> float:
+        """Seconds until the earliest member finishes, or +inf."""
+        if not self.heap or self.rate_bps <= 0.0:
+            return GREEDY
+        remaining = self.heap[0][0] - self.virtual_bits
+        if remaining <= 0.0:
+            return 0.0
+        return remaining / self.rate_bps
+
+
+def solve_max_min(demands: Dict[ClassKey, int],
+                  capacities: Dict[str, float]) -> Dict[ClassKey, float]:
+    """Water-filling max-min fair allocation over flow classes.
+
+    Args:
+        demands: live flow count per class; a class's route names the
+            bottlenecks it crosses, its ``desired_bw`` caps the
+            per-flow rate (``GREEDY`` = uncapped).
+        capacities: capacity in bits/s per bottleneck name.  Routes may
+            reference unknown names; those hops are ignored (treated as
+            uncongested).
+
+    Returns:
+        Per-flow rate for every class with a positive count.  The
+        result is independent of dict insertion order: each round
+        freezes a *set* of classes chosen by value, and ties are
+        resolved over the whole set at once.
+
+    Invariant (property-tested): for every bottleneck, the summed
+    allocation of classes crossing it never exceeds its capacity.
+    """
+    rates: Dict[ClassKey, float] = {}
+    remaining = dict(capacities)
+    unfrozen = {key: count for key, count in demands.items() if count > 0}
+    for key in unfrozen:
+        rates[key] = 0.0
+
+    while unfrozen:
+        # Unfrozen flow population per bottleneck.
+        population: Dict[str, int] = {}
+        for key, count in unfrozen.items():
+            for hop in key.route:
+                if hop in remaining:
+                    population[hop] = population.get(hop, 0) + count
+        if not population:
+            # Every route runs over unknown hops: grant demands
+            # outright (greedy classes get 0 -- nothing bounds them).
+            for key in unfrozen:
+                rates[key] = key.desired_bw if key.desired_bw < GREEDY \
+                    else 0.0
+            break
+
+        fair = {hop: remaining[hop] / count
+                for hop, count in population.items()}
+        level = min(fair.values())
+        floor = min(key.desired_bw for key in unfrozen)
+
+        if floor <= level:
+            # Demand-limited classes saturate below the water level:
+            # freeze all of them at their demand.
+            frozen = [key for key in unfrozen if key.desired_bw <= floor]
+            grant = {key: key.desired_bw for key in frozen}
+        else:
+            # Capacity-limited round: every class crossing a bottleneck
+            # at the water level freezes at the fair share.
+            tight = {hop for hop, value in fair.items() if value <= level}
+            frozen = [key for key in unfrozen
+                      if any(hop in tight for hop in key.route)]
+            grant = {key: level for key in frozen}
+
+        # Subtract in sorted-key order: float subtraction is not
+        # associative, so a dict-order walk would make the remaining
+        # capacities -- and hence later rounds -- depend on insertion
+        # order (the order-independence property test catches this).
+        for key in sorted(frozen):
+            rate = grant[key]
+            rates[key] = rate
+            claimed = rate * unfrozen.pop(key)
+            for hop in key.route:
+                if hop in remaining:
+                    left = remaining[hop] - claimed
+                    remaining[hop] = left if left > 0.0 else 0.0
+    return rates
+
+
+@dataclass
+class FluidStats:
+    """Streaming aggregates over completed background flows.
+
+    Jain's fairness index over per-flow average throughput is kept as
+    running sums, so memory stays O(1) no matter how many flows pass
+    through the world.
+    """
+
+    flows_started: int = 0
+    flows_completed: int = 0
+    bytes_completed: int = 0
+    peak_concurrent: int = 0
+    sum_fct: float = 0.0
+    first_start_at: Optional[float] = None
+    last_completion_at: Optional[float] = None
+    _sum_rate: float = 0.0
+    _sum_rate_sq: float = 0.0
+    #: A bounded sample of completion records for reports/tests.
+    records: List[Tuple[float, int, float]] = field(default_factory=list)
+    max_records: int = 256
+
+    def note_start(self, concurrent: int, now: float = 0.0) -> None:
+        self.flows_started += 1
+        if self.first_start_at is None:
+            self.first_start_at = now
+        if concurrent > self.peak_concurrent:
+            self.peak_concurrent = concurrent
+
+    def note_completion(self, flow: FluidFlow) -> None:
+        self.flows_completed += 1
+        self.bytes_completed += flow.size_bytes
+        self.last_completion_at = flow.finished_at
+        duration = flow.duration
+        self.sum_fct += duration
+        if duration > 0.0:
+            rate = flow.size_bytes * 8.0 / duration
+            self._sum_rate += rate
+            self._sum_rate_sq += rate * rate
+        if len(self.records) < self.max_records:
+            self.records.append(
+                (flow.started_at, flow.size_bytes, duration))
+
+    @property
+    def mean_fct(self) -> float:
+        if not self.flows_completed:
+            return 0.0
+        return self.sum_fct / self.flows_completed
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index of per-flow throughput; 1.0 = equal."""
+        if not self.flows_completed or self._sum_rate_sq <= 0.0:
+            return 1.0
+        return (self._sum_rate * self._sum_rate
+                / (self.flows_completed * self._sum_rate_sq))
+
+
+class FluidNetwork:
+    """The fluid half of a hybrid world: bottlenecks, classes, timer.
+
+    One instance per :class:`Simulator`.  Background flows enter via
+    :meth:`start_flow`; packet-level flows register their routes via
+    :meth:`attach_packet_flow` so the solver reserves them a fair
+    share.  After every reallocation the summed background load per
+    bottleneck is pushed to the backing :class:`Link` (when one is
+    bound) as residual-capacity load.
+
+    Determinism: the kernel draws no randomness and, while no fluid
+    flow is live, schedules no events -- a world with zero background
+    flows leaves the engine's event/seq stream untouched, which is what
+    keeps single-flow runs byte-identical (the fig02-oracle test).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "world") -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = FluidStats()
+        self.on_complete: Optional[Callable[[FluidFlow], None]] = None
+        self._capacities: Dict[str, float] = {}
+        self._links: Dict[str, object] = {}
+        self._classes: Dict[ClassKey, FlowClass] = {}
+        self._live = 0
+        self._next_id = 0
+        self._timer = None
+        self._last_advance = sim.now
+        self._processing = False
+
+    # -- topology ------------------------------------------------------
+
+    def add_bottleneck(self, name: str, capacity_bps: float,
+                       link=None) -> None:
+        """Declare a shared bottleneck, optionally backed by a Link.
+
+        Capacity is the *nominal* link rate: the fluid model must not
+        consult ``Link.current_rate()`` (that would step the modulation
+        RNG at fluid-event times and break packet-level determinism).
+        """
+        self._capacities[name] = capacity_bps
+        if link is not None:
+            self._links[name] = link
+
+    @property
+    def bottlenecks(self) -> Dict[str, float]:
+        return dict(self._capacities)
+
+    # -- participants --------------------------------------------------
+
+    def attach_packet_flow(self, route: Tuple[str, ...]) -> ClassKey:
+        """Reserve a greedy fair share for a packet-level flow."""
+        key = ClassKey(route=tuple(route))
+        cls = self._classes.get(key)
+        if cls is None:
+            cls = self._classes[key] = FlowClass(key)
+        cls.pinned += 1
+        self._event(self._reallocate)
+        return key
+
+    def detach_packet_flow(self, key: ClassKey) -> None:
+        cls = self._classes.get(key)
+        if cls is None or cls.pinned <= 0:
+            return
+        cls.pinned -= 1
+        if not cls.count:
+            del self._classes[key]
+        self._event(self._reallocate)
+
+    def start_flow(self, route: Tuple[str, ...], size_bytes: int,
+                   desired_bw: float = GREEDY,
+                   on_complete: Optional[Callable[[FluidFlow], None]]
+                   = None) -> FluidFlow:
+        """Begin a fluid background transfer; completion is announced
+        through ``on_complete`` (per flow) or :attr:`on_complete`."""
+        key = ClassKey(route=tuple(route), desired_bw=desired_bw)
+        cls = self._classes.get(key)
+        if cls is None:
+            cls = self._classes[key] = FlowClass(key)
+        flow = FluidFlow(flow_id=self._next_id, key=key,
+                         size_bytes=size_bytes,
+                         started_at=self.sim.now,
+                         on_complete=on_complete)
+        self._next_id += 1
+        self._live += 1
+        self.stats.note_start(self._live, now=self.sim.now)
+
+        def _start() -> None:
+            flow.finish_v = cls.virtual_bits + size_bytes * 8.0
+            heapq.heappush(cls.heap, (flow.finish_v, flow.flow_id, flow))
+
+        self._event(self._reallocate, before=_start)
+        return flow
+
+    @property
+    def live_flows(self) -> int:
+        return self._live
+
+    # -- event machinery -----------------------------------------------
+
+    def _event(self, react: Callable[[], None],
+               before: Optional[Callable[[], None]] = None) -> None:
+        """Advance clocks, apply a mutation, reallocate once.
+
+        When called re-entrantly (a completion callback starting the
+        next closed-loop flow) the reallocation is deferred to the
+        enclosing event, so each engine event triggers at most one
+        solver pass.
+        """
+        if self._processing:
+            if before is not None:
+                before()
+            return
+        self._processing = True
+        try:
+            self._advance()
+            if before is not None:
+                before()
+            react()
+        finally:
+            self._processing = False
+
+    def batch(self):
+        """Context manager coalescing many mutations into one solve."""
+        network = self
+
+        class _Batch:
+            def __enter__(self) -> "FluidNetwork":
+                network._advance()
+                network._processing = True
+                return network
+
+            def __exit__(self, *exc) -> None:
+                network._processing = False
+                if exc[0] is None:
+                    network._reallocate()
+
+        return _Batch()
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_advance
+        if dt > 0.0:
+            for cls in self._classes.values():
+                cls.advance(dt)
+        self._last_advance = now
+
+    def _reallocate(self) -> None:
+        demands = {key: cls.count for key, cls in self._classes.items()}
+        rates = solve_max_min(demands, self._capacities)
+        load: Dict[str, float] = {name: 0.0 for name in self._links}
+        for key, cls in self._classes.items():
+            cls.rate_bps = rates.get(key, 0.0)
+            fluid = len(cls.heap)
+            if fluid:
+                claimed = cls.rate_bps * fluid
+                for hop in key.route:
+                    if hop in load:
+                        load[hop] += claimed
+        for name, link in self._links.items():
+            link.set_fluid_load(load[name])
+        trace = self.sim.trace
+        if trace.enabled and self._live:
+            trace.emit(self.sim.now, "world.alloc", live=self._live,
+                       classes=len(self._classes))
+        self._schedule_timer()
+
+    def _schedule_timer(self) -> None:
+        horizon = GREEDY
+        for cls in self._classes.values():
+            dt = cls.next_completion_in()
+            if dt < horizon:
+                horizon = dt
+        if horizon == GREEDY:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        when = self.sim.now + horizon
+        if self._timer is None:
+            self._timer = self.sim.schedule_at(when, self._on_timer)
+        else:
+            self.sim.reschedule(self._timer, horizon)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._processing = True
+        completed: List[FluidFlow] = []
+        try:
+            self._advance()
+            for cls in self._classes.values():
+                if not cls.heap or cls.rate_bps <= 0.0:
+                    continue
+                slack = cls.rate_bps * _COMPLETION_EPS_S
+                while cls.heap and \
+                        cls.heap[0][0] - cls.virtual_bits <= slack:
+                    _, _, flow = heapq.heappop(cls.heap)
+                    flow.finished_at = self.sim.now
+                    completed.append(flow)
+            empty = [key for key, cls in self._classes.items()
+                     if not cls.count]
+            for key in empty:
+                del self._classes[key]
+            self._live -= len(completed)
+            trace = self.sim.trace
+            for flow in completed:
+                self.stats.note_completion(flow)
+                if trace.enabled:
+                    trace.emit(self.sim.now, "world.flow",
+                               flow_id=flow.flow_id,
+                               size=flow.size_bytes,
+                               duration=flow.duration,
+                               route=",".join(flow.key.route))
+                if flow.on_complete is not None:
+                    flow.on_complete(flow)
+                elif self.on_complete is not None:
+                    self.on_complete(flow)
+        finally:
+            self._processing = False
+        self._reallocate()

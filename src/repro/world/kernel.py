@@ -1,0 +1,220 @@
+"""The shared world: binding fluid background traffic to a Testbed.
+
+A :class:`World` takes an already-built :class:`~repro.testbed.Testbed`
+and populates its access links with fluid background flows:
+
+* the client's WiFi and/or cellular *downlinks* become fluid
+  bottlenecks (downloads contend where the paper's measurements do --
+  on the access link);
+* an arrival process (from :class:`WorldSpec`) generates background
+  flows over those bottlenecks, drawing from a dedicated named RNG
+  stream (``"world.arrivals"``) so the packet stack's randomness is
+  untouched;
+* the foreground connection registers each of its paths as a greedy
+  packet-level participant, reserving it a max-min fair share, and the
+  remaining background load is pushed to each Link as residual
+  capacity.
+
+Fidelity boundary (see ``docs/manyflow.md``): background flows do not
+emit packets, so they create *rate* contention but not queue occupancy
+-- the foreground flow sees a slower link, not a deeper buffer.  That
+is the standard hybrid trade: per-flow fairness and FCT distributions
+at the fluid layer, full protocol dynamics at the packet layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.world.arrivals import (
+    ClosedLoopUsers,
+    PoissonArrivals,
+    make_size_sampler,
+)
+from repro.world.fluid import GREEDY, ClassKey, FluidNetwork
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Declarative description of a background-traffic world.
+
+    Attributes:
+        arrival: ``"none"`` (topology only -- zero background flows),
+            ``"poisson"`` (open loop at :attr:`rate` flows/s) or
+            ``"closed"`` (:attr:`users` think/download loops).
+        rate: Poisson arrival rate, flows per second.
+        users: closed-loop population size.
+        think_mean: mean exponential think time between a user's
+            downloads, seconds; ``0`` pins ``users`` concurrent flows.
+        sizes: flow-size distribution spec (see
+            :func:`repro.world.arrivals.make_size_sampler`).
+        paths: which access links carry background traffic --
+            ``"wifi"``, ``"cell"``, or both.
+        desired_bw: per-flow demand cap in bits/s; ``0`` means greedy.
+    """
+
+    arrival: str = "none"
+    rate: float = 0.0
+    users: int = 0
+    think_mean: float = 0.0
+    sizes: str = "paper-split"
+    paths: Tuple[str, ...] = ("wifi",)
+    desired_bw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("none", "poisson", "closed"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.arrival == "poisson" and self.rate <= 0.0:
+            raise ValueError("poisson world needs rate > 0")
+        if self.arrival == "closed" and self.users <= 0:
+            raise ValueError("closed world needs users > 0")
+        for path in self.paths:
+            if path not in ("wifi", "cell"):
+                raise ValueError(f"unknown world path {path!r}")
+        make_size_sampler(self.sizes)  # validate eagerly
+
+    @property
+    def expected_concurrency(self) -> float:
+        """Rough steady-state concurrent-flow estimate, for pricing.
+
+        Closed loops bound concurrency by the population; for open
+        loops we apply Little's law with a nominal ~1 s flow time.
+        """
+        if self.arrival == "closed":
+            return float(self.users)
+        if self.arrival == "poisson":
+            return self.rate
+        return 0.0
+
+
+#: Preset worlds, referenced by ``FlowSpec.world``.  Registry-style,
+#: like SCHEDULERS / PATH_MANAGERS: campaign cells name a preset, and
+#: the preset is part of the cell's identity.
+#: Web-ish mix for the open-loop presets: the paper's small/large
+#: split with the bulk tail trimmed so offered load stays below the
+#: 20 Mbit/s home-WiFi downlink (mean ~220 KB/flow ~= 1.8 Mbit/flow;
+#: open-loop worlds must stay under capacity or backlog diverges).
+_OPEN_MIX = "paper-split:p_large=0.05,large_lo=1048576,large_hi=4194304"
+
+WORLDS: Dict[str, WorldSpec] = {
+    # Topology only: fluid bottlenecks exist, zero background flows.
+    # Must reproduce the stand-alone testbed byte-identically.
+    "bg-none": WorldSpec(),
+    # Open-loop contention levels (~18% / ~45% / ~50-80% of the access
+    # downlinks; heavy spreads across both WiFi and cellular).
+    "bg-light": WorldSpec(arrival="poisson", rate=2.0, sizes=_OPEN_MIX),
+    "bg-medium": WorldSpec(arrival="poisson", rate=5.0, sizes=_OPEN_MIX),
+    "bg-heavy": WorldSpec(arrival="poisson", rate=12.0, sizes=_OPEN_MIX,
+                          paths=("wifi", "cell")),
+    # Closed-loop populations (exact concurrency, zero think time;
+    # offered load self-adjusts, so the full paper mix is safe).
+    "closed-8": WorldSpec(arrival="closed", users=8),
+    "closed-32": WorldSpec(arrival="closed", users=32),
+}
+
+
+class World:
+    """One background-traffic world attached to one Testbed."""
+
+    def __init__(self, testbed, spec: WorldSpec,
+                 name: str = "world") -> None:
+        self.testbed = testbed
+        self.spec = spec
+        self.name = name
+        self.fluid = FluidNetwork(testbed.sim, name=name)
+        self._routes: List[Tuple[str, ...]] = []
+        self._attached: List[ClassKey] = []
+        self.arrivals = None
+
+        from repro.testbed import CLIENT_WIFI
+        addresses = {"wifi": CLIENT_WIFI, "cell": testbed.cellular_addr}
+        for path in spec.paths:
+            address = addresses[path]
+            _, down = testbed.network.links_for(address)
+            bottleneck = f"{address}:down"
+            self.fluid.add_bottleneck(
+                bottleneck, down.config.rate_bps, link=down)
+            self._routes.append((bottleneck,))
+
+    # -- foreground participation --------------------------------------
+
+    def attach_foreground(self, addresses) -> None:
+        """Reserve greedy fair shares for a packet-level connection.
+
+        ``addresses`` are the client-side interface addresses the
+        connection's subflows terminate at; each one that maps to a
+        world bottleneck becomes a pinned participant in the solver.
+        """
+        for address in addresses:
+            bottleneck = f"{address}:down"
+            if bottleneck in self.fluid.bottlenecks:
+                self._attached.append(
+                    self.fluid.attach_packet_flow((bottleneck,)))
+
+    def detach_foreground(self) -> None:
+        for key in self._attached:
+            self.fluid.detach_packet_flow(key)
+        self._attached.clear()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self,
+              stop_when: Optional[Callable[[], bool]] = None) -> None:
+        """Begin generating background traffic.
+
+        ``stop_when`` is polled at every would-be arrival; once it
+        returns true no further flows are generated, so the event queue
+        drains and ``sim.run()`` returns.  With ``arrival == "none"``
+        this schedules nothing and draws no randomness.
+        """
+        spec = self.spec
+        if spec.arrival == "none":
+            return
+        rng = self.testbed.rng.stream(f"{self.name}.arrivals")
+        sampler = make_size_sampler(spec.sizes)
+        desired = spec.desired_bw if spec.desired_bw > 0.0 else GREEDY
+        if spec.arrival == "poisson":
+            self.arrivals = PoissonArrivals(
+                self.testbed.sim, self.fluid, rng, self._routes,
+                sampler, rate=spec.rate, desired_bw=desired,
+                stop_when=stop_when)
+        else:
+            self.arrivals = ClosedLoopUsers(
+                self.testbed.sim, self.fluid, rng, self._routes,
+                sampler, users=spec.users, think_mean=spec.think_mean,
+                desired_bw=desired, stop_when=stop_when)
+        self.arrivals.start()
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Lightweight per-run record for RunResult/campaign rows."""
+        stats = self.fluid.stats
+        # Goodput over the background-activity window, not over however
+        # long residual timers kept the simulator alive afterwards.
+        if stats.first_start_at is not None \
+                and stats.last_completion_at is not None:
+            elapsed = stats.last_completion_at - stats.first_start_at
+        else:
+            elapsed = self.testbed.sim.now
+        goodput = (stats.bytes_completed * 8.0 / elapsed
+                   if elapsed > 0.0 else 0.0)
+        return {
+            "flows_started": stats.flows_started,
+            "flows_completed": stats.flows_completed,
+            "bg_bytes": stats.bytes_completed,
+            "bg_goodput_bps": goodput,
+            "peak_concurrent": stats.peak_concurrent,
+            "mean_fct": stats.mean_fct,
+            "jain": stats.jain_index,
+        }
+
+
+def build_world(testbed, world: str, name: str = "world") -> World:
+    """Instantiate a preset world from the :data:`WORLDS` registry."""
+    spec = WORLDS.get(world)
+    if spec is None:
+        known = ", ".join(sorted(WORLDS))
+        raise ValueError(f"unknown world {world!r}; expected one of {known}")
+    return World(testbed, spec, name=name)

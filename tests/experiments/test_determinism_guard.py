@@ -186,3 +186,68 @@ def test_tracing_leaves_campaign_bytes_untouched(reference_csvs, trace,
         files = sorted(tmp_path.glob("run-*.jsonl"))
         assert len(files) == 2
         assert all(path.stat().st_size > 0 for path in files)
+
+
+# ----------------------------------------------------------------------
+# The many-flow world campaign under the same guard
+# ----------------------------------------------------------------------
+
+from repro.experiments.scenarios import world_campaign, \
+    world_fairness_rows  # noqa: E402
+
+#: SHA-256 of the world guard campaign's fairness CSV, captured when
+#: the shared-world kernel landed.  The fluid solver, arrival
+#: processes and residual-capacity coupling all feed these bytes; any
+#: drift here means background worlds stopped being reproducible.
+PINNED_WORLD_FAIRNESS = \
+    "614d4f527921c3d543eb4587d886281431afe7833ec27337b61ac4f288436841"
+
+
+def _world_campaign_csv(jobs: int = 1, cache=None,
+                        dispatch: str = "ljf") -> bytes:
+    """Run a small world matrix; return its fairness CSV as bytes."""
+    spec = world_campaign(
+        repetitions=1, periods=(TimeOfDay.NIGHT,), base_seed=7,
+        worlds=("bg-none", "bg-light", "closed-8"), size=256 * KB)
+    campaign = Campaign(spec, jobs=jobs, cache=cache, dispatch=dispatch)
+    results = campaign.run()
+    assert all(result.completed for result in results)
+    return csv_text(*world_fairness_rows(results)).encode()
+
+
+@pytest.fixture(scope="module")
+def world_reference_csv():
+    return _world_campaign_csv()
+
+
+def test_world_campaign_bytes_pinned(world_reference_csv):
+    assert hashlib.sha256(world_reference_csv).hexdigest() == \
+        PINNED_WORLD_FAIRNESS
+
+
+def test_world_campaign_parallel_matches(world_reference_csv):
+    """One world == one process: worker-pool dispatch must reproduce
+    the serial bytes even though each worker hosts its own engine."""
+    assert _world_campaign_csv(jobs=2) == world_reference_csv
+    assert _world_campaign_csv(jobs=2, dispatch="plan") == \
+        world_reference_csv
+
+
+def test_world_campaign_cache_cold_and_warm_match(world_reference_csv,
+                                                  tmp_path):
+    root = tmp_path / "cache"
+    assert _world_campaign_csv(cache=str(root)) == world_reference_csv
+    warm_cache = RunCache(root)
+    warm = _world_campaign_csv(cache=warm_cache)
+    assert warm_cache.hits == 6, "warm pass must serve every cell"
+    warm_cache.close()
+    assert warm == world_reference_csv
+
+
+def test_world_cells_do_not_disturb_plain_cells(reference_csvs):
+    """Running a worldly campaign in the same process must not move
+    the plain guard campaign's bytes (no RNG or engine-state leaks
+    between cells)."""
+    _world_campaign_csv()
+    assert _campaign_csvs(fast=True, level="metrics-only") == \
+        reference_csvs

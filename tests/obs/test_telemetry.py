@@ -198,3 +198,41 @@ def test_progress_renderer_thread_lifecycle(tmp_path):
     renderer.stop()
     assert "[progress] 1/1 runs" in stream.getvalue()
     assert renderer._thread is None
+
+
+def test_progress_renderer_warm_cache_shows_done(tmp_path):
+    """A campaign served entirely from the warm run cache finishes in
+    microseconds with zero heartbeats.  The renderer must report
+    completion, not extrapolate a nonsense ETA from ~zero elapsed
+    time (the historical failure mode: 'ETA 0s' from a huge rate, or
+    a ZeroDivisionError)."""
+    stream = io.StringIO()
+    renderer = ProgressRenderer(str(tmp_path / "hb"), total=6,
+                                interval=60.0, stream=stream)
+    renderer.note_done(6)  # every cell restored before any live run
+    renderer.stop()
+    output = stream.getvalue()
+    assert "[progress] 6/6 runs" in output
+    assert "| done" in output
+    assert "ETA" not in output
+
+
+def test_progress_renderer_empty_campaign_is_done(tmp_path):
+    """total=0 (an empty plan) must not divide by zero."""
+    stream = io.StringIO()
+    renderer = ProgressRenderer(str(tmp_path / "hb"), total=0,
+                                interval=60.0, stream=stream)
+    renderer.stop()
+    assert "[progress] 0/0 runs" in stream.getvalue()
+    assert "| done" in stream.getvalue()
+
+
+def test_progress_renderer_unstarted_shows_unknown_eta(tmp_path):
+    """Before any completion there is no observed rate: the renderer
+    must show 'ETA ?' rather than crash or claim progress."""
+    stream = io.StringIO()
+    renderer = ProgressRenderer(str(tmp_path / "hb"), total=4,
+                                interval=60.0, stream=stream)
+    renderer.stop()
+    assert "[progress] 0/4 runs" in stream.getvalue()
+    assert "ETA ?" in stream.getvalue()

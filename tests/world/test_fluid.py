@@ -1,0 +1,298 @@
+"""Property and unit tests for the fluid bandwidth-sharing kernel."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.world import (
+    GREEDY,
+    ClassKey,
+    ClosedLoopUsers,
+    FluidNetwork,
+    PoissonArrivals,
+    make_size_sampler,
+    solve_max_min,
+)
+
+MBPS = 1e6
+
+# ----------------------------------------------------------------------
+# Max-min solver properties
+# ----------------------------------------------------------------------
+
+#: A random scenario: up to 4 bottlenecks, up to 8 classes routed over
+#: a non-empty subset of them, each with a count and a demand (some
+#: greedy, some capped).
+_bottlenecks = st.lists(st.floats(0.5 * MBPS, 100 * MBPS),
+                        min_size=1, max_size=4)
+
+
+@st.composite
+def scenarios(draw):
+    capacities = {f"b{i}": c for i, c in enumerate(draw(_bottlenecks))}
+    names = sorted(capacities)
+    classes = draw(st.lists(
+        st.tuples(
+            st.lists(st.sampled_from(names), min_size=1, max_size=4,
+                     unique=True),
+            st.one_of(st.just(GREEDY),
+                      st.floats(0.01 * MBPS, 50 * MBPS)),
+            st.integers(1, 50)),
+        min_size=1, max_size=8))
+    demands = {}
+    for route, desired, count in classes:
+        key = ClassKey(route=tuple(route), desired_bw=desired)
+        demands[key] = demands.get(key, 0) + count
+    return capacities, demands
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenarios())
+def test_allocations_never_exceed_capacity(scenario):
+    """Per bottleneck, summed shares stay within capacity (the core
+    fluid invariant), and no class exceeds its own demand."""
+    capacities, demands = scenario
+    rates = solve_max_min(demands, capacities)
+    for hop, capacity in capacities.items():
+        allocated = sum(rate * demands[key]
+                        for key, rate in rates.items()
+                        if hop in key.route)
+        assert allocated <= capacity * (1.0 + 1e-9)
+    for key, rate in rates.items():
+        assert rate >= 0.0
+        if key.desired_bw < GREEDY:
+            assert rate <= key.desired_bw * (1.0 + 1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenarios(), st.randoms(use_true_random=False))
+def test_max_min_is_order_independent(scenario, shuffler):
+    """The allocation must not depend on dict insertion order."""
+    capacities, demands = scenario
+    reference = solve_max_min(demands, capacities)
+    items = list(demands.items())
+    shuffler.shuffle(items)
+    cap_items = list(capacities.items())
+    shuffler.shuffle(cap_items)
+    shuffled = solve_max_min(dict(items), dict(cap_items))
+    assert shuffled == reference
+
+
+@settings(max_examples=150, deadline=None)
+@given(scenarios())
+def test_greedy_share_is_max_min_fair(scenario):
+    """No greedy class can be raised without lowering a class that
+    already has an equal-or-smaller share (the max-min criterion):
+    every greedy class must cross at least one saturated bottleneck
+    where it holds a maximal share."""
+    capacities, demands = scenario
+    rates = solve_max_min(demands, capacities)
+    for key, rate in rates.items():
+        if key.desired_bw < GREEDY and \
+                rate >= key.desired_bw * (1.0 - 1e-9):
+            continue  # demand-limited: satisfied by definition
+        bottlenecked = False
+        for hop in key.route:
+            allocated = sum(r * demands[k] for k, r in rates.items()
+                            if hop in k.route)
+            if allocated >= capacities[hop] * (1.0 - 1e-9):
+                peers = [r for k, r in rates.items() if hop in k.route]
+                if rate >= max(peers) * (1.0 - 1e-9):
+                    bottlenecked = True
+                    break
+        assert bottlenecked, (key, rate, rates)
+
+
+def test_simple_shares():
+    """Hand-checked scenario: demands below and above fair level."""
+    capacities = {"a": 10 * MBPS}
+    demands = {
+        ClassKey(("a",), desired_bw=1 * MBPS): 2,   # capped
+        ClassKey(("a",)): 2,                        # greedy
+    }
+    rates = solve_max_min(demands, capacities)
+    assert rates[ClassKey(("a",), desired_bw=1 * MBPS)] == 1 * MBPS
+    assert rates[ClassKey(("a",))] == 4 * MBPS
+
+
+def test_multi_bottleneck_flow_limited_by_tightest():
+    capacities = {"a": 10 * MBPS, "b": 2 * MBPS}
+    demands = {ClassKey(("a", "b")): 1, ClassKey(("a",)): 1}
+    rates = solve_max_min(demands, capacities)
+    assert rates[ClassKey(("a", "b"))] == 2 * MBPS
+    assert rates[ClassKey(("a",))] == 8 * MBPS
+
+
+def test_unknown_hops_are_uncongested():
+    """Routes over undeclared bottlenecks are capped only by demand."""
+    rates = solve_max_min(
+        {ClassKey(("nowhere",), desired_bw=3 * MBPS): 1},
+        {"a": 10 * MBPS})
+    assert rates[ClassKey(("nowhere",), desired_bw=3 * MBPS)] == 3 * MBPS
+
+
+# ----------------------------------------------------------------------
+# Event-driven completion tracking
+# ----------------------------------------------------------------------
+
+def _world(capacity=10 * MBPS):
+    sim = Simulator()
+    fluid = FluidNetwork(sim)
+    fluid.add_bottleneck("dl", capacity)
+    return sim, fluid
+
+
+def test_single_flow_completion_time():
+    sim, fluid = _world()
+    done = []
+    fluid.start_flow(("dl",), 1_250_000, on_complete=done.append)
+    sim.run(until=10.0)
+    assert len(done) == 1
+    # 10 Mbit of data over a 10 Mbit/s link: exactly one second.
+    assert abs(done[0].duration - 1.0) < 1e-6
+    assert fluid.stats.flows_completed == 1
+    assert fluid.live_flows == 0
+
+
+def test_processor_sharing_closed_loop():
+    """N equal greedy users on one link each get 1/N: fct = N * solo."""
+    sim, fluid = _world()
+    rng = random.Random(1)
+    loop = ClosedLoopUsers(sim, fluid, rng, [("dl",)],
+                           make_size_sampler("fixed:bytes=125000"),
+                           users=4, think_mean=0.0)
+    loop.start()
+    sim.run(until=10.0)
+    stats = fluid.stats
+    assert stats.peak_concurrent == 4
+    assert abs(stats.mean_fct - 0.4) < 1e-6
+    assert abs(stats.jain_index - 1.0) < 1e-9
+    assert stats.flows_completed >= 90
+
+
+def test_rate_change_mid_flight():
+    """A second flow arriving halves the first flow's rate; the first
+    finishes at 0.5s (full rate) + 0.5s-worth at half rate."""
+    sim, fluid = _world()
+    done = []
+    fluid.start_flow(("dl",), 1_250_000, on_complete=done.append)
+    sim.schedule(0.5, lambda: fluid.start_flow(
+        ("dl",), 1_250_000, on_complete=done.append))
+    sim.run(until=10.0)
+    assert len(done) == 2
+    # Flow 1: 5 Mbit alone in .5s, then 5 Mbit at 5 Mbit/s -> t=1.5.
+    assert abs(done[0].duration - 1.5) < 1e-6
+    # Flow 2: shares until 1.5 (5 Mbit moved), then full rate.
+    assert abs(done[1].duration - 1.5) < 1e-6
+
+
+def test_desired_bw_caps_rate():
+    sim, fluid = _world()
+    done = []
+    fluid.start_flow(("dl",), 1_250_000, desired_bw=2 * MBPS,
+                     on_complete=done.append)
+    sim.run(until=10.0)
+    assert abs(done[0].duration - 5.0) < 1e-6
+
+
+def test_residual_pushed_to_link():
+    """Background load lands on the bound Link as reduced capacity."""
+
+    class FakeLink:
+        def __init__(self):
+            self.loads = []
+
+        def set_fluid_load(self, load):
+            self.loads.append(load)
+
+    sim = Simulator()
+    fluid = FluidNetwork(sim)
+    link = FakeLink()
+    fluid.add_bottleneck("dl", 10 * MBPS, link=link)
+    fluid.start_flow(("dl",), 1_250_000)
+    assert link.loads[-1] == 10 * MBPS
+    sim.run(until=10.0)
+    # After the flow drains the residual returns to the full link.
+    assert link.loads[-1] == 0.0
+
+
+def test_packet_flow_reserves_share_but_claims_no_load():
+    """A pinned packet-level flow halves the background share yet its
+    own (packet-carried) traffic is never pushed as fluid load."""
+
+    class FakeLink:
+        def __init__(self):
+            self.loads = []
+
+        def set_fluid_load(self, load):
+            self.loads.append(load)
+
+    sim = Simulator()
+    fluid = FluidNetwork(sim)
+    link = FakeLink()
+    fluid.add_bottleneck("dl", 10 * MBPS, link=link)
+    key = fluid.attach_packet_flow(("dl",))
+    assert link.loads[-1] == 0.0
+    done = []
+    fluid.start_flow(("dl",), 1_250_000, on_complete=done.append)
+    assert link.loads[-1] == 5 * MBPS  # bg gets half, fg keeps half
+    sim.run(until=10.0)
+    assert abs(done[0].duration - 2.0) < 1e-6
+    fluid.detach_packet_flow(key)
+    assert fluid.live_flows == 0
+
+
+def test_zero_background_world_schedules_nothing():
+    """The byte-identity precondition: topology + a pinned foreground
+    flow must neither schedule events nor consume engine sequence
+    numbers beyond the packet stack's own."""
+    sim = Simulator()
+    before = sim.events_scheduled
+    fluid = FluidNetwork(sim)
+    fluid.add_bottleneck("dl", 10 * MBPS)
+    key = fluid.attach_packet_flow(("dl",))
+    fluid.detach_packet_flow(key)
+    assert sim.events_scheduled == before
+    assert sim.pending() == 0
+
+
+def test_poisson_arrivals_stop_when():
+    """The stop predicate halts generation and lets the world drain."""
+    sim = Simulator()
+    fluid = FluidNetwork(sim)
+    fluid.add_bottleneck("dl", 10 * MBPS)
+    rng = random.Random(3)
+    flag = {"stop": False}
+    arrivals = PoissonArrivals(
+        sim, fluid, rng, [("dl",)],
+        make_size_sampler("fixed:bytes=65536"), rate=50.0,
+        stop_when=lambda: flag["stop"])
+    arrivals.start()
+    sim.schedule(1.0, lambda: flag.update(stop=True))
+    sim.run(until=60.0)
+    # Generation stopped shortly after t=1, everything drained well
+    # before the horizon, and nothing is left in the event queue.
+    assert arrivals.stopped
+    assert fluid.live_flows == 0
+    assert sim.pending() == 0
+    assert fluid.stats.last_completion_at < 10.0
+    assert fluid.stats.flows_started == fluid.stats.flows_completed
+
+
+def test_fluid_determinism_same_seed_same_story():
+    def story(seed):
+        sim = Simulator()
+        fluid = FluidNetwork(sim)
+        fluid.add_bottleneck("dl", 10 * MBPS)
+        rng = random.Random(seed)
+        PoissonArrivals(sim, fluid, rng, [("dl",)],
+                        make_size_sampler("paper-split"),
+                        rate=5.0).start()
+        sim.run(until=20.0)
+        return (fluid.stats.flows_started, fluid.stats.flows_completed,
+                fluid.stats.bytes_completed, fluid.stats.sum_fct)
+
+    assert story(11) == story(11)
+    assert story(11) != story(12)

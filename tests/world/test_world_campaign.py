@@ -1,0 +1,109 @@
+"""World campaigns under the dispatch machinery: ``--jobs`` counts
+cells (one world = one process), ``REPRO_JOBS`` caps the default pool,
+and a fully cache-served campaign renders sane progress."""
+
+import io
+
+import pytest
+
+from repro.cache import RunCache
+from repro.experiments import parallel
+from repro.experiments.report import csv_text
+from repro.experiments.runner import Campaign
+from repro.experiments.scenarios import (
+    WORLD_LEVELS,
+    world_campaign,
+    world_fairness_rows,
+)
+from repro.obs.telemetry import ProgressRenderer
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+
+
+def _tiny_world_campaign(**kwargs):
+    return world_campaign(repetitions=1, periods=(TimeOfDay.NIGHT,),
+                          base_seed=11, worlds=("bg-none", "closed-8"),
+                          size=128 * KB, **kwargs)
+
+
+def test_world_campaign_covers_all_levels():
+    spec = world_campaign()
+    worlds = {flow.world for flow in spec.specs}
+    assert worlds == set(WORLD_LEVELS)
+    # Every level pairs a single-path and a multipath foreground.
+    assert len(spec.specs) == 2 * len(WORLD_LEVELS)
+
+
+def test_world_campaign_serial_matches_parallel():
+    """One world cell = one worker process; a pool of 2 must produce
+    the bytes the serial path produces."""
+    serial = Campaign(_tiny_world_campaign()).run()
+    pooled = Campaign(_tiny_world_campaign(), jobs=2).run()
+    assert csv_text(*world_fairness_rows(serial)) == \
+        csv_text(*world_fairness_rows(pooled))
+
+
+# ----------------------------------------------------------------------
+# --jobs semantics (satellite: pool sizing for world campaigns)
+# ----------------------------------------------------------------------
+
+def test_default_jobs_honors_repro_jobs_cap(monkeypatch):
+    monkeypatch.setattr(parallel.os, "sched_getaffinity",
+                        lambda pid: set(range(16)), raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert parallel.default_jobs() == 16
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert parallel.default_jobs() == 4
+
+
+def test_repro_jobs_cap_never_raises_the_default(monkeypatch):
+    """The env var is a cap for memory-bound worlds, not a request
+    for oversubscription."""
+    monkeypatch.setattr(parallel.os, "sched_getaffinity",
+                        lambda pid: {0, 1}, raising=False)
+    monkeypatch.setenv("REPRO_JOBS", "64")
+    assert parallel.default_jobs() == 2
+
+
+@pytest.mark.parametrize("value", ["", "zero", "-3", "0"])
+def test_repro_jobs_ignores_garbage_and_nonpositive(monkeypatch, value):
+    monkeypatch.setattr(parallel.os, "sched_getaffinity",
+                        lambda pid: set(range(8)), raising=False)
+    monkeypatch.setenv("REPRO_JOBS", value)
+    assert parallel.default_jobs() == 8
+
+
+# ----------------------------------------------------------------------
+# Warm-cache campaign + progress (satellite: ProgressRenderer)
+# ----------------------------------------------------------------------
+
+def test_cache_served_world_campaign_renders_done(tmp_path):
+    """A world campaign replayed against a warm cache completes every
+    cell without a single live run.  Wired to a ProgressRenderer the
+    way the CLI wires it, the final snapshot must say 'done' -- not
+    extrapolate an ETA from near-zero elapsed time."""
+    root = tmp_path / "cache"
+    cold = Campaign(_tiny_world_campaign(), cache=str(root)).run()
+    assert all(result.completed for result in cold)
+
+    warm_cache = RunCache(root)
+    stream = io.StringIO()
+    renderer = ProgressRenderer(str(tmp_path / "hb"), total=len(cold),
+                                interval=60.0, stream=stream)
+
+    def progress(index, count, result):
+        renderer.note_done(index)
+
+    warm = Campaign(_tiny_world_campaign(), cache=warm_cache,
+                    progress=progress).run()
+    renderer.stop()
+    assert warm_cache.hits == len(cold)
+    warm_cache.close()
+
+    assert csv_text(*world_fairness_rows(warm)) == \
+        csv_text(*world_fairness_rows(cold))
+    output = stream.getvalue()
+    assert f"[progress] {len(cold)}/{len(cold)} runs" in output
+    assert "| done" in output
+    assert "ETA" not in output
