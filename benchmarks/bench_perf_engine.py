@@ -14,6 +14,15 @@ Three workloads exercise the hot paths the campaign runner leans on:
   fast variant uses :meth:`Simulator.reschedule` (re-keyed in place);
   the legacy variant cancels and re-schedules, leaving a tombstone in
   the heap each time.
+* ``vectorized_pipeline`` -- the batched link shape introduced by the
+  vectorized packet core: whole bursts of service completions are
+  computed in one numpy step and posted as a *single* heap entry via
+  :meth:`Simulator.post_batch`, drained inline without re-heapify.
+  The legacy variant posts the identical delivery schedule one event
+  at a time.  ``--check`` additionally gates this workload against an
+  absolute floor: at least :data:`VECTORIZED_FLOOR` times the
+  packet-pipeline events/sec recorded by the engine-overhaul baseline
+  (:data:`PR3_PACKET_PIPELINE_EVENTS_PER_SEC`).
 
 Each variant runs ``--reps`` times and the best (max events/sec) rep
 is reported: on shared machines the minimum-time rep is the least
@@ -51,6 +60,15 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent / "output" / \
 #: --check fails when a workload's fast-path events/sec falls more
 #: than this fraction below the committed baseline.
 REGRESSION_TOLERANCE = 0.25
+
+#: The packet_pipeline fast-path events/sec committed with the engine
+#: overhaul (BENCH_PERF.json at that commit), pinned here so later
+#: regenerations of the JSON cannot silently lower the bar.
+PR3_PACKET_PIPELINE_EVENTS_PER_SEC = 970_458
+
+#: --check requires the vectorized_pipeline fast path to reach at
+#: least this multiple of the pinned packet_pipeline baseline.
+VECTORIZED_FLOOR = 2.5
 
 
 # ----------------------------------------------------------------------
@@ -162,10 +180,51 @@ def timer_churn(n: int, fast: bool) -> dict:
             "heap_compactions": sim.heap_compactions}
 
 
+def vectorized_pipeline(n: int, fast: bool) -> dict:
+    """Batched link shape: burst completion times in one numpy step,
+    one ``post_batch`` heap entry per burst, inline drain."""
+    import numpy as np
+
+    sim = Simulator()
+    burst = 64
+    bit_time = 12_000 / 1e8  # 1500-byte packet on a 100 Mbit/s link
+    delivered = [0]
+
+    def deliver(index: int) -> None:
+        delivered[0] += 1
+
+    state = {"sent": 0}
+
+    def send_burst() -> None:
+        sent = state["sent"]
+        if sent >= n:
+            return
+        count = min(burst, n - sent)
+        state["sent"] = sent + count
+        acc = np.arange(1, count + 1, dtype=np.float64) * bit_time
+        times = (sim.now + acc).tolist()
+        if fast:
+            sim.post_batch(times, deliver, list(range(sent, sent + count)))
+        else:
+            for index, when in enumerate(times):
+                sim.post_at(when, deliver, sent + index)
+        sim.post_at(times[-1], send_burst)
+
+    send_burst()
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert delivered[0] == n
+    return {"events": sim.events_processed, "seconds": elapsed,
+            "peak_heap": sim.peak_heap,
+            "batch_inline": sim.batch_inline}
+
+
 WORKLOADS = {
     "event_chain": (event_chain, 400_000),
     "packet_pipeline": (packet_pipeline, 150_000),
     "timer_churn": (timer_churn, 150_000),
+    "vectorized_pipeline": (vectorized_pipeline, 300_000),
 }
 
 
@@ -192,12 +251,19 @@ def run_benchmarks(reps: int, quick: bool) -> dict:
         fast = best_of(func, size, True, reps)
         legacy = best_of(func, size, False, reps)
         ratio = fast["events_per_sec"] / legacy["events_per_sec"]
-        engine["workloads"][name] = {
+        entry = {
             "n": size,
             "fast": fast,
             "legacy": legacy,
             "fast_vs_legacy": round(ratio, 2),
         }
+        if name == "vectorized_pipeline":
+            entry["pr3_packet_pipeline_events_per_sec"] = \
+                PR3_PACKET_PIPELINE_EVENTS_PER_SEC
+            entry["speedup_vs_pr3"] = round(
+                fast["events_per_sec"]
+                / PR3_PACKET_PIPELINE_EVENTS_PER_SEC, 2)
+        engine["workloads"][name] = entry
         print(f"{name:16s} fast {fast['events_per_sec']:>9,} ev/s   "
               f"legacy {legacy['events_per_sec']:>9,} ev/s   "
               f"({ratio:.2f}x, peak heap {fast['peak_heap']:,} vs "
@@ -249,6 +315,16 @@ def check_regression(path: Path, engine: dict) -> int:
               f"{reference:,} (floor {floor:,.0f}): {verdict}")
         if measured < floor:
             failures.append(name)
+    vectorized = engine["workloads"].get("vectorized_pipeline")
+    if vectorized:
+        measured = vectorized["fast"]["events_per_sec"]
+        floor = VECTORIZED_FLOOR * PR3_PACKET_PIPELINE_EVENTS_PER_SEC
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(f"check vectorized floor: {measured:>9,} ev/s vs "
+              f"{VECTORIZED_FLOOR}x pinned packet_pipeline baseline "
+              f"(floor {floor:,.0f}): {verdict}")
+        if measured < floor:
+            failures.append("vectorized_pipeline (absolute floor)")
     if failures:
         message = (f"events/sec regression >{REGRESSION_TOLERANCE:.0%} "
                    f"in: {', '.join(failures)}")

@@ -27,12 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-#: Heuristic constants, loosely calibrated against
-#: BENCH_PERF.json's campaign section on the development machine
-#: (a 2 MB MP-2 run ~0.13 s, a 2 MB SP-WiFi run ~0.07 s).  Only the
+#: Heuristic constants, loosely calibrated against the vectorized
+#: packet core on the development machine (a 2 MB SP-WiFi run ~0.11 s,
+#: a 2 MB MP-2 run ~0.17 s, a 16 MB SP-WiFi run ~0.9 s).  Only the
 #: *ranking* of cells matters for dispatch, not the absolute scale.
 SETUP_COST_S = 0.03
-PER_BYTE_COST_S = 3.0e-8
+PER_BYTE_COST_S = 4.0e-8
 
 #: Cells estimated below this are "tiny": their per-task dispatch
 #: overhead (descriptor pickling, future bookkeeping, IPC) is a

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.bus import NULL_TRACE_BUS
-from repro.tcp.reassembly import ReassemblyQueue
+from repro.tcp.reassembly import make_reassembly_queue
 
 
 @dataclass
@@ -34,23 +34,46 @@ class OfoSample:
 
 @dataclass
 class ReceiveBufferMetrics:
-    """Aggregates read by the measurement layer."""
+    """Aggregates read by the measurement layer.
 
-    samples: List[OfoSample] = field(default_factory=list)
+    Samples are stored column-wise (three parallel lists) instead of
+    one object per delivered range: at millions of delivered ranges per
+    campaign the per-sample dataclass allocation dominated the receive
+    path, and the analysis layer only ever consumes whole columns
+    (:meth:`delays`) anyway.  :attr:`samples` materializes the old
+    object view for tests and ad-hoc inspection.
+    """
+
+    delay_col: List[float] = field(default_factory=list)
+    nbytes_col: List[int] = field(default_factory=list)
+    path_col: List[str] = field(default_factory=list)
     bytes_by_path: Dict[str, int] = field(default_factory=dict)
     delivered_bytes: int = 0
     peak_occupancy: int = 0
 
+    def record(self, delay: float, nbytes: int, path: str) -> None:
+        """Append one delivered range to the sample columns."""
+        self.delay_col.append(delay)
+        self.nbytes_col.append(nbytes)
+        self.path_col.append(path)
+
+    @property
+    def samples(self) -> List[OfoSample]:
+        """Row view over the sample columns (compatibility helper)."""
+        return [OfoSample(delay, nbytes, path)
+                for delay, nbytes, path
+                in zip(self.delay_col, self.nbytes_col, self.path_col)]
+
     def delays(self) -> List[float]:
         """Per-range reorder delays in seconds (0.0 = arrived in order)."""
-        return [sample.delay for sample in self.samples]
+        return list(self.delay_col)
 
     def in_order_fraction(self) -> float:
         """Fraction of ranges delivered with no reorder wait."""
-        if not self.samples:
+        if not self.delay_col:
             return 1.0
-        in_order = sum(1 for sample in self.samples if sample.delay <= 1e-9)
-        return in_order / len(self.samples)
+        in_order = sum(1 for delay in self.delay_col if delay <= 1e-9)
+        return in_order / len(self.delay_col)
 
 
 class ConnectionReceiveBuffer:
@@ -61,7 +84,7 @@ class ConnectionReceiveBuffer:
                  trace=NULL_TRACE_BUS) -> None:
         self.capacity = capacity
         self._clock = clock if clock is not None else (lambda: 0.0)
-        self._queue = ReassemblyQueue(rcv_nxt=0)
+        self._queue = make_reassembly_queue(rcv_nxt=0)
         self.metrics = ReceiveBufferMetrics()
         self.on_deliver: Optional[Callable[[int], None]] = None
         # Blocked-interval tracking (rbuf.blocked / rbuf.unblocked
@@ -112,7 +135,7 @@ class ConnectionReceiveBuffer:
         arrival_time, path = meta
         delay = max(self._clock() - arrival_time, 0.0)
         nbytes = end - start
-        self.metrics.samples.append(OfoSample(delay, nbytes, path))
+        self.metrics.record(delay, nbytes, path)
         self.metrics.delivered_bytes += nbytes
         if (self._blocked_since is not None
                 and self._queue.buffered_bytes < self.capacity):

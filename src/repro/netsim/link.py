@@ -23,11 +23,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Optional
+import bisect
 import collections
 import random
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 from repro.netsim.packet import Packet
 from repro.sim.engine import Simulator
+from repro.sim.fastpath import scalar_mode
+
+#: Queue length at which :meth:`Link._serve_next` switches from the
+#: scalar per-packet path to a batched burst.  A singleton queue stays
+#: scalar (zero batch-build overhead on idle links).
+_BATCH_MIN = 2
+
+#: Burst size at which RNG-free links switch from the sequential
+#: replication loop to the numpy path.  Both produce bit-identical
+#: floats; numpy only amortizes better on long bursts.
+_NUMPY_MIN = 16
+
+#: Build-time outcome codes for packets of an active burst, kept so a
+#: mid-burst link-down can rewind the burst's precounted statistics.
+_DELIVERED = 0
+_LOSS = 1
+_ARQ_LOSS = 2
+_ARQ_RECOVERED = 3
 
 
 @dataclass(frozen=True)
@@ -131,6 +155,24 @@ class Link:
         self._last_delivery_time = 0.0
         self._down = False
         self._fluid_bps = 0.0
+        # Hoisted once: per-packet service must not pay a dataclass
+        # attribute walk just to learn there is nothing to modulate.
+        self._modulated = (config.modulation is not None
+                           and config.modulation.sigma != 0.0)
+        #: Batched serving enabled?  Cleared by :meth:`disable_batching`
+        #: (mobility / shared-world owners) and by ``REPRO_SCALAR=1``.
+        self._vectorized = not scalar_mode()
+        # Active-burst bookkeeping.  While a burst is in flight the
+        # packets are no longer in ``_queue``, so drop-tail admission
+        # and occupancy reads reconstruct "bytes not yet in service"
+        # from the burst's precomputed service-start times.
+        self._batch = None            # the engine-side _Batch handle
+        self._batch_starts: Optional[list] = None  # service starts
+        self._batch_sizes: list = []
+        self._batch_suffix: list = []  # suffix byte sums over starts
+        self._batch_entry_index: list = []  # packet -> delivery entry
+        self._batch_outcomes: list = []     # packet -> build outcome
+        self._batch_end = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -149,6 +191,27 @@ class Link:
             self.stats.drops_down += len(self._queue)
             self._queue.clear()
             self._queue_bytes = 0
+            if self._batch_starts is not None:
+                self._abort_batch()
+            # A link that suffers outages is volatile: stay on the
+            # scalar pipeline from here on so post-recovery RNG draw
+            # sequences match the legacy path (mobility owners already
+            # pin their links at construction; this is the backstop).
+            self._vectorized = False
+
+    def disable_batching(self) -> None:
+        """Pin this link to the scalar per-packet pipeline.
+
+        Mobility outages (:class:`repro.wireless.mobility.InterfaceOutage`)
+        and shared-world residual-capacity coupling
+        (:meth:`set_fluid_load` called mid-run) mutate link state while
+        packets are in flight.  A precomputed burst cannot follow such
+        mutations without replaying RNG draws, so owners of volatile
+        links pin them scalar at construction time; batching on all
+        other links is byte-identical to the scalar path (the
+        determinism guard asserts it).
+        """
+        self._vectorized = False
 
     @property
     def is_down(self) -> bool:
@@ -173,20 +236,34 @@ class Link:
     def _admit(self, packet: Packet) -> None:
         """Drop-tail admission into the serialization queue."""
         size = packet.wire_size
-        if self._queue_bytes + size > self.config.buffer_bytes:
+        occupancy = self._queue_bytes
+        starts = self._batch_starts
+        if starts is not None:
+            # Packets of the active burst whose service starts after
+            # now are, in scalar terms, still buffered: count them so
+            # drop-tail decisions and the peak-queue statistic stay
+            # byte-identical to the per-packet pipeline.
+            occupancy += self._batch_suffix[
+                bisect.bisect_right(starts, self.sim.now)]
+        if occupancy + size > self.config.buffer_bytes:
             self.stats.drops_overflow += 1
             return
         self._queue.append(packet)
         self._queue_bytes += size
-        if self._queue_bytes > self.stats.peak_queue_bytes:
-            self.stats.peak_queue_bytes = self._queue_bytes
+        occupancy += size
+        if occupancy > self.stats.peak_queue_bytes:
+            self.stats.peak_queue_bytes = occupancy
         if not self._busy:
             self._serve_next()
 
     @property
     def queue_bytes(self) -> int:
         """Bytes currently buffered (excludes the packet in service)."""
-        return self._queue_bytes
+        starts = self._batch_starts
+        if starts is None:
+            return self._queue_bytes
+        return self._queue_bytes + self._batch_suffix[
+            bisect.bisect_right(starts, self.sim.now)]
 
     def set_fluid_load(self, load_bps: float) -> None:
         """Declare bandwidth claimed by fluid-model background flows.
@@ -208,7 +285,19 @@ class Link:
         capacity, floored at 2 % of nominal so a saturated bottleneck
         degrades the foreground flow instead of stalling it outright.
         """
-        self._step_modulation()
+        return self._rate_at(self.sim.now)
+
+    def _rate_at(self, now: float) -> float:
+        """Service rate with the AR(1) state advanced to ``now``.
+
+        The batched pipeline evaluates this at each packet's *future*
+        service-start time, replicating exactly the modulation draws
+        the scalar path would make at those event times.  The
+        no-modulation check is hoisted into the ``_modulated`` flag so
+        unmodulated links never enter :meth:`_step_modulation` at all.
+        """
+        if self._modulated:
+            self._step_modulation(now)
         rate = self.config.rate_bps * self._rate_multiplier
         if self._fluid_bps:
             rate -= self._fluid_bps
@@ -219,17 +308,18 @@ class Link:
 
     def queueing_delay_estimate(self) -> float:
         """Time a packet arriving now would wait before service begins."""
-        return self._queue_bytes * 8.0 / self.current_rate()
+        return self.queue_bytes * 8.0 / self.current_rate()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _step_modulation(self) -> None:
+    def _step_modulation(self, now: Optional[float] = None) -> None:
         modulation = self.config.modulation
         if modulation is None or modulation.sigma == 0.0:
             return
-        now = self.sim.now
+        if now is None:
+            now = self.sim.now
         steps = int((now - self._last_modulation_step) / modulation.interval)
         if steps <= 0:
             return
@@ -249,11 +339,16 @@ class Link:
         self._last_modulation_step += applied * modulation.interval
 
     def _serve_next(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             self._busy = False
             return
         self._busy = True
-        packet = self._queue.popleft()
+        if (self._vectorized and len(queue) >= _BATCH_MIN
+                and self.use_fast_scheduling):
+            self._serve_burst()
+            return
+        packet = queue.popleft()
         size = packet.wire_size
         self._queue_bytes -= size
         service_time = size * 8.0 / self.current_rate()
@@ -263,6 +358,178 @@ class Link:
             self.sim.schedule(service_time,
                               lambda: self._service_done(packet),
                               name=f"{self.name}.service")
+
+    def _serve_burst(self) -> None:
+        """Serve the whole queue as one precomputed burst.
+
+        Replays, at build time, exactly the arithmetic and RNG draw
+        sequence the scalar path would perform across the burst --
+        modulation steps at each service start, then jitter, loss and
+        ARQ draws at each service completion -- and posts every
+        surviving delivery as a single batched engine event plus one
+        continuation at the burst's end of service.  Packets arriving
+        mid-burst queue behind it and are served by the continuation,
+        at the same service-start times the scalar path would give
+        them.
+        """
+        queue = self._queue
+        packets = list(queue)
+        queue.clear()
+        self._queue_bytes = 0
+        sizes = [packet.wire_size for packet in packets]
+        count = len(packets)
+        config = self.config
+        now = self.sim.now
+        prop = config.prop_delay
+        arq = config.arq
+        rng_free = (not self._modulated and config.loss_rate == 0.0
+                    and config.jitter_mean == 0.0
+                    and (arq is None or arq.error_rate == 0.0))
+        if rng_free and count >= _NUMPY_MIN and _np is not None:
+            # Vectorized path.  np.cumsum accumulates sequentially, so
+            # seeding element 0 with `now` reproduces the scalar chain
+            # ((now + s1) + s2) ... bit-for-bit; the FIFO clamp is a
+            # running maximum seeded with the last delivery time.
+            rate = self._rate_at(now)
+            acc = _np.empty(count + 1, dtype=_np.float64)
+            acc[0] = now
+            acc[1:] = _np.asarray(sizes, dtype=_np.float64) * 8.0 / rate
+            completions = _np.cumsum(acc)
+            starts = completions[:count].tolist()
+            burst_end = float(completions[count])
+            clamp = _np.empty(count + 1, dtype=_np.float64)
+            clamp[0] = self._last_delivery_time
+            clamp[1:] = completions[1:] + prop
+            delivery_times = _np.maximum.accumulate(clamp)[1:].tolist()
+            delivery_args = packets
+            entry_index = list(range(count))
+            outcomes = [0] * count
+            self._last_delivery_time = delivery_times[-1]
+            stats = self.stats
+            stats.packets_delivered += count
+            stats.bytes_delivered += sum(sizes)
+        else:
+            # Sequential replication: the exact scalar per-packet loop,
+            # evaluated ahead of time.  Draw order matches the event
+            # interleaving of the scalar pipeline: modulation at this
+            # packet's service start, then its propagation draws, then
+            # the next packet's modulation step.
+            rng = self.rng
+            stats = self.stats
+            jitter_mean = config.jitter_mean
+            loss_rate = config.loss_rate
+            arq_on = arq is not None and arq.error_rate > 0.0
+            starts = [0.0] * count
+            delivery_times: list = []
+            delivery_args: list = []
+            entry_index = [-1] * count
+            outcomes = [0] * count
+            last = self._last_delivery_time
+            t = now
+            for j in range(count):
+                starts[j] = t
+                size = sizes[j]
+                t = t + size * 8.0 / self._rate_at(t)
+                delay = prop
+                if jitter_mean > 0.0:
+                    delay += rng.expovariate(1.0 / jitter_mean)
+                if loss_rate > 0.0 and rng.random() < loss_rate:
+                    stats.drops_loss += 1
+                    outcomes[j] = _LOSS
+                    continue
+                if arq_on:
+                    if rng.random() < arq.error_rate:
+                        if rng.random() < arq.residual_loss:
+                            stats.drops_arq_residual += 1
+                            outcomes[j] = _ARQ_LOSS
+                            continue
+                        stats.arq_recoveries += 1
+                        outcomes[j] = _ARQ_RECOVERED
+                        delay += rng.uniform(arq.recovery_min,
+                                             arq.recovery_max)
+                stats.packets_delivered += 1
+                stats.bytes_delivered += size
+                delivery_time = t + delay
+                if delivery_time < last:
+                    delivery_time = last
+                else:
+                    last = delivery_time
+                entry_index[j] = len(delivery_times)
+                delivery_times.append(delivery_time)
+                delivery_args.append(packets[j])
+            self._last_delivery_time = last
+            burst_end = t
+        suffix = [0] * (count + 1)
+        total = 0
+        for j in range(count - 1, -1, -1):
+            total += sizes[j]
+            suffix[j] = total
+        self._batch_sizes = sizes
+        self._batch_starts = starts
+        self._batch_suffix = suffix
+        self._batch_entry_index = entry_index
+        self._batch_outcomes = outcomes
+        self._batch_end = burst_end
+        sim = self.sim
+        if delivery_times:
+            self._batch = sim.post_batch(delivery_times, self.deliver,
+                                         delivery_args)
+        else:
+            self._batch = None
+        sim.post_at(burst_end, self._burst_done)
+
+    def _burst_done(self) -> None:
+        """End of a burst's serialization: resume normal serving."""
+        self._batch = None
+        self._batch_starts = None
+        self._serve_next()
+
+    def _abort_batch(self) -> None:
+        """Reconcile an in-flight burst with a link-down event.
+
+        Scalar semantics: packets whose service has not completed by
+        now are lost to the outage (queued ones immediately, the one
+        in service at its completion); packets already past service are
+        in the air and still deliver.  Rewind the burst's precounted
+        statistics for the former and revoke their delivery entries.
+        The RNG draws made for them at build time are not un-drawn --
+        volatile links are pinned scalar by their owners, so this path
+        only softens direct ``set_down`` use on a batching link.
+        """
+        starts = self._batch_starts
+        sizes = self._batch_sizes
+        outcomes = self._batch_outcomes
+        entries = self._batch_entry_index
+        end = self._batch_end
+        now = self.sim.now
+        stats = self.stats
+        count = len(starts)
+        first_entry = -1
+        for j in range(count):
+            completion = starts[j + 1] if j + 1 < count else end
+            if completion <= now:
+                continue
+            outcome = outcomes[j]
+            if outcome == _DELIVERED:
+                stats.packets_delivered -= 1
+                stats.bytes_delivered -= sizes[j]
+            elif outcome == _LOSS:
+                stats.drops_loss -= 1
+            elif outcome == _ARQ_LOSS:
+                stats.drops_arq_residual -= 1
+            else:
+                stats.packets_delivered -= 1
+                stats.bytes_delivered -= sizes[j]
+                stats.arq_recoveries -= 1
+            stats.drops_down += 1
+            if first_entry < 0 and entries[j] >= 0:
+                first_entry = entries[j]
+        if first_entry >= 0 and self._batch is not None:
+            self._batch.revoke_from(first_entry)
+        self._batch = None
+        self._batch_starts = None
+        # The burst-done continuation still fires at the original end
+        # of serialization and resumes (now scalar) service there.
 
     def _service_done(self, packet: Packet) -> None:
         self._propagate(packet)

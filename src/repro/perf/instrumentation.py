@@ -81,9 +81,15 @@ class Instrumentation(NullInstrumentation):
         self.add("events_posted", sim.events_posted)
         self.add("pool_reuses", sim.pool_reuses)
         self.add("heap_compactions", sim.heap_compactions)
-        peak = self.counters.get("peak_heap", 0)
-        if sim.peak_heap > peak:
-            self.counters["peak_heap"] = sim.peak_heap
+        # Vectorized-core telemetry: batched link deliveries and the
+        # arena scoreboard's occupancy high-water mark.
+        self.add("batches_posted", sim.batches_posted)
+        self.add("batch_entries", sim.batch_entries)
+        self.add("batch_inline", sim.batch_inline)
+        for name, value in (("peak_heap", sim.peak_heap),
+                            ("arena_peak", sim.arena_peak)):
+            if value > self.counters.get(name, 0):
+                self.counters[name] = value
 
     def events_per_sec(self, phase: str = "simulate") -> Optional[float]:
         """Engine throughput: events processed over a phase's seconds."""
@@ -107,9 +113,9 @@ class Instrumentation(NullInstrumentation):
         for name, elapsed in report.get("phases_s", {}).items():
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
         for name, value in report.get("counters", {}).items():
-            if name == "peak_heap":
-                if value > self.counters.get("peak_heap", 0):
-                    self.counters["peak_heap"] = value
+            if name in ("peak_heap", "arena_peak"):
+                if value > self.counters.get(name, 0):
+                    self.counters[name] = value
             else:
                 self.add(name, value)
 
@@ -123,6 +129,10 @@ class Instrumentation(NullInstrumentation):
         events_per_sec = self.events_per_sec()
         if events_per_sec is not None:
             report["events_per_sec"] = round(events_per_sec)
+        batches = self.counters.get("batches_posted", 0)
+        if batches:
+            report["mean_burst"] = round(
+                self.counters.get("batch_entries", 0) / batches, 3)
         if self._trace_allocations and tracemalloc.is_tracing():
             current, peak = tracemalloc.get_traced_memory()
             report["tracemalloc"] = {"current_bytes": current,

@@ -13,6 +13,17 @@ entries are plain tuples, so ordering comparisons run at C speed:
   be cancelled -- they are the allocation-free path for the per-packet
   hot loop (link serialization and delivery), which never cancels.
 
+A third shape rides on the anonymous form: :meth:`Simulator.post_batch`
+posts a whole time-sorted burst of callbacks (a link's batched packet
+deliveries) as **one** heap entry carrying a :class:`_Batch`.  When the
+entry surfaces, the engine fires the due callback and then *drains*
+subsequent batch entries inline -- no pop, no push -- for as long as
+they sort before the heap's head, pushing the remainder back as a
+single re-keyed entry when an unrelated event intervenes.  A burst of
+``n`` packets thus costs one ``O(log n)`` heap operation instead of
+``n``, while observable ordering is exactly what ``n`` individual
+``post_at`` calls with one shared sequence number would produce.
+
 The sequence number makes ordering total and stable (two events
 scheduled for the same instant fire in the order they were scheduled),
 which keeps simulations deterministic and therefore reproducible and
@@ -78,6 +89,40 @@ _COMPACT_MIN = 64
 
 #: Maximum number of recycled Event objects kept in the free list.
 _POOL_MAX = 256
+
+
+class _Batch:
+    """A time-sorted burst of callbacks sharing one heap entry.
+
+    ``times`` must be nondecreasing; ``args[i]`` is passed to
+    ``callback`` when entry ``i`` fires.  ``idx`` is the next entry to
+    fire *whenever the batch is not the event currently executing* (it
+    is re-synced on every push-back).  ``dead`` optionally holds entry
+    indices revoked after posting (a link going down mid-burst): they
+    are skipped, preserving the engine's time ordering without heap
+    surgery.
+    """
+
+    __slots__ = ("times", "callback", "args", "idx", "seq", "dead")
+
+    def __init__(self, times, callback, args, seq: int) -> None:
+        self.times = times
+        self.callback = callback
+        self.args = args
+        self.idx = 0
+        self.seq = seq
+        self.dead: Optional[set] = None
+
+    def revoke_from(self, index: int) -> None:
+        """Mark entries ``index`` .. end as dead (never fired)."""
+        dead = self.dead
+        if dead is None:
+            dead = self.dead = set()
+        dead.update(range(index, len(self.times)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<_Batch {self.idx}/{len(self.times)} "
+                f"t0={self.times[0]:.6f}>")
 
 
 class Event:
@@ -171,6 +216,18 @@ class Simulator:
         self.heap_compactions = 0
         #: High-water mark of the heap length (live + stale entries).
         self.peak_heap = 0
+        #: Bursts accepted via :meth:`post_batch`.
+        self.batches_posted = 0
+        #: Total entries carried by those bursts.
+        self.batch_entries = 0
+        #: Batch entries drained inline (no heap pop of their own).
+        self.batch_inline = 0
+        #: High-water mark of live slots across all segment arenas
+        #: attached to this simulator (see :mod:`repro.sim.arena`).
+        self.arena_peak = 0
+        #: Active run()'s ``until`` bound; inline batch draining must
+        #: not fire past it (the remainder is pushed back instead).
+        self._batch_limit = float("inf")
         #: Protocol-event trace bus (see :mod:`repro.obs.bus`).  The
         #: default is the shared no-op; components cache a reference at
         #: construction, so install a real bus *before* building the
@@ -284,6 +341,94 @@ class Simulator:
         self._live += 1
         if len(queue) > self.peak_heap:
             self.peak_heap = len(queue)
+
+    def post_batch(self, times: list, callback: Callable[[Any], None],
+                   args: list) -> _Batch:
+        """Post a nondecreasing burst of ``callback(args[i])`` at
+        ``times[i]`` as a single heap entry.
+
+        All entries share **one** sequence number, exactly as if the
+        caller had pre-allocated it and issued ``post_at`` per entry --
+        so ties against unrelated events resolve by when the *burst*
+        was posted, and entries within the burst keep list order.
+        Entries cannot be cancelled individually, but the returned
+        :class:`_Batch` supports :meth:`_Batch.revoke_from` for the
+        link-down case.  ``times`` must be sorted ascending (the caller
+        guarantees it; links clamp deliveries FIFO anyway).
+        """
+        n = len(times)
+        if n == 0:
+            raise SimulationError("post_batch() requires entries")
+        if times[0] < self.now:
+            raise SimulationError(
+                f"cannot schedule at {times[0]!r}, now is {self.now!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        batch = _Batch(times, callback, args, seq)
+        queue = self._queue
+        heapq.heappush(queue, (times[0], seq, self._step_batch, batch))
+        self.events_posted += n
+        self.events_scheduled += n
+        self._live += n
+        self.batches_posted += 1
+        self.batch_entries += n
+        if len(queue) > self.peak_heap:
+            self.peak_heap = len(queue)
+        return batch
+
+    def _step_batch(self, batch: _Batch) -> None:
+        """Fire the due batch entry, then drain successors inline.
+
+        Runs as the callback of the batch's heap entry: the event loop
+        has already advanced the clock to ``times[idx]`` and accounted
+        for that one pop.  Each further entry fires inline only while
+        it sorts strictly before the heap head under the usual
+        ``(time, seq)`` key and does not cross the active ``until``
+        bound; otherwise the remainder is pushed back as one entry.
+        """
+        times = batch.times
+        args = batch.args
+        callback = batch.callback
+        dead = batch.dead
+        i = batch.idx
+        n = len(times)
+        if dead is None or i not in dead:
+            callback(args[i])
+        i += 1
+        queue = self._queue
+        if not self._running:
+            # step(): single-event semantics -- never drain inline.
+            if i < n:
+                batch.idx = i
+                heapq.heappush(queue,
+                               (times[i], batch.seq, self._step_batch,
+                                batch))
+            return
+        limit = self._batch_limit
+        seq = batch.seq
+        inline = 0
+        dead = batch.dead
+        while i < n:
+            t = times[i]
+            if t > limit:
+                break
+            if queue:
+                head = queue[0]
+                if head[0] < t or (head[0] == t and head[1] < seq):
+                    break
+            self.now = t
+            self.events_processed += 1
+            self._live -= 1
+            inline += 1
+            if dead is None or i not in dead:
+                callback(args[i])
+                dead = batch.dead  # a callback may revoke the rest
+            i += 1
+        if inline:
+            self.batch_inline += inline
+        if i < n:
+            batch.idx = i
+            heapq.heappush(queue, (times[i], seq, self._step_batch, batch))
 
     def reschedule(self, event: Event, delay: float) -> Event:
         """Move a pending ``event`` to ``delay`` seconds from now.
@@ -458,6 +603,7 @@ class Simulator:
         # each instead of a None test plus a comparison.
         time_limit = float("inf") if until is None else until
         budget = float("inf") if max_events is None else max_events
+        self._batch_limit = time_limit
         try:
             while queue:
                 entry = queue[0]
@@ -509,6 +655,7 @@ class Simulator:
                         callback(arg)
         finally:
             self._running = False
+            self._batch_limit = float("inf")
             # Folded in once at loop exit; pending() and
             # events_processed read from *inside* a callback lag by the
             # events fired so far in this run() call.

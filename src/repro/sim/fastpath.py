@@ -1,0 +1,22 @@
+"""The ``REPRO_SCALAR`` escape hatch for the vectorized core.
+
+The batched link pipeline and the arena-backed endpoint structures
+(PR "vectorized packet core") are byte-identical to the scalar code
+they replace -- the determinism guard pins campaign CSV digests across
+both.  For A/B testing, bisection, and the hypothesis equivalence
+suites, setting ``REPRO_SCALAR=1`` in the environment selects the
+legacy scalar paths everywhere.
+
+Components read the flag **at construction time** (one env lookup per
+Link/endpoint, nothing per packet), so tests toggle it with
+``monkeypatch.setenv`` and build a fresh topology.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scalar_mode() -> bool:
+    """True when ``REPRO_SCALAR=1``: use the legacy scalar hot paths."""
+    return os.environ.get("REPRO_SCALAR", "") == "1"

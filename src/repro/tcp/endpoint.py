@@ -21,14 +21,14 @@ halving for every controller, as the paper specifies.
 
 from __future__ import annotations
 
-import collections
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Tuple
 
 from repro.netsim.host import Host
 from repro.netsim.packet import Packet
+from repro.sim.arena import FLIGHT, LOST, SACKED, make_scoreboard
 from repro.sim.engine import Event, Simulator
-from repro.tcp.reassembly import ReassemblyQueue
+from repro.tcp.reassembly import make_reassembly_queue
 from repro.tcp.rto import RtoEstimator
 from repro.tcp.segment import Flags, Segment
 
@@ -130,32 +130,10 @@ class TcpDelegate(Protocol):
         ...
 
 
-_FLIGHT = 0   # transmitted, assumed in the network
-_SACKED = 1   # selectively acknowledged
-_LOST = 2     # deemed lost (retransmitted or RTO-marked)
-
-
-class _SentSegment:
-    """Sender-side bookkeeping for one transmitted range."""
-
-    __slots__ = ("seq", "seq_space", "payload_len", "fin", "dsn",
-                 "sent_at", "retransmits", "state", "rexmit_epoch")
-
-    def __init__(self, seq: int, seq_space: int, payload_len: int,
-                 fin: bool, dsn: Optional[int], sent_at: float) -> None:
-        self.seq = seq
-        self.seq_space = seq_space
-        self.payload_len = payload_len
-        self.fin = fin
-        self.dsn = dsn
-        self.sent_at = sent_at
-        self.retransmits = 0
-        self.state = _FLIGHT
-        self.rexmit_epoch = -1  # recovery epoch this was retransmitted in
-
-    @property
-    def end_seq(self) -> int:
-        return self.seq + self.seq_space
+# Scoreboard states (re-exported from the arena for call sites/tests).
+_FLIGHT = FLIGHT  # transmitted, assumed in the network
+_SACKED = SACKED  # selectively acknowledged
+_LOST = LOST      # deemed lost (retransmitted or RTO-marked)
 
 
 @dataclass
@@ -218,8 +196,9 @@ class TcpEndpoint:
         self.snd_una = 0
         self.snd_nxt = 0
         self.peer_window = 64 * 1024
-        self._sent: "collections.OrderedDict[int, _SentSegment]" = \
-            collections.OrderedDict()
+        # The SACK scoreboard: arena-backed column store by default,
+        # the legacy object-per-segment dict under REPRO_SCALAR=1.
+        self._sent = make_scoreboard(sim)
         self._pipe = 0
         self._pending_bytes = 0      # app bytes not yet segmented (plain mode)
         self._dupacks = 0
@@ -227,7 +206,7 @@ class TcpEndpoint:
         self._recover = 0
         self._recovery_epoch = 0
         self._highest_sacked = 0
-        self._lost_count = 0         # _SentSegments currently in _LOST
+        self._lost_count = 0         # scoreboard ranges currently in _LOST
         self._rto_event: Optional[Event] = None
         self._syn_event: Optional[Event] = None
         self._syn_attempts = 0
@@ -237,7 +216,7 @@ class TcpEndpoint:
         self._consecutive_timeouts = 0
 
         # Receiver state.
-        self.reassembly = ReassemblyQueue(rcv_nxt=1)
+        self.reassembly = make_reassembly_queue(rcv_nxt=1)
         self._peer_fin_seq: Optional[int] = None
         self._peer_fin_delivered = False
         self._unacked_segments = 0
@@ -439,13 +418,7 @@ class TcpEndpoint:
         for start, end in blocks:
             if end > self._highest_sacked:
                 self._highest_sacked = end
-            for sent in self._sent.values():
-                if sent.seq >= end:
-                    break
-                if (sent.state == _FLIGHT and sent.seq >= start
-                        and sent.end_seq <= end):
-                    sent.state = _SACKED
-                    self._pipe -= sent.seq_space
+            self._pipe -= self._sent.sack(start, end)
         if self._in_recovery:
             self._mark_sack_losses()
 
@@ -459,34 +432,20 @@ class TcpEndpoint:
         """
         threshold = self._highest_sacked - \
             self.config.dupack_threshold * self.mss
-        for sent in self._sent.values():
-            if sent.end_seq > threshold:
-                break
-            if (sent.state == _FLIGHT
-                    and sent.rexmit_epoch != self._recovery_epoch):
-                sent.state = _LOST
-                self._lost_count += 1
-                self._pipe -= sent.seq_space
+        count, freed = self._sent.mark_losses(threshold,
+                                              self._recovery_epoch)
+        self._lost_count += count
+        self._pipe -= freed
 
     def _advance_una(self, ack: int) -> None:
-        newly_acked = 0
-        rtt_sample: Optional[float] = None
         self._consecutive_timeouts = 0  # forward progress
-        while self._sent:
-            seq, sent = next(iter(self._sent.items()))
-            if sent.end_seq > ack:
-                break
-            del self._sent[seq]
-            if sent.state == _FLIGHT:
-                self._pipe -= sent.seq_space
-            elif sent.state == _LOST:
-                self._lost_count -= 1
-            newly_acked += sent.seq_space
-            if sent.retransmits == 0:
-                rtt_sample = self.sim.now - sent.sent_at
+        newly_acked, rtt_sent_at, flight_freed, lost_retired = \
+            self._sent.advance_una(ack)
+        self._pipe -= flight_freed
+        self._lost_count -= lost_retired
         self.snd_una = ack
-        if rtt_sample is not None:
-            self.rto_estimator.sample(rtt_sample)
+        if rtt_sent_at is not None:
+            self.rto_estimator.sample(self.sim.now - rtt_sent_at)
         self._restart_rto_timer()
 
         if self._in_recovery:
@@ -560,32 +519,25 @@ class TcpEndpoint:
 
     def _retransmit_front(self) -> None:
         """Deem lost and retransmit the first unacknowledged segment."""
-        for sent in self._sent.values():
-            if sent.state == _SACKED:
-                continue
-            if sent.rexmit_epoch == self._recovery_epoch:
-                return  # already retransmitted this episode
-            self._retransmit(sent)
+        sent = self._sent.front_unsacked()
+        if sent is None:
             return
+        if sent.rexmit_epoch == self._recovery_epoch:
+            return  # already retransmitted this episode
+        self._retransmit(sent)
 
-    def _find_lost(self) -> Optional[_SentSegment]:
+    def _find_lost(self):
         """Next RTO-marked loss not yet resent in this epoch."""
         if not self._lost_count:
             return None  # O(1) common case: nothing marked lost
-        for sent in self._sent.values():
-            if (sent.state == _LOST
-                    and sent.rexmit_epoch != self._recovery_epoch):
-                return sent
-        return None
+        return self._sent.find_lost(self._recovery_epoch)
 
-    def _retransmit(self, sent: _SentSegment) -> None:
+    def _retransmit(self, sent) -> None:
         if sent.state == _FLIGHT:
             self._pipe -= sent.seq_space
         elif sent.state == _LOST:
             self._lost_count -= 1
-        sent.state = _FLIGHT
-        sent.retransmits += 1
-        sent.rexmit_epoch = self._recovery_epoch
+        sent.mark_retransmitted(self._recovery_epoch)
         self._pipe += sent.seq_space
         self.stats.retransmitted_packets += 1
         self._send_data_segment(sent, retransmission=True)
@@ -685,9 +637,9 @@ class TcpEndpoint:
             if chunk is None:
                 break
             payload_len, dsn = chunk
-            sent = _SentSegment(self.snd_nxt, payload_len, payload_len,
-                                fin=False, dsn=dsn, sent_at=self.sim.now)
-            self._sent[sent.seq] = sent
+            sent = self._sent.append(self.snd_nxt, payload_len,
+                                     payload_len, fin=False, dsn=dsn,
+                                     sent_at=self.sim.now)
             self.snd_nxt += payload_len
             self._pipe += payload_len
             self.controller.on_sent(self, payload_len)
@@ -723,16 +675,14 @@ class TcpEndpoint:
                 and self.delegate.has_pending_data(self)):
             return  # the connection may still schedule data our way
         self._fin_sent = True
-        sent = _SentSegment(self.snd_nxt, 1, 0, fin=True, dsn=None,
-                            sent_at=self.sim.now)
-        self._sent[sent.seq] = sent
+        sent = self._sent.append(self.snd_nxt, 1, 0, fin=True, dsn=None,
+                                 sent_at=self.sim.now)
         self.snd_nxt += 1
         self._pipe += 1
         self._send_data_segment(sent, retransmission=False)
         self._arm_rto_timer()
 
-    def _send_data_segment(self, sent: _SentSegment,
-                           retransmission: bool) -> None:
+    def _send_data_segment(self, sent, retransmission: bool) -> None:
         options = None
         if self.delegate is not None and sent.dsn is not None:
             options = self.delegate.data_options(
@@ -822,11 +772,9 @@ class TcpEndpoint:
         self._in_recovery = False
         self._recovery_epoch += 1
         self._dupacks = 0
-        for sent in self._sent.values():
-            if sent.state == _FLIGHT:
-                self._pipe -= sent.seq_space
-            sent.state = _LOST
-        self._lost_count = len(self._sent)
+        flight_freed, total = self._sent.mark_all_lost()
+        self._pipe -= flight_freed
+        self._lost_count = total
         self.controller.on_loss(self)
         self.rto_estimator.backoff()
         if self._trace.enabled:

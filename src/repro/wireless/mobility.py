@@ -32,6 +32,11 @@ class InterfaceOutage:
         self.on_down: List[Callable[[], None]] = []
         self.on_up: List[Callable[[], None]] = []
         self.outages: List[tuple] = []
+        # An outage truncates in-flight service: keep both access links
+        # on the scalar per-packet pipeline so the RNG draw sequence
+        # around down/up transitions matches the legacy path exactly.
+        interface.up_link.disable_batching()
+        interface.down_link.disable_batching()
 
     def schedule(self, down_at: float, up_at: Optional[float]) -> None:
         """Take the interface down at ``down_at`` and (optionally) back

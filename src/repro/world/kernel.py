@@ -133,6 +133,11 @@ class World:
             address = addresses[path]
             _, down = testbed.network.links_for(address)
             bottleneck = f"{address}:down"
+            # The solver pushes residual-capacity loads to this link at
+            # fluid event times, i.e. potentially mid-burst: pin it to
+            # the scalar pipeline so every service start re-reads the
+            # residual rate exactly as the legacy path does.
+            down.disable_batching()
             self.fluid.add_bottleneck(
                 bottleneck, down.config.rate_bps, link=down)
             self._routes.append((bottleneck,))

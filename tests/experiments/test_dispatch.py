@@ -65,6 +65,27 @@ def test_heuristic_ranks_by_size_and_config():
     assert small_sp < big_sp < big_mp2 < big_mp4
 
 
+def test_ljf_fronts_world_cells():
+    """Satellite: a shared-world cell must outrank the equivalent
+    stand-alone cell at the same size, and by a calibrated (modest)
+    margin -- the hybrid fluid kernel adds tens of percent, not
+    multiples, on top of the vectorized packet core."""
+    model = CostModel()
+    mp2 = FlowSpec.mptcp(carrier="att")
+    world = FlowSpec.mptcp(carrier="att", world="closed-8")
+    plan = [
+        _descriptor(0, mp2, 2 * MB),
+        _descriptor(1, world, 2 * MB),
+        _descriptor(2, mp2, 2 * MB),
+    ]
+    order = order_longest_first(range(len(plan)), plan, model)
+    assert order[0] == 1, "the world cell leads at equal size"
+    plain = model.estimate(plan[0])
+    contended = model.estimate(plan[1])
+    assert 1.05 * plain < contended < 2.0 * plain, \
+        "world premium is real but calibrated, not a many-x blowup"
+
+
 def test_observations_override_the_heuristic():
     model = CostModel()
     wifi = FlowSpec.single_path("wifi")

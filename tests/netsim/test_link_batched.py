@@ -1,0 +1,161 @@
+"""Vectorized packet core: batched link pipeline equivalence tests.
+
+The batched pipeline (``Link._serve_burst`` + ``Simulator.post_batch``)
+must be *unobservable*: identical delivery streams (time, subflow
+sequence number, DSN), identical RNG consumption, identical stats,
+against the legacy scalar per-packet pipeline selected by
+``REPRO_SCALAR=1``.  A hypothesis property drives both pipelines
+through random bursts, loss, jitter, ARQ and rate modulation.
+
+Also here: the regression test for the hoisted no-modulation check
+(satellite): unmodulated links must never enter the AR(1) stepping
+code on the per-packet path.
+"""
+
+import os
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.options import DssMapping, MptcpOptions
+from repro.netsim.link import ArqConfig, Link, LinkConfig, RateModulation
+from repro.netsim.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.segment import Segment
+
+
+# ----------------------------------------------------------------------
+# Hoisted no-modulation check
+# ----------------------------------------------------------------------
+
+def _counting_link(modulation):
+    sim = Simulator()
+    config = LinkConfig(rate_bps=8e6, prop_delay=0.001,
+                        buffer_bytes=100_000, modulation=modulation)
+    link = Link(sim, config, random.Random(3))
+    calls = {"n": 0}
+    original = link._step_modulation
+
+    def counting(now=None):
+        calls["n"] += 1
+        return original(now)
+
+    link._step_modulation = counting
+    return sim, link, calls
+
+
+def _pump(sim, link, packets=20):
+    for index in range(packets):
+        segment = Segment(src_port=index, dst_port=2, payload_len=1000)
+        sim.schedule(0.0005 * index, link.send, Packet("a", "b", segment))
+    sim.run()
+
+
+def test_unmodulated_link_never_steps_modulation():
+    """Satellite: the no-modulation check is hoisted out of the
+    per-packet path -- ``_step_modulation`` is not even called."""
+    sim, link, calls = _counting_link(modulation=None)
+    _pump(sim, link)
+    assert link.stats.packets_delivered == 20
+    assert calls["n"] == 0
+
+
+def test_sigma_zero_modulation_counts_as_unmodulated():
+    sim, link, calls = _counting_link(
+        modulation=RateModulation(sigma=0.0, interval=0.1))
+    _pump(sim, link)
+    assert link.stats.packets_delivered == 20
+    assert calls["n"] == 0
+
+
+def test_modulated_link_still_steps_per_service_start():
+    sim, link, calls = _counting_link(
+        modulation=RateModulation(sigma=0.05, interval=0.01))
+    _pump(sim, link)
+    assert link.stats.packets_delivered == 20
+    assert calls["n"] > 0
+
+
+# ----------------------------------------------------------------------
+# Batched vs REPRO_SCALAR=1 equivalence (hypothesis property)
+# ----------------------------------------------------------------------
+
+def _drive(bursts, loss_rate, jitter, use_arq, modulated, seed,
+           scalar):
+    """Run one burst schedule through a link; return the delivery
+    stream as exact (time, seq, dsn) triples plus RNG state and stats.
+
+    ``scalar=True`` builds the link under ``REPRO_SCALAR=1``, selecting
+    the legacy per-packet pipeline at construction time.
+    """
+    if scalar:
+        os.environ["REPRO_SCALAR"] = "1"
+    try:
+        sim = Simulator()
+        config = LinkConfig(
+            rate_bps=4e6, prop_delay=0.005, buffer_bytes=200_000,
+            loss_rate=loss_rate, jitter_mean=jitter,
+            arq=ArqConfig(error_rate=0.1, recovery_min=0.002,
+                          recovery_max=0.01,
+                          residual_loss=0.2) if use_arq else None,
+            modulation=RateModulation(sigma=0.05, interval=0.01)
+            if modulated else None)
+        link = Link(sim, config, random.Random(seed))
+        assert link._vectorized is not scalar
+
+        stream = []
+
+        def deliver(packet):
+            segment = packet.segment
+            stream.append((sim.now, segment.seq,
+                           segment.options.dss.dsn))
+
+        link.deliver = deliver
+        at = 0.0
+        for index, (gap, size) in enumerate(bursts):
+            at += gap * 0.0004
+            options = MptcpOptions(dss=DssMapping(
+                dsn=100_000 + 2 * index, ssn=index, length=size))
+            segment = Segment(src_port=1, dst_port=2, seq=index,
+                              payload_len=size, options=options)
+            sim.schedule(at, link.send, Packet("a", "b", segment))
+        sim.run()
+        return stream, link.rng.random(), link.stats
+    finally:
+        if scalar:
+            del os.environ["REPRO_SCALAR"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bursts=st.lists(st.tuples(st.integers(0, 40),
+                              st.integers(40, 1500)),
+                    min_size=1, max_size=60),
+    loss_rate=st.sampled_from([0.0, 0.05, 0.3]),
+    jitter=st.sampled_from([0.0, 0.001]),
+    use_arq=st.booleans(),
+    modulated=st.booleans(),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_batched_pipeline_matches_scalar(bursts, loss_rate, jitter,
+                                         use_arq, modulated, seed):
+    """Satellite: batched and REPRO_SCALAR=1 runs produce bit-equal
+    (time, seq, dsn) delivery streams, RNG states and stats across
+    random bursts, losses, jitter, ARQ and modulation."""
+    batched = _drive(bursts, loss_rate, jitter, use_arq, modulated,
+                     seed, scalar=False)
+    legacy = _drive(bursts, loss_rate, jitter, use_arq, modulated,
+                    seed, scalar=True)
+    assert batched[0] == legacy[0]
+    assert batched[1] == legacy[1]
+    assert batched[2] == legacy[2]
+
+
+def test_numpy_clean_link_path_matches_scalar():
+    """The RNG-free numpy path (>= 16 queued packets, no loss, no
+    jitter, no ARQ, no modulation) must also be float-exact."""
+    bursts = [(0, 1448)] * 40  # one instant: a 40-deep burst
+    batched = _drive(bursts, 0.0, 0.0, False, False, 11, scalar=False)
+    legacy = _drive(bursts, 0.0, 0.0, False, False, 11, scalar=True)
+    assert batched == legacy

@@ -107,6 +107,34 @@ def test_measurement_accepts_instrumentation():
     assert inst.events_per_sec() > 0
 
 
+def test_batch_telemetry_surfaces_in_profile():
+    """Satellite: the vectorized core's batch counters (batched
+    deliveries, mean burst size, arena occupancy high-water) reach the
+    ``--profile`` report through ``observe_simulator``."""
+    inst = Instrumentation()
+    result = Measurement(FlowSpec.mptcp(carrier="att"), 256 * KB,
+                         seed=3).run(instrumentation=inst)
+    assert result.completed
+    assert inst.counters["batches_posted"] > 0
+    assert inst.counters["batch_entries"] >= inst.counters["batches_posted"]
+    assert "batch_inline" in inst.counters
+    assert inst.counters["arena_peak"] > 0
+    report = inst.report()
+    assert report["mean_burst"] > 1.0, \
+        "bulk transfers must coalesce multi-packet bursts"
+
+
+def test_merge_report_takes_max_of_high_water_marks():
+    inst = Instrumentation()
+    inst.counters["arena_peak"] = 10
+    inst.counters["peak_heap"] = 5
+    inst.merge_report({"phases_s": {}, "counters": {
+        "arena_peak": 7, "peak_heap": 9, "batches_posted": 3}})
+    assert inst.counters["arena_peak"] == 10
+    assert inst.counters["peak_heap"] == 9
+    assert inst.counters["batches_posted"] == 3
+
+
 # ----------------------------------------------------------------------
 # Profiling
 # ----------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""Equivalence tests for the segment arena scoreboard.
+
+``ArraySendScoreboard`` (numpy columns, searchsorted range walks) and
+``PySendScoreboard`` (the legacy object-per-segment dict, kept for
+``REPRO_SCALAR=1``) must be observationally identical: same aggregates
+from every mutating call, same surviving segments, same retransmit
+fronts.  A randomized driver feeds both the endpoint's full operation
+vocabulary; dedicated tests force arena growth and compaction.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.arena import (
+    FLIGHT,
+    LOST,
+    SACKED,
+    ArraySendScoreboard,
+    PySendScoreboard,
+    SegmentArena,
+    make_scoreboard,
+)
+
+
+def snapshot(board):
+    return [(int(sent.seq), int(sent.end_seq), int(sent.seq_space),
+             bool(sent.fin), sent.dsn, float(sent.sent_at),
+             int(sent.retransmits), int(sent.state),
+             int(sent.rexmit_epoch))
+            for sent in board.values()]
+
+
+def drive(board, seed, operations=400):
+    """Run a random op sequence; return every observable output."""
+    rng = random.Random(seed)
+    outputs = []
+    next_seq = 1
+    una = 1
+    epoch = 0
+    now = 0.0
+    for _ in range(operations):
+        now += rng.random() * 0.01
+        roll = rng.random()
+        if roll < 0.45 or not board:
+            space = rng.choice([1448, 1448, 512, 1])
+            fin = space == 1 and rng.random() < 0.5
+            dsn = next_seq + 10_000 if rng.random() < 0.8 else None
+            sent = board.append(next_seq, space, 0 if fin else space,
+                                fin=fin, dsn=dsn, sent_at=now)
+            outputs.append(("append", sent.seq, sent.end_seq))
+            next_seq += space
+        elif roll < 0.62:
+            start = rng.randrange(una, next_seq + 1)
+            end = rng.randrange(start, next_seq + 1449)
+            outputs.append(("sack", board.sack(start, end)))
+        elif roll < 0.72:
+            threshold = rng.randrange(una, next_seq + 1449)
+            outputs.append(("mark_losses",
+                            board.mark_losses(threshold, epoch)))
+        elif roll < 0.87:
+            ack = rng.randrange(una, next_seq + 1)
+            outputs.append(("advance", board.advance_una(ack)))
+            una = max(una, ack)
+        elif roll < 0.93:
+            front = board.front_unsacked()
+            outputs.append(("front", None if front is None
+                            else (front.seq, front.state)))
+            if front is not None and front.state == LOST:
+                front.mark_retransmitted(epoch)
+        elif roll < 0.97:
+            lost = board.find_lost(epoch)
+            outputs.append(("lost", None if lost is None
+                            else lost.seq))
+            if lost is not None:
+                lost.mark_retransmitted(epoch)
+        else:
+            outputs.append(("rto", board.mark_all_lost()))
+            epoch += 1
+    outputs.append(("final", len(board), bool(board), snapshot(board)))
+    return outputs
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 2013, 31337])
+def test_array_scoreboard_matches_legacy(seed):
+    assert drive(ArraySendScoreboard(), seed) == \
+        drive(PySendScoreboard(), seed)
+
+
+def test_growth_past_initial_capacity():
+    """Appending beyond the initial arena capacity must preserve every
+    column; equivalence is checked against the legacy board."""
+    array, legacy = ArraySendScoreboard(), PySendScoreboard()
+    for board in (array, legacy):
+        for index in range(1000):
+            board.append(1 + index * 1448, 1448, 1448, fin=False,
+                         dsn=50_000 + index, sent_at=0.001 * index)
+    assert array._arena.capacity >= 1000
+    assert snapshot(array) == snapshot(legacy)
+
+
+def test_compaction_recycles_retired_slots():
+    """A long steady-state window (append at tail, ack at head) must
+    compact in place instead of growing without bound."""
+    board = ArraySendScoreboard()
+    seq = 1
+    for round_index in range(40):
+        for _ in range(100):
+            board.append(seq, 1448, 1448, fin=False, dsn=None,
+                         sent_at=0.0)
+            seq += 1448
+        board.advance_una(seq - 10 * 1448)  # keep 10 in flight
+    assert len(board) == 10
+    assert board._arena.capacity < 1024, \
+        "a 10-segment window must not grow a 4000-append arena"
+    assert [sent.seq for sent in board.values()] == \
+        [seq - (10 - i) * 1448 for i in range(10)]
+
+
+def test_views_are_live_after_mutation():
+    """Captured views read through to the columns -- the endpoint-
+    internals tests capture values() before mutating via SACK."""
+    board = ArraySendScoreboard()
+    board.append(1, 1000, 1000, fin=False, dsn=None, sent_at=0.5)
+    board.append(1001, 1000, 1000, fin=False, dsn=None, sent_at=0.6)
+    first, second = board.values()
+    assert (first.state, second.state) == (FLIGHT, FLIGHT)
+    board.sack(1001, 2001)
+    assert (first.state, second.state) == (FLIGHT, SACKED)
+    board.mark_losses(3001, epoch=0)
+    assert first.state == LOST
+    first.mark_retransmitted(epoch=0)
+    assert first.retransmits == 1 and first.rexmit_epoch == 0
+
+
+def test_arena_peak_reaches_the_simulator():
+    class FakeSim:
+        arena_peak = 0
+
+    sim = FakeSim()
+    board = ArraySendScoreboard(sim)
+    for index in range(5):
+        board.append(1 + index * 100, 100, 100, fin=False, dsn=None,
+                     sent_at=0.0)
+    board.advance_una(501)
+    board.append(501, 100, 100, fin=False, dsn=None, sent_at=0.0)
+    assert sim.arena_peak == 5
+
+
+def test_make_scoreboard_honours_scalar_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR", raising=False)
+    assert isinstance(make_scoreboard(), ArraySendScoreboard)
+    monkeypatch.setenv("REPRO_SCALAR", "1")
+    assert isinstance(make_scoreboard(), PySendScoreboard)
+
+
+def test_rtt_sample_comes_from_last_fresh_segment():
+    """Karn: the RTT sample is the transmit time of the *last* retired
+    never-retransmitted range; retransmitted ranges are skipped."""
+    for board in (ArraySendScoreboard(), PySendScoreboard()):
+        board.append(1, 100, 100, fin=False, dsn=None, sent_at=1.0)
+        second = board.append(101, 100, 100, fin=False, dsn=None,
+                              sent_at=2.0)
+        board.append(201, 100, 100, fin=False, dsn=None, sent_at=3.0)
+        second.mark_retransmitted(epoch=0)
+        _, rtt_sent_at, _, _ = board.advance_una(201)
+        assert rtt_sent_at == 1.0
+        _, rtt_sent_at, _, _ = board.advance_una(301)
+        assert rtt_sent_at == 3.0
+
+
+def test_arena_len_tracks_live_region():
+    arena = SegmentArena()
+    assert len(arena) == 0
+    arena.append(1, 100, 100, False, None, 0.0)
+    arena.append(101, 100, 100, False, None, 0.0)
+    assert len(arena) == 2
+    arena.head = 1
+    assert len(arena) == 1
