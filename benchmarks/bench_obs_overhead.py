@@ -2,17 +2,20 @@
 
 Runs the fig02-style MP-2 workload (AT&T + WiFi, coupled, 2 MB) with
 tracing ``off`` (the slotted :class:`NullTraceBus`), ``ring`` (the
-in-memory flight recorder) and ``jsonl`` (full event streaming to
-disk), and reports engine events/sec for each.  Every run asserts the
-download time against the known-good oracle: trace level must never
-change simulation results.
+in-memory flight recorder), ``jsonl`` (full event streaming to disk)
+and ``metrics`` (tracing off, the typed metrics registry on), and
+reports engine events/sec for each.  Every run asserts the download
+time against the known-good oracle: neither trace level nor the
+metrics registry must ever change simulation results.
 
 ``--check`` is the perf-smoke gate for the tracing tentpole: the
 ``off`` throughput must stay within 2 % of the pre-tracing baseline
 recorded in ``benchmarks/output/BENCH_PERF.json`` (``obs.baseline``,
 measured at the commit before any probe points existed).  A null bus
 that costs more than that means a probe site is doing work before the
-``trace.enabled`` guard.  Set ``REPRO_PERF_SOFT=1`` to downgrade the
+``trace.enabled`` guard — the ``off`` workload also carries every
+``metrics.enabled`` site against ``NULL_METRICS``, so the same gate
+proves disabled metrics are free.  Set ``REPRO_PERF_SOFT=1`` to downgrade the
 failure to a warning on machines slower than the baseline recorder.
 
 Usage::
@@ -47,16 +50,18 @@ MB = 1024 * 1024
 #: fraction below the recorded pre-tracing baseline.
 NULL_BUS_TOLERANCE = 0.02
 
-TRACE_MODES = ("off", "ring", "jsonl")
+TRACE_MODES = ("off", "ring", "jsonl", "metrics")
 
 
 def run_one(mode: str, trace_path: str | None) -> dict:
     spec = FlowSpec.mptcp(carrier="att", controller="coupled")
     size = 2 * MB
     seed = derive_seed(2013, f"bench-perf:{spec.identity}:{size}")
+    trace = "off" if mode == "metrics" else mode
     measurement = Measurement(spec, size, seed=seed,
                               period=TimeOfDay.AFTERNOON,
-                              trace=mode, trace_path=trace_path)
+                              trace=trace, trace_path=trace_path,
+                              metrics="on" if mode == "metrics" else "off")
     inst = Instrumentation()
     result = measurement.run(instrumentation=inst)
     if not result.completed:
@@ -80,14 +85,14 @@ def bench(reps: int) -> dict:
         for _ in range(reps):
             for mode in TRACE_MODES:
                 trace_path = (os.path.join(tmp, f"bench-{mode}.jsonl")
-                              if mode != "off" else None)
+                              if mode in ("ring", "jsonl") else None)
                 sample = run_one(mode, trace_path)
                 if oracle is None:
                     oracle = sample["download_time"]
                 elif sample["download_time"] != oracle:
                     raise AssertionError(
-                        f"trace={mode}: tracing changed the result -- "
-                        f"{sample['download_time']!r} != {oracle!r}")
+                        f"mode={mode}: observability changed the result "
+                        f"-- {sample['download_time']!r} != {oracle!r}")
                 if (mode not in best
                         or sample["simulate_s"] < best[mode]["simulate_s"]):
                     best[mode] = sample
@@ -102,7 +107,7 @@ def bench(reps: int) -> dict:
               f"{best[mode]['simulate_s']:.4f}s)")
     obs["download_time"] = oracle
     off = obs["modes"]["off"]["events_per_sec"]
-    for mode in ("ring", "jsonl"):
+    for mode in ("ring", "jsonl", "metrics"):
         overhead = 1.0 - obs["modes"][mode]["events_per_sec"] / off
         obs["modes"][mode]["overhead_vs_off"] = round(overhead, 3)
         print(f"trace={mode}: {overhead:.1%} events/sec overhead vs off")

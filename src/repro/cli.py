@@ -268,6 +268,85 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace,
         print(f"appended {written} results to {args.save}")
 
 
+def _report_cell(value) -> str:
+    """Stable cell text for SLA tables: the determinism guard pins the
+    CSV digest, so formatting must never drift."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+def _report_tables(store) -> List[Tuple[str, List[str], List[List[str]]]]:
+    """Render the analytics queries as (name, headers, rows) triples —
+    shared by ``repro report`` and the determinism guard."""
+    sla_headers = ["label", "failure", "size", "n", "p50", "p90", "p99",
+                   "p999", "stalled", "p99_stall_s", "crossed_failure",
+                   "survived_failure"]
+    sla_rows = [[_report_cell(row[name]) for name in sla_headers]
+                for row in store.sla_table()]
+    share_headers = ["label", "failure", "size", "path", "n", "mean_share"]
+    share_rows = [[_report_cell(row[name]) for name in share_headers]
+                  for row in store.path_shares()]
+    survival_rows = [[_report_cell(t), _report_cell(s)]
+                     for t, s in store.survival_curve().to_rows()]
+    return [
+        ("sla", sla_headers, sla_rows),
+        ("path_shares", share_headers, share_rows),
+        ("survival", ["t_after_failure_s", "fraction_still_transferring"],
+         survival_rows),
+    ]
+
+
+def _run_report(args: argparse.Namespace, cache=None,
+                cost_model=None) -> None:
+    """The ``repro report`` artifact: run the SLA campaign with the
+    metrics registry on, ingest everything into an analytics database,
+    and render/export the SLA tables."""
+    from repro.experiments.storage import save_results
+    from repro.obs.analytics import AnalyticsStore
+
+    out_dir = Path(args.trace_out or "obs-report")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spec = scenarios.sla_report_campaign(
+        repetitions=args.reps,
+        periods=(tuple(TimeOfDay) if args.full
+                 else scenarios.QUICK_PERIODS),
+        base_seed=args.seed)
+    total = spec.total_runs()
+    print("\nSLA report: percentile ladders, stalls and failure survival")
+    print(f"running {total} measurements with metrics on...", flush=True)
+    started = time.time()
+    run_log = str(out_dir / "run_log.jsonl")
+    campaign = Campaign(spec, jobs=args.jobs, journal=args.resume,
+                        capture_level=args.capture,
+                        trace=args.trace,
+                        trace_dir=(str(out_dir) if args.trace != "off"
+                                   else None),
+                        run_log=run_log, metrics="on",
+                        cache=cache, cost_model=cost_model,
+                        chunk=args.chunk)
+    results = campaign.run()
+    save_results(out_dir / "report-results.jsonl", results)
+    print(f"done in {time.time() - started:.1f}s "
+          f"({campaign.completed_fraction():.0%} completed)\n")
+
+    db_path = out_dir / "analytics.sqlite"
+    with AnalyticsStore(str(db_path)) as store:
+        counts = store.ingest_directory(str(out_dir))
+        tables = _report_tables(store)
+    print(f"analytics db: {db_path} "
+          f"({counts['results']} results, "
+          f"{counts['run_log_records']} run-log records)")
+    for name, headers, rows in tables:
+        print()
+        print(render_table(headers, rows, title=name.replace("_", " ")))
+        path = out_dir / f"report_{name}.csv"
+        write_csv(path, headers, rows)
+        print(f"wrote {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
@@ -288,10 +367,13 @@ def _main(argv: Optional[List[str]] = None) -> int:
                      "from the packet-level simulation."))
     parser.add_argument("artifact",
                         choices=sorted(artifacts) + ["all", "list",
+                                                     "report",
                                                      "scorecard",
                                                      "validate",
                                                      "run-campaign"],
                         help="which table/figure to regenerate; "
+                             "'report' runs the SLA campaign and "
+                             "renders analytics tables, "
                              "'scorecard' grades the claims, "
                              "'validate' cross-checks traces against "
                              "protocol internals, 'run-campaign' runs "
@@ -381,9 +463,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.artifact == "list":
         for name in sorted(artifacts):
             print(f"{name:7s} {artifacts[name].title}")
+        print("report     SLA tables + survival curves from metrics")
         print("scorecard  grade every headline claim (PASS/FAIL)")
         print("validate   cross-check traces vs protocol internals")
         print("run-campaign  run a JSON campaign definition (--file)")
+        return 0
+    if args.artifact == "report":
+        with _open_cache(args) as cache:
+            _run_report(args, cache=cache.store,
+                        cost_model=cache.cost_model)
         return 0
     if args.artifact == "run-campaign":
         if not args.file:
@@ -423,6 +511,13 @@ def _main(argv: Optional[List[str]] = None) -> int:
         for name in selected:
             _run_artifact(artifacts[name], args, cache=cache.store,
                           cost_model=cache.cost_model)
+        if args.artifact == "all":
+            # The SLA report rides along at the end of `repro all`: its
+            # cells carry distinct seeds (campaign name feeds seed
+            # derivation), so it shares the cache session but never
+            # collides with metrics-off cells from the artifacts above.
+            _run_report(args, cache=cache.store,
+                        cost_model=cache.cost_model)
         if cache.store is not None and cache.store.hits:
             stats = cache.store.stats()
             print(f"run cache {args.cache}: {stats['hits']} hits / "

@@ -98,6 +98,8 @@ class MptcpConnection:
         # install a real bus on the simulator before building
         # connections.
         self._trace = sim.trace
+        # Metrics registry, cached under the same contract as the bus.
+        self._metrics = sim.metrics
         #: Addresses this (server) side may advertise via ADD_ADDR.
         self.server_addrs = list(server_addrs or [])
 
@@ -604,6 +606,10 @@ class MptcpConnection:
                 continue
             entry[2] = True
             self._reinjection_queue.append([start, entry[1], subflow.index])
+            if self._metrics.enabled:
+                self._metrics.counter("mptcp.reinject.spans").inc()
+                self._metrics.counter("mptcp.reinject.bytes").inc(
+                    entry[1] - start)
             if self._trace.enabled:
                 self._trace.emit(self.sim.now, "mptcp.reinject",
                                  subflow=subflow.index,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.core.options import DssMapping, MptcpOptions
+from repro.obs.metrics import BYTES_EDGES
 from repro.tcp.endpoint import TcpEndpoint
 from repro.tcp.segment import Segment
 
@@ -135,7 +136,18 @@ class Subflow:
 
     def pull_data(self, endpoint: TcpEndpoint,
                   max_bytes: int) -> Optional[Tuple[int, int]]:
-        return self.connection.allocate(self, max_bytes)
+        allocation = self.connection.allocate(self, max_bytes)
+        metrics = self.connection._metrics
+        if allocation is not None and metrics.enabled:
+            # Per-path contribution and path-state samples, taken at
+            # each scheduler grant (passive: observation only).
+            path = self.path_name
+            metrics.counter(f"path.{path}.bytes").inc(allocation[1])
+            metrics.histogram(f"path.{path}.srtt_s").observe(
+                endpoint.smoothed_rtt())
+            metrics.histogram(f"path.{path}.cwnd_bytes",
+                              BYTES_EDGES).observe(float(endpoint.cwnd))
+        return allocation
 
     def data_options(self, endpoint: TcpEndpoint, ssn: int, dsn: int,
                      length: int) -> Optional[MptcpOptions]:

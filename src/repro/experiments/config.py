@@ -17,6 +17,43 @@ from repro.tcp.endpoint import TcpConfig
 _CARRIER_LABELS = {"att": "ATT", "verizon": "VZW", "sprint": "Sprint"}
 
 
+def parse_failure(value: str) -> dict:
+    """Parse a failure-schedule spec into its parameters.
+
+    Grammar: ``outage:down=<seconds>,up=<seconds>|never[,path=wifi|cell]``
+    — an interface outage window on one access path, the
+    bench_ext_handover schedule as a first-class campaign knob.
+    ``"none"`` raises (callers gate on it before parsing).
+    """
+    kind, _, params_text = value.partition(":")
+    if kind != "outage":
+        raise ValueError(f"unknown failure kind {kind!r}; known: outage")
+    params = {}
+    for item in filter(None, params_text.split(",")):
+        name, sep, text = item.partition("=")
+        if not sep:
+            raise ValueError(f"bad failure parameter {item!r}")
+        params[name] = text
+    unknown = set(params) - {"down", "up", "path"}
+    if unknown:
+        raise ValueError(
+            f"unknown failure parameters: {', '.join(sorted(unknown))}")
+    if "down" not in params or "up" not in params:
+        raise ValueError(
+            f"failure spec {value!r} needs down=<s> and up=<s>|never")
+    down_at = float(params["down"])
+    up_at = (None if params["up"] == "never" else float(params["up"]))
+    if down_at < 0.0:
+        raise ValueError("outage down time must be >= 0")
+    if up_at is not None and up_at <= down_at:
+        raise ValueError("outage recovery must follow the outage")
+    path = params.get("path", "wifi")
+    if path not in ("wifi", "cell"):
+        raise ValueError(f"bad failure path {path!r}")
+    return {"kind": "outage", "down_at": down_at, "up_at": up_at,
+            "path": path}
+
+
 @dataclass(frozen=True)
 class FlowSpec:
     """One transport configuration of the measurement study."""
@@ -59,6 +96,10 @@ class FlowSpec:
     #: :data:`repro.world.WORLDS` (``bg-light``, ``closed-32``, ...)
     #: filling the access links with fluid background flows.
     world: str = "none"
+    #: Injected failure schedule: ``none`` (the paper's undisturbed
+    #: runs) or a spec parsed by :func:`parse_failure`, e.g.
+    #: ``outage:down=2,up=6`` for the bench_ext_handover window.
+    failure: str = "none"
 
     def __post_init__(self) -> None:
         if self.mode not in ("sp", "mp"):
@@ -105,6 +146,8 @@ class FlowSpec:
                 raise ValueError(
                     f"unknown world {self.world!r}; known: "
                     f"none, {', '.join(sorted(WORLDS))}")
+        if self.failure != "none":
+            parse_failure(self.failure)  # raises on malformed specs
 
     # ------------------------------------------------------------------
     # Constructors matching the paper's vocabulary
@@ -163,8 +206,9 @@ class FlowSpec:
         hence the derived per-run seeds and journal keys) it had before
         middleboxes existed, or committed campaign outputs would shift.
         The scheduler-lab fields (``path_manager``, ``workload``,
-        ``path_pair``) and the shared-world field (``world``) are gated
-        the same way: defaulted values stay out of the identity string.
+        ``path_pair``), the shared-world field (``world``) and the
+        failure schedule (``failure``) are gated the same way:
+        defaulted values stay out of the identity string.
         """
         values = asdict(self)
         if values["middlebox"] == "none":
@@ -178,6 +222,8 @@ class FlowSpec:
             del values["path_pair"]
         if values["world"] == "none":
             del values["world"]
+        if values["failure"] == "none":
+            del values["failure"]
         return ";".join(f"{name}={values[name]}" for name in sorted(values))
 
     @property

@@ -74,6 +74,11 @@ class RunResult:
     #: completed, goodput, Jain index, ...) when the spec names a
     #: world; ``None`` for stand-alone runs.
     world: Optional[dict] = None
+    #: Snapshot of the run's :class:`repro.obs.metrics.MetricsRegistry`
+    #: (counters / gauges / histograms) when metrics were enabled;
+    #: ``None`` otherwise.  Purely observational — never feeds back
+    #: into results.
+    obs_metrics: Optional[dict] = None
 
     @property
     def key(self) -> Tuple[FlowSpec, int]:
@@ -89,7 +94,8 @@ class Measurement:
                  wifi_profile=None, cell_profile=None,
                  capture_level=CaptureLevel.METRICS_ONLY,
                  trace: str = "off", trace_path: Optional[str] = None,
-                 trace_ring: int = 4096) -> None:
+                 trace_ring: int = 4096,
+                 metrics: str = "off") -> None:
         self.spec = spec
         self.size = size
         self.seed = seed
@@ -110,6 +116,10 @@ class Measurement:
         self.trace = trace
         self.trace_path = trace_path
         self.trace_ring = trace_ring
+        #: Metrics mode: ``"off"`` (the null registry, free) or
+        #: ``"on"`` (aggregate counters/histograms, snapshotted onto
+        #: :attr:`RunResult.obs_metrics`).  Passive, like tracing.
+        self.metrics = metrics
         #: The bus installed for the last :meth:`run` (query its
         #: retained events with ``trace_bus.events(...)``).
         self.trace_bus = None
@@ -129,6 +139,7 @@ class Measurement:
                 wifi_profile=wifi_profile,
                 cell_profile=cell_profile))
             trace_bus = self._install_trace(testbed)
+            metrics_registry = self._install_metrics(testbed)
             server_capture = PacketCapture(testbed.server,
                                            level=self.capture_level)
             # The client side only feeds download time and per-path
@@ -143,6 +154,7 @@ class Measurement:
             else:
                 client, connection = self._start_mptcp(testbed)
             world = self._start_world(testbed, client)
+            self._install_failure(testbed, connection)
 
         timeout = self.timeout
         if timeout is None:
@@ -188,6 +200,8 @@ class Measurement:
                 established_at=record.established_at,
                 subflow_count=subflow_count,
                 world=(world.summary() if world is not None else None),
+                obs_metrics=(metrics_registry.snapshot()
+                             if metrics_registry is not None else None),
             )
         except BaseException:
             # The flight recorder's reason to exist: persist the last
@@ -236,6 +250,56 @@ class Measurement:
         testbed.sim.trace = bus
         self.trace_bus = bus
         return bus
+
+    def _install_metrics(self, testbed: Testbed):
+        """Build and install the metrics registry on the simulator.
+
+        Same contract as :meth:`_install_trace`: must run before the
+        protocol stack is constructed, because hot-path components
+        cache ``sim.metrics`` at build time.  Returns the registry when
+        enabled (for the end-of-run snapshot), else ``None``.
+        """
+        if self.metrics == "off":
+            return None
+        from repro.obs.metrics import make_metrics
+        registry = make_metrics(self.metrics)
+        testbed.sim.metrics = registry
+        # Links are built with the testbed itself, before this runs, so
+        # their cached null registry must be rebound by hand (protocol
+        # components are constructed later and pick it up naturally).
+        for interface in testbed.network._interfaces.values():
+            interface.up_link._metrics = registry
+            interface.down_link._metrics = registry
+        return registry
+
+    def _install_failure(self, testbed: Testbed, connection) -> None:
+        """Schedule the spec's injected failure, if any.
+
+        With ``failure == "none"`` (every pre-existing spec) nothing is
+        scheduled, so undisturbed runs replay bit-for-bit.  Otherwise
+        an :class:`repro.wireless.mobility.InterfaceOutage` takes the
+        chosen access interface down and (optionally) back up, wired to
+        the MPTCP path manager's interface callbacks exactly as the
+        handover benchmark does — so MP flows re-join on recovery while
+        SP flows on the failed path simply stall.
+        """
+        spec = self.spec
+        if spec.failure == "none":
+            return
+        from repro.experiments.config import parse_failure
+        from repro.wireless.mobility import InterfaceOutage
+        schedule = parse_failure(spec.failure)
+        address = (testbed.client_addrs[0] if schedule["path"] == "wifi"
+                   else testbed.cellular_addr)
+        outage = InterfaceOutage(testbed.sim,
+                                 testbed.client.interfaces[address])
+        if connection is not None and connection.path_manager is not None:
+            manager = connection.path_manager
+            outage.on_down.append(
+                lambda: manager.on_interface_down(address))
+            outage.on_up.append(
+                lambda: manager.on_interface_up(address))
+        outage.schedule(schedule["down_at"], schedule["up_at"])
 
     def _dump_flight(self, trace_bus) -> None:
         if trace_bus is None:
@@ -393,6 +457,10 @@ class RunDescriptor:
     #: traced and untraced campaigns share journal entries and seeds.
     trace: str = "off"
     trace_dir: Optional[str] = None
+    #: Metrics mode (``off`` / ``on``); excluded from :attr:`key` like
+    #: the trace mode — metrics are passive, so a metered and an
+    #: unmetered campaign share journal entries and seeds.
+    metrics: str = "off"
 
     @property
     def key(self) -> str:
@@ -415,7 +483,8 @@ class RunDescriptor:
                                   cell_profile=self.cell_profile,
                                   capture_level=self.capture_level,
                                   trace=self.trace,
-                                  trace_path=self.trace_path())
+                                  trace_path=self.trace_path(),
+                                  metrics=self.metrics)
         if instrumentation is None:
             return measurement.run()
         return measurement.run(instrumentation=instrumentation)
@@ -454,6 +523,7 @@ class Campaign:
                  jobs: int = 1, journal=None,
                  capture_level=CaptureLevel.METRICS_ONLY,
                  trace: str = "off", trace_dir: Optional[str] = None,
+                 metrics: str = "off",
                  run_log: Optional[str] = None,
                  heartbeat_dir: Optional[str] = None,
                  instrumentation=None,
@@ -486,6 +556,7 @@ class Campaign:
         #: worker phase timers are merged into.
         self.trace = trace
         self.trace_dir = trace_dir
+        self.metrics = metrics
         self.run_log = run_log
         self.heartbeat_dir = heartbeat_dir
         self.instrumentation = instrumentation
@@ -519,7 +590,8 @@ class Campaign:
                         index=len(descriptors), spec=flow, size=size,
                         seed=seed, period=period,
                         capture_level=self.capture_level.value,
-                        trace=self.trace, trace_dir=self.trace_dir))
+                        trace=self.trace, trace_dir=self.trace_dir,
+                        metrics=self.metrics))
         return descriptors
 
     def run(self) -> List[RunResult]:

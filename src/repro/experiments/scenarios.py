@@ -252,6 +252,40 @@ def world_campaign(repetitions: int = 2,
         repetitions=repetitions, periods=periods, base_seed=base_seed)
 
 
+#: The bench_ext_handover outage window: WiFi drops at t=2s, returns
+#: at t=6s -- long enough to force MP_FAIL handover and SP-WiFi RTO
+#: stalls, short enough that every flow can still complete.
+SLA_OUTAGE = "outage:down=2,up=6"
+
+
+def sla_report_campaign(repetitions: int = 2,
+                        periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
+                        base_seed: int = 2013,
+                        size: int = 8 * MB) -> CampaignSpec:
+    """The ``repro report`` matrix: SLA cohorts with and without a
+    mid-transfer WiFi outage.
+
+    Fig. 2-style baselines (SP-WiFi, SP-ATT, MP-2) run undisturbed and
+    again through :data:`SLA_OUTAGE`; at 8 MB every transfer is still
+    in flight when WiFi drops at t=2s, so the failure cohort exercises
+    handover (MP) and RTO stall-and-recover (SP).  Runs execute with
+    the metrics registry on; :class:`repro.obs.analytics.AnalyticsStore`
+    turns the results into percentile ladders, stall distributions,
+    path shares and survival curves.
+    """
+    specs: List[FlowSpec] = [
+        FlowSpec.single_path("wifi"),
+        FlowSpec.single_path("cell", carrier="att"),
+        FlowSpec.mptcp(carrier="att", controller="coupled"),
+        FlowSpec.single_path("wifi", failure=SLA_OUTAGE),
+        FlowSpec.mptcp(carrier="att", controller="coupled",
+                       failure=SLA_OUTAGE),
+    ]
+    return CampaignSpec(
+        name="sla-report", specs=tuple(specs), sizes=(size,),
+        repetitions=repetitions, periods=periods, base_seed=base_seed)
+
+
 def latency_campaign(repetitions: int = 2,
                      periods: Tuple[TimeOfDay, ...] = QUICK_PERIODS,
                      base_seed: int = 2013) -> CampaignSpec:

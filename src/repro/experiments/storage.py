@@ -110,6 +110,7 @@ def result_to_dict(result: RunResult,
         "established_at": result.established_at,
         "subflow_count": result.subflow_count,
         "world": result.world,
+        "obs_metrics": result.obs_metrics,
         "metrics": {
             "download_time": metrics.download_time,
             "bytes_received": metrics.bytes_received,
@@ -149,6 +150,7 @@ def result_from_dict(data: dict) -> RunResult:
         established_at=data["established_at"],
         subflow_count=data["subflow_count"],
         world=data.get("world"),  # absent in pre-world files
+        obs_metrics=data.get("obs_metrics"),  # absent in pre-metrics files
     )
 
 

@@ -33,6 +33,7 @@ except ImportError:  # pragma: no cover - numpy ships with the toolchain
     _np = None
 
 from repro.netsim.packet import Packet
+from repro.obs.metrics import BYTES_EDGES
 from repro.sim.engine import Simulator
 from repro.sim.fastpath import scalar_mode
 
@@ -147,6 +148,10 @@ class Link:
         self.middlebox: Optional[
             Callable[[Packet, float], "list[Packet]"]] = None
         self.stats = LinkStats()
+        # Metrics registry, cached at construction like ``sim.trace``
+        # consumers elsewhere: install a real registry before building
+        # the network.  Guarded with ``enabled`` on the hot path.
+        self._metrics = sim.metrics
         self._queue: collections.deque[Packet] = collections.deque()
         self._queue_bytes = 0
         self._busy = False
@@ -222,11 +227,15 @@ class Link:
         self.stats.packets_offered += 1
         if self._down:
             self.stats.drops_down += 1
+            if self._metrics.enabled:
+                self._metrics.counter("link.drops.down").inc()
             return
         if self.middlebox is not None:
             forwarded = self.middlebox(packet, self.sim.now)
             if not forwarded:
                 self.stats.drops_middlebox += 1
+                if self._metrics.enabled:
+                    self._metrics.counter("link.drops.middlebox").inc()
                 return
             for transformed in forwarded:
                 self._admit(transformed)
@@ -247,7 +256,12 @@ class Link:
                 bisect.bisect_right(starts, self.sim.now)]
         if occupancy + size > self.config.buffer_bytes:
             self.stats.drops_overflow += 1
+            if self._metrics.enabled:
+                self._metrics.counter("link.drops.overflow").inc()
             return
+        if self._metrics.enabled:
+            self._metrics.histogram("link.queue_bytes",
+                                    BYTES_EDGES).observe(float(occupancy))
         self._queue.append(packet)
         self._queue_bytes += size
         occupancy += size

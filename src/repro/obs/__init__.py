@@ -18,6 +18,15 @@ engine (which imports this package for the null bus) never pulls the
 protocol stack back in.
 """
 
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    make_metrics,
+)
 from repro.obs.bus import (
     NULL_TRACE_BUS,
     JsonlSink,
@@ -32,6 +41,13 @@ from repro.obs.bus import (
 )
 
 __all__ = [
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "make_metrics",
     "NULL_TRACE_BUS",
     "JsonlSink",
     "MemorySink",

@@ -1,0 +1,654 @@
+"""The analytics warehouse: a queryable SQLite store over run telemetry.
+
+Campaigns already emit four kinds of telemetry — saved results
+(``*.jsonl`` via :mod:`repro.experiments.storage`), the campaign
+``run_log.jsonl``, per-run TraceBus jsonl dumps, and rendered campaign
+CSVs — but until now they could only be grepped.  :class:`AnalyticsStore`
+ingests all four into one versioned SQLite schema and answers the
+measurement questions the paper asks of its own dataset: percentile
+ladders (p50/p90/p99/p999), stall/duration/volume distributions,
+per-path contribution shares, and Kaplan-Meier-style survival curves
+for flows crossing an injected failure.
+
+Design points:
+
+* **Idempotent ingest.**  Every table is keyed by a natural key (the
+  campaign cell's ``descriptor_key``, plus path / metric name / line
+  number where needed) and written with ``INSERT OR REPLACE``;
+  re-ingesting the same directory changes nothing.
+* **Torn-line tolerance.**  Every jsonl ingester stops at a malformed
+  *final* line — the signature of a writer killed mid-append — exactly
+  like ``ResultJournal`` and :func:`repro.obs.bus.read_jsonl`.
+* **Deterministic queries.**  Every query orders its output on the
+  full natural key and rounds floats, so rendered SLA tables digest
+  identically across runs and platforms (the determinism guard pins
+  one).
+
+Schema (version 1)::
+
+    runs      one row per campaign cell: spec identity, label, size,
+              seed, period, outcome, wall-clock, background-world load
+    flows     transport-level outcome per run: duration, volume,
+              goodput, stall seconds, RTO/fast-retransmit/reinjection
+              totals, fallback
+    subflows  per-path rows: bytes carried, contribution share,
+              SRTT/cwnd sample statistics
+    events    ingested trace-bus events (t, kind, subflow, payload)
+    failures  the injected failure schedule per run and whether the
+              flow crossed it / survived it
+    metrics   flattened metrics-registry snapshots, one row per
+              instrument
+    csv_rows  raw campaign CSV rows, one JSON record per line
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    key               TEXT PRIMARY KEY,
+    spec              TEXT NOT NULL,
+    label             TEXT NOT NULL,
+    mode              TEXT NOT NULL,
+    size              INTEGER NOT NULL,
+    seed              TEXT NOT NULL,
+    period            TEXT NOT NULL,
+    failure           TEXT NOT NULL DEFAULT 'none',
+    status            TEXT NOT NULL DEFAULT 'ok',
+    completed         INTEGER,
+    download_time     REAL,
+    established_at    REAL,
+    subflow_count     INTEGER,
+    world             TEXT,
+    bg_flows          INTEGER,
+    bg_peak_concurrent INTEGER,
+    bg_goodput_bps    REAL,
+    wall_duration_s   REAL,
+    events            INTEGER,
+    worker            TEXT
+);
+CREATE TABLE IF NOT EXISTS flows (
+    run_key           TEXT PRIMARY KEY,
+    completed         INTEGER,
+    duration_s        REAL,
+    volume_bytes      INTEGER,
+    goodput_bps       REAL,
+    stall_s           REAL,
+    rto_count         INTEGER,
+    fast_retransmits  INTEGER,
+    reinject_bytes    INTEGER,
+    cellular_fraction REAL,
+    fallback          TEXT
+);
+CREATE TABLE IF NOT EXISTS subflows (
+    run_key     TEXT NOT NULL,
+    path        TEXT NOT NULL,
+    bytes       INTEGER,
+    share       REAL,
+    srtt_mean_s REAL,
+    srtt_max_s  REAL,
+    cwnd_mean_bytes REAL,
+    PRIMARY KEY (run_key, path)
+);
+CREATE TABLE IF NOT EXISTS events (
+    run_key TEXT NOT NULL,
+    seq     INTEGER NOT NULL,
+    t       REAL NOT NULL,
+    kind    TEXT NOT NULL,
+    subflow INTEGER,
+    data    TEXT,
+    PRIMARY KEY (run_key, seq)
+);
+CREATE TABLE IF NOT EXISTS failures (
+    run_key  TEXT PRIMARY KEY,
+    kind     TEXT NOT NULL,
+    path     TEXT NOT NULL,
+    down_at  REAL NOT NULL,
+    up_at    REAL,
+    crossed  INTEGER,
+    survived INTEGER
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_key TEXT NOT NULL,
+    name    TEXT NOT NULL,
+    kind    TEXT NOT NULL,
+    value   REAL,
+    count   INTEGER,
+    sum     REAL,
+    min     REAL,
+    max     REAL,
+    buckets TEXT,
+    PRIMARY KEY (run_key, name)
+);
+CREATE TABLE IF NOT EXISTS csv_rows (
+    source TEXT NOT NULL,
+    line   INTEGER NOT NULL,
+    data   TEXT NOT NULL,
+    PRIMARY KEY (source, line)
+);
+CREATE INDEX IF NOT EXISTS idx_events_kind ON events (run_key, kind);
+CREATE INDEX IF NOT EXISTS idx_runs_label ON runs (label, size);
+"""
+
+
+def _read_jsonl_tolerant(path: str) -> List[dict]:
+    """Parse a jsonl file, skipping one malformed trailing line."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            trailing = all(not later.strip() for later in lines[index + 1:])
+            if trailing:
+                break  # torn tail: a writer died mid-append
+            raise
+    return records
+
+
+def _round(value: Optional[float], digits: int = 6) -> Optional[float]:
+    return None if value is None else round(value, digits)
+
+
+class AnalyticsStore:
+    """A SQLite warehouse over campaign telemetry (see module docs)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._db = sqlite3.connect(path)
+        self._db.executescript(_SCHEMA)
+        self._db.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)))
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "AnalyticsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def schema_version(self) -> int:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    def count(self, table: str) -> int:
+        if table not in ("runs", "flows", "subflows", "events",
+                         "failures", "metrics", "csv_rows"):
+            raise ValueError(f"unknown table {table!r}")
+        return self._db.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Ingesters
+    # ------------------------------------------------------------------
+
+    def ingest_results(self, path: str) -> int:
+        """Ingest a saved-results jsonl file (``save_results`` output).
+
+        Populates ``runs``, ``flows``, ``subflows``, ``failures`` and
+        ``metrics``; returns the number of runs ingested.
+        """
+        from repro.experiments.config import parse_failure
+        from repro.experiments.runner import descriptor_key
+        from repro.experiments.storage import load_results
+
+        count = 0
+        for result in load_results(path):
+            spec = result.spec
+            key = descriptor_key(spec, result.size, result.seed,
+                                 result.period)
+            world = result.world or {}
+            self._db.execute(
+                "INSERT INTO runs (key, spec, label, mode, size,"
+                " seed, period, failure, status, completed, download_time,"
+                " established_at, subflow_count, world, bg_flows,"
+                " bg_peak_concurrent, bg_goodput_bps)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)"
+                " ON CONFLICT(key) DO UPDATE SET"
+                " spec=excluded.spec, label=excluded.label,"
+                " mode=excluded.mode, size=excluded.size,"
+                " seed=excluded.seed, period=excluded.period,"
+                " failure=excluded.failure,"
+                " status=excluded.status, completed=excluded.completed,"
+                " download_time=excluded.download_time,"
+                " established_at=excluded.established_at,"
+                " subflow_count=excluded.subflow_count,"
+                " world=excluded.world,"
+                " bg_flows=COALESCE(excluded.bg_flows, runs.bg_flows),"
+                " bg_peak_concurrent=COALESCE(excluded.bg_peak_concurrent,"
+                "  runs.bg_peak_concurrent),"
+                " bg_goodput_bps=COALESCE(excluded.bg_goodput_bps,"
+                "  runs.bg_goodput_bps)",
+                (key, spec.identity, spec.label, spec.mode, result.size,
+                 str(result.seed), result.period.value, spec.failure, "ok",
+                 int(result.completed), result.download_time,
+                 result.established_at, result.subflow_count,
+                 spec.world, world.get("flows_started"),
+                 world.get("peak_concurrent"), world.get("bg_goodput_bps")))
+            self._ingest_flow(key, result)
+            self._ingest_subflows(key, result)
+            if spec.failure != "none":
+                self._ingest_failure(key, parse_failure(spec.failure),
+                                     result)
+            if result.obs_metrics:
+                self._ingest_metrics(key, result.obs_metrics)
+            count += 1
+        self._db.commit()
+        return count
+
+    def _ingest_flow(self, key: str, result) -> None:
+        snapshot = result.obs_metrics or {}
+        counters = snapshot.get("counters", {})
+        histograms = snapshot.get("histograms", {})
+        stall = histograms.get("tcp.rto.stall_s", {})
+        duration = result.download_time
+        goodput = (result.size * 8.0 / duration
+                   if result.completed and duration else None)
+        self._db.execute(
+            "INSERT OR REPLACE INTO flows (run_key, completed, duration_s,"
+            " volume_bytes, goodput_bps, stall_s, rto_count,"
+            " fast_retransmits, reinject_bytes, cellular_fraction,"
+            " fallback) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+            (key, int(result.completed), duration, result.size,
+             _round(goodput, 3),
+             stall.get("sum", 0.0) if snapshot else None,
+             counters.get("tcp.rto.fired", 0) if snapshot else None,
+             counters.get("tcp.fast_retransmit", 0) if snapshot else None,
+             counters.get("mptcp.reinject.bytes", 0) if snapshot else None,
+             result.metrics.cellular_fraction,
+             result.metrics.fallback or "none"))
+
+    def _ingest_subflows(self, key: str, result) -> None:
+        # Byte counts come from the capture-side per-path analysis (the
+        # ground truth, present for every run); SRTT/cwnd statistics
+        # come from the metrics snapshot when one was taken.
+        snapshot = result.obs_metrics or {}
+        histograms = snapshot.get("histograms", {})
+        per_path = result.metrics.per_path
+        total = sum(analysis.payload_bytes
+                    for analysis in per_path.values()) or None
+        for path in sorted(per_path):
+            analysis = per_path[path]
+            srtt = histograms.get(f"path.{path}.srtt_s", {})
+            cwnd = histograms.get(f"path.{path}.cwnd_bytes", {})
+            srtt_mean = (srtt["sum"] / srtt["count"]
+                         if srtt.get("count") else None)
+            cwnd_mean = (cwnd["sum"] / cwnd["count"]
+                         if cwnd.get("count") else None)
+            self._db.execute(
+                "INSERT OR REPLACE INTO subflows (run_key, path, bytes,"
+                " share, srtt_mean_s, srtt_max_s, cwnd_mean_bytes)"
+                " VALUES (?,?,?,?,?,?,?)",
+                (key, path, analysis.payload_bytes,
+                 _round(analysis.payload_bytes / total if total else None),
+                 _round(srtt_mean), srtt.get("max"), _round(cwnd_mean, 1)))
+
+    def _ingest_failure(self, key: str, schedule: dict, result) -> None:
+        # A flow *crossed* the failure if it was in flight when the
+        # interface went down; it *survived* if it still completed.
+        down_at = schedule["down_at"]
+        started_at = result.established_at or 0.0
+        if result.completed and result.download_time is not None:
+            ended_at = started_at + result.download_time
+            crossed = started_at <= down_at < ended_at
+        else:
+            crossed = True  # never finished: it was live at the failure
+        self._db.execute(
+            "INSERT OR REPLACE INTO failures (run_key, kind, path, down_at,"
+            " up_at, crossed, survived) VALUES (?,?,?,?,?,?,?)",
+            (key, schedule["kind"], schedule["path"], down_at,
+             schedule["up_at"], int(crossed), int(result.completed)))
+
+    def _ingest_metrics(self, key: str, snapshot: dict) -> None:
+        for name, value in snapshot.get("counters", {}).items():
+            self._db.execute(
+                "INSERT OR REPLACE INTO metrics (run_key, name, kind,"
+                " value) VALUES (?,?,?,?)", (key, name, "counter", value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self._db.execute(
+                "INSERT OR REPLACE INTO metrics (run_key, name, kind,"
+                " value) VALUES (?,?,?,?)", (key, name, "gauge", value))
+        for name, data in snapshot.get("histograms", {}).items():
+            self._db.execute(
+                "INSERT OR REPLACE INTO metrics (run_key, name, kind,"
+                " count, sum, min, max, buckets) VALUES (?,?,?,?,?,?,?,?)",
+                (key, name, "histogram", data["count"], data["sum"],
+                 data["min"], data["max"],
+                 json.dumps(data["buckets"], sort_keys=True)))
+
+    def ingest_run_log(self, path: str) -> int:
+        """Ingest a campaign ``run_log.jsonl``.
+
+        Finish records fill wall-clock/worker/background-load columns
+        on ``runs`` (creating skeleton rows for cells whose results
+        were never saved); fail records mark ``status='fail'``.
+        Returns the number of records applied.
+        """
+        applied = 0
+        for record in _read_jsonl_tolerant(path):
+            event = record.get("event")
+            key = record.get("key")
+            if event not in ("finish", "fail") or not key:
+                continue
+            self._db.execute(
+                "INSERT OR IGNORE INTO runs (key, spec, label, mode, size,"
+                " seed, period, status) VALUES (?,?,?,?,?,?,?,?)",
+                (key, record.get("spec", ""), _label_of_key(key),
+                 _mode_of_key(key), record.get("size", 0),
+                 str(record.get("seed", 0)), key.rsplit("|", 1)[-1], "ok"))
+            if event == "finish":
+                world = record.get("world") or {}
+                self._db.execute(
+                    "UPDATE runs SET wall_duration_s = ?, events = ?,"
+                    " worker = ?, completed = COALESCE(completed, ?),"
+                    " download_time = COALESCE(download_time, ?),"
+                    " bg_flows = COALESCE(?, bg_flows),"
+                    " bg_peak_concurrent = COALESCE(?, bg_peak_concurrent),"
+                    " bg_goodput_bps = COALESCE(?, bg_goodput_bps)"
+                    " WHERE key = ?",
+                    (record.get("duration_s"), record.get("events"),
+                     record.get("worker"),
+                     None if record.get("completed") is None
+                     else int(record["completed"]),
+                     record.get("download_time"),
+                     world.get("flows_started"),
+                     world.get("peak_concurrent"),
+                     world.get("bg_goodput_bps"), key))
+            else:
+                self._db.execute(
+                    "UPDATE runs SET status = 'fail', completed = 0,"
+                    " wall_duration_s = ?, worker = ? WHERE key = ?",
+                    (record.get("duration_s"), record.get("worker"), key))
+            applied += 1
+        self._db.commit()
+        return applied
+
+    def ingest_trace(self, path: str, run_key: str) -> int:
+        """Ingest one run's trace jsonl (stream or flight-recorder dump)
+        into ``events``, attributed to ``run_key``.  Replaces any prior
+        ingest of the same run, so re-ingestion is idempotent."""
+        from repro.obs.bus import read_jsonl
+
+        events = read_jsonl(path)
+        self._db.execute("DELETE FROM events WHERE run_key = ?", (run_key,))
+        self._db.executemany(
+            "INSERT INTO events (run_key, seq, t, kind, subflow, data)"
+            " VALUES (?,?,?,?,?,?)",
+            [(run_key, seq, event.t, event.kind, event.subflow,
+              json.dumps(event.data, sort_keys=True) if event.data else None)
+             for seq, event in enumerate(events)])
+        self._db.commit()
+        return len(events)
+
+    def ingest_campaign_csv(self, path: str,
+                            source: Optional[str] = None) -> int:
+        """Ingest a rendered campaign CSV verbatim into ``csv_rows``
+        (one JSON object per data line, keyed by header names)."""
+        import csv as _csv
+
+        source = source or os.path.basename(path)
+        with open(path, "r", newline="", encoding="utf-8") as handle:
+            rows = list(_csv.DictReader(handle))
+        self._db.execute("DELETE FROM csv_rows WHERE source = ?", (source,))
+        self._db.executemany(
+            "INSERT INTO csv_rows (source, line, data) VALUES (?,?,?)",
+            [(source, line, json.dumps(row, sort_keys=True))
+             for line, row in enumerate(rows)])
+        self._db.commit()
+        return len(rows)
+
+    def ingest_directory(self, directory: str) -> Dict[str, int]:
+        """Ingest everything recognizable under ``directory``.
+
+        ``results*.jsonl`` / ``*-results.jsonl`` feed the results
+        ingester, ``run_log.jsonl`` the run-log ingester, per-run trace
+        files (``run-NNNN-SEED.jsonl`` / ``flight-run-NNNN-SEED.jsonl``,
+        as laid out by ``RunDescriptor.trace_path``) the trace ingester
+        (attributed via the run log's index-free key match — trace
+        files name seed, and seeds are unique per campaign), and
+        ``*.csv`` the CSV ingester.  Returns per-ingester counts.
+        """
+        totals = {"results": 0, "run_log_records": 0, "trace_events": 0,
+                  "csv_rows": 0}
+        names = sorted(os.listdir(directory))
+        # Seeds are stored as TEXT (derive_seed outputs exceed SQLite's
+        # signed 64-bit INTEGER), so the map keys are digit strings.
+        seeds_to_keys: Dict[str, str] = {}
+        for name in names:
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            if name.endswith(".jsonl") and ("results" in name):
+                totals["results"] += self.ingest_results(path)
+            elif name == "run_log.jsonl":
+                totals["run_log_records"] += self.ingest_run_log(path)
+            elif name.endswith(".csv"):
+                totals["csv_rows"] += self.ingest_campaign_csv(path)
+        # Traces last: runs rows (hence seed -> key) now exist.
+        for key, seed in self._db.execute("SELECT key, seed FROM runs"):
+            seeds_to_keys[seed] = key
+        for name in names:
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            if name.startswith(("run-", "flight-run-")) \
+                    and name.endswith(".jsonl"):
+                seed = name[:-len(".jsonl")].rsplit("-", 1)[-1]
+                if not seed.isdigit():
+                    continue
+                key = seeds_to_keys.get(seed)
+                if key is not None:
+                    totals["trace_events"] += self.ingest_trace(path, key)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def percentile_ladder(self, value: str = "download_time",
+                          completed_only: bool = True) -> List[dict]:
+        """p50/p90/p99/p999 of a ``runs`` column per (label, size).
+
+        Returns dict rows ordered by (label, size); percentiles are
+        interpolated like :meth:`repro.trace.timeseries.Series.percentile`.
+        """
+        if value not in ("download_time", "established_at",
+                         "wall_duration_s"):
+            raise ValueError(f"unsupported ladder value {value!r}")
+        where = "WHERE completed = 1" if completed_only else ""
+        groups: Dict[Tuple[str, str, int], List[float]] = {}
+        for label, failure, size, sample in self._db.execute(
+                f"SELECT label, failure, size, {value} FROM runs {where}"
+                f" ORDER BY label, failure, size, seed"):
+            if sample is not None:
+                groups.setdefault((label, failure, size), []).append(sample)
+        rows = []
+        for (label, failure, size), samples in sorted(groups.items()):
+            rows.append({
+                "label": label, "failure": failure, "size": size,
+                "n": len(samples),
+                "p50": _round(_quantile(samples, 0.50)),
+                "p90": _round(_quantile(samples, 0.90)),
+                "p99": _round(_quantile(samples, 0.99)),
+                "p999": _round(_quantile(samples, 0.999)),
+            })
+        return rows
+
+    def stall_distribution(self) -> List[dict]:
+        """Per-(label, size) stall statistics from the flow table.
+
+        ``stall_s`` is the summed duration of fired RTO timeouts — the
+        time the sender sat waiting on a dead path (the handover-stall
+        measure).  Rows ordered by (label, size)."""
+        groups: Dict[Tuple[str, str, int], List[Tuple[float, int]]] = {}
+        for label, failure, size, stall, rtos in self._db.execute(
+                "SELECT r.label, r.failure, r.size, f.stall_s, f.rto_count"
+                " FROM flows f JOIN runs r ON r.key = f.run_key"
+                " WHERE f.stall_s IS NOT NULL"
+                " ORDER BY r.label, r.failure, r.size, r.seed"):
+            groups.setdefault((label, failure, size),
+                              []).append((stall, rtos or 0))
+        rows = []
+        for (label, failure, size), samples in sorted(groups.items()):
+            stalls = [stall for stall, _ in samples]
+            rows.append({
+                "label": label, "failure": failure, "size": size,
+                "n": len(samples),
+                "stalled": sum(1 for stall in stalls if stall > 0.0),
+                "rtos": sum(rtos for _, rtos in samples),
+                "p50_stall_s": _round(_quantile(stalls, 0.50)),
+                "p99_stall_s": _round(_quantile(stalls, 0.99)),
+                "max_stall_s": _round(max(stalls)),
+            })
+        return rows
+
+    def path_shares(self) -> List[dict]:
+        """Mean per-path contribution share per (label, size, path),
+        ordered on that key — the paper's per-path breakdown."""
+        groups: Dict[Tuple[str, str, int, str], List[float]] = {}
+        for label, failure, size, path, share in self._db.execute(
+                "SELECT r.label, r.failure, r.size, s.path, s.share"
+                " FROM subflows s JOIN runs r ON r.key = s.run_key"
+                " WHERE s.share IS NOT NULL"
+                " ORDER BY r.label, r.failure, r.size, s.path, r.seed"):
+            groups.setdefault((label, failure, size, path), []).append(share)
+        rows = []
+        for (label, failure, size, path), shares in sorted(groups.items()):
+            rows.append({
+                "label": label, "failure": failure, "size": size,
+                "path": path,
+                "n": len(shares),
+                "mean_share": _round(sum(shares) / len(shares)),
+            })
+        return rows
+
+    def survival_curve(self, label: Optional[str] = None):
+        """Kaplan-Meier survival of flows across the injected failure.
+
+        The population is every flow that *crossed* a failure (was in
+        flight when the interface went down).  The "event" is transfer
+        completion at ``t`` seconds after the failure instant; flows
+        that never completed are right-censored at the largest observed
+        completion time.  Returns a
+        :class:`repro.trace.timeseries.Series` stepping from 1.0
+        downward: ``S(t)`` = fraction still transferring ``t`` seconds
+        after the failure.
+        """
+        from repro.trace.timeseries import Series
+
+        where = "AND r.label = ?" if label is not None else ""
+        params: tuple = (label,) if label is not None else ()
+        observations: List[Tuple[float, bool]] = []
+        for down_at, established, duration, completed in self._db.execute(
+                "SELECT fa.down_at, r.established_at, r.download_time,"
+                " r.completed FROM failures fa"
+                " JOIN runs r ON r.key = fa.run_key"
+                f" WHERE fa.crossed = 1 {where}"
+                " ORDER BY r.label, r.size, r.seed", params):
+            if completed and duration is not None:
+                ended_at = (established or 0.0) + duration
+                observations.append((max(ended_at - down_at, 0.0), True))
+            else:
+                observations.append((float("inf"), False))
+        horizon = max((t for t, observed in observations if observed),
+                      default=0.0)
+        observations = [(t if observed else horizon, observed)
+                        for t, observed in observations]
+        series = Series(name=f"survival:{label or 'all'}")
+        at_risk = len(observations)
+        survival = 1.0
+        series.append(0.0, 1.0)
+        for t, observed in sorted(observations):
+            if not at_risk:
+                break
+            if observed:
+                survival *= (at_risk - 1) / at_risk
+                series.append(_round(t), _round(survival))
+            at_risk -= 1
+        return series
+
+    def sla_table(self) -> List[dict]:
+        """The combined SLA summary: ladder + stall + survival columns
+        per (label, size).  The ``repro report`` artifact renders this.
+        """
+        ladder = {(row["label"], row["failure"], row["size"]): row
+                  for row in self.percentile_ladder()}
+        stalls = {(row["label"], row["failure"], row["size"]): row
+                  for row in self.stall_distribution()}
+        survived: Dict[Tuple[str, str, int], Tuple[int, int]] = {}
+        for label, failure, size, crossed, alive in self._db.execute(
+                "SELECT r.label, r.failure, r.size, COUNT(*),"
+                " SUM(fa.survived) FROM failures fa"
+                " JOIN runs r ON r.key = fa.run_key WHERE fa.crossed = 1"
+                " GROUP BY r.label, r.failure, r.size"
+                " ORDER BY r.label, r.failure, r.size"):
+            survived[(label, failure, size)] = (crossed, alive or 0)
+        rows = []
+        for key in sorted(set(ladder) | set(stalls) | set(survived)):
+            label, failure, size = key
+            row = {"label": label, "failure": failure, "size": size}
+            lad = ladder.get(key, {})
+            row["n"] = lad.get("n", 0)
+            for name in ("p50", "p90", "p99", "p999"):
+                row[name] = lad.get(name)
+            stall = stalls.get(key, {})
+            row["stalled"] = stall.get("stalled")
+            row["p99_stall_s"] = stall.get("p99_stall_s")
+            crossed, alive = survived.get(key, (0, 0))
+            row["crossed_failure"] = crossed
+            row["survived_failure"] = alive
+            rows.append(row)
+        return rows
+
+
+def _label_of_key(key: str) -> str:
+    """Best-effort label recovered from a descriptor key (skeleton rows
+    created by run-log-only ingests, refined once results arrive)."""
+    identity = key.split("|", 1)[0]
+    fields = dict(item.split("=", 1) for item in identity.split(";")
+                  if "=" in item)
+    if fields.get("mode") == "sp":
+        return ("SP-WiFi" if fields.get("interface") == "wifi"
+                else f"SP-{fields.get('carrier', '?')}")
+    return f"MP-{fields.get('paths', '?')}"
+
+
+def _mode_of_key(key: str) -> str:
+    identity = key.split("|", 1)[0]
+    fields = dict(item.split("=", 1) for item in identity.split(";")
+                  if "=" in item)
+    return fields.get("mode", "?")
+
+
+def _quantile(samples: Sequence[float], q: float) -> Optional[float]:
+    """Interpolated quantile (q in [0, 1]); None on empty input."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction

@@ -209,25 +209,49 @@ class RingSink:
 
 
 class JsonlSink:
-    """Streams every event to a JSONL file as it is emitted."""
+    """Streams events to a JSONL file, buffered on a byte/line threshold.
+
+    Serialized lines accumulate in memory and are written in one
+    ``write`` call once either ``flush_bytes`` or ``flush_lines`` is
+    reached — one syscall per batch instead of per event.  Owners must
+    :meth:`close` the sink (run teardown does; see
+    ``Measurement.run``'s ``finally``) so the tail buffer reaches disk;
+    a process killed mid-write can still leave at most one torn
+    trailing line, which every ingester tolerates, mirroring
+    ``ResultJournal``.
+    """
 
     retains = False
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, flush_bytes: int = 64 * 1024,
+                 flush_lines: int = 256) -> None:
         self.path = path
+        self.flush_bytes = flush_bytes
+        self.flush_lines = flush_lines
         self._handle = open(path, "w", encoding="utf-8")
-        self._write = self._handle.write
+        self._buffer: List[str] = []
+        self._buffered_bytes = 0
 
     def __call__(self, event: TraceEvent) -> None:
-        self._write(json.dumps(event.to_dict(),
-                               separators=(",", ":")) + "\n")
+        line = json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        self._buffer.append(line)
+        self._buffered_bytes += len(line)
+        if (self._buffered_bytes >= self.flush_bytes
+                or len(self._buffer) >= self.flush_lines):
+            self.flush()
 
     def flush(self) -> None:
-        if not self._handle.closed:
-            self._handle.flush()
+        if self._handle.closed:
+            return
+        if self._buffer:
+            self._handle.write("".join(self._buffer))
+            self._buffer.clear()
+            self._buffered_bytes = 0
+        self._handle.flush()
 
     def close(self) -> None:
         if not self._handle.closed:
+            self.flush()
             self._handle.close()
 
 

@@ -1,0 +1,276 @@
+"""Typed metrics: counters, gauges and log-bucketed histograms.
+
+The metrics registry is the aggregating sibling of the
+:class:`~repro.obs.bus.TraceBus`: where the bus streams every protocol
+*event*, the registry keeps cheap running *aggregates* (how many RTOs
+fired, the distribution of link queue depths) that one
+:meth:`MetricsRegistry.snapshot` call turns into a small deterministic
+dict at the end of a run.
+
+It follows the exact null-object discipline of the bus: the simulator
+carries :data:`NULL_METRICS` by default (slotted, ``enabled = False``),
+hot components cache ``sim.metrics`` at construction time, and every
+observation site guards with ``if metrics.enabled:`` so a disabled
+registry costs one attribute load and one branch per site.  Metrics are
+strictly passive — no events scheduled, no RNG drawn, no control flow
+altered — so enabling them leaves simulation results bit-identical
+(the determinism guard pins this).
+
+Histograms use *fixed* log-scaled bucket edges (a 1-2-5 series per
+decade, built from exact decimal literals) rather than adapting to the
+data, so two runs observing the same values always produce the same
+bucket keys and snapshot digests.
+
+Instrument name prefixes mirror the trace-kind hierarchy::
+
+    tcp.rto.fired          counter: RTO timer expiries
+    tcp.rto.backoff_s      histogram: fired timeout durations (stalls)
+    tcp.fast_retransmit    counter: fast-retransmit entries
+    mptcp.reinject.spans   counter: reinjected DSS spans
+    mptcp.reinject.bytes   counter: bytes queued for reinjection
+    path.<name>.bytes      counter: bytes delivered per path
+    path.<name>.srtt_s     histogram: smoothed RTT samples per path
+    path.<name>.cwnd_bytes histogram: cwnd samples per path
+    link.queue_bytes       histogram: queue depth sampled at admission
+    link.drops.<reason>    counter: drops by cause (overflow, loss, ...)
+    world.realloc          counter: fluid max-min reallocations
+    world.realloc.classes  histogram: live class count per reallocation
+
+This module is intentionally stdlib-only: the engine imports it, so it
+must not import any other ``repro`` module.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+
+def decade_edges(low_exp: int, high_exp: int) -> Tuple[float, ...]:
+    """A 1-2-5 log series: 1e<low_exp> .. 1e<high_exp>, inclusive.
+
+    Edges are parsed from decimal literals (``float("2e-3")``) instead
+    of computed with ``**`` so every platform produces bit-identical
+    edges — bucket keys appear in snapshot digests.
+    """
+    edges: List[float] = []
+    for exponent in range(low_exp, high_exp):
+        for mantissa in (1, 2, 5):
+            edges.append(float(f"{mantissa}e{exponent}"))
+    edges.append(float(f"1e{high_exp}"))
+    return tuple(edges)
+
+
+#: Durations in seconds: 100 µs .. 1000 s (RTO backoffs, SRTT, stalls).
+TIME_EDGES_S = decade_edges(-4, 3)
+#: Byte quantities: 100 B .. 1 GB (cwnd, queue depth, per-path volume).
+BYTES_EDGES = decade_edges(2, 9)
+#: Small cardinalities: 1 .. 10000 (live flow classes, span counts).
+COUNT_EDGES = decade_edges(0, 4)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; the snapshot keeps the last one set."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Counts observations into fixed log-scaled buckets.
+
+    Bucket ``i`` holds observations ``<= edges[i]`` (the first matching
+    edge; one overflow bucket catches values above the last edge).  The
+    running count/sum/min/max ride along so percentile ladders can be
+    interpolated from the buckets while exact means stay exact.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total",
+                 "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 edges: Tuple[float, ...] = TIME_EDGES_S) -> None:
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def to_dict(self) -> dict:
+        buckets = {}
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            if index < len(self.edges):
+                buckets[f"le:{self.edges[index]:g}"] = count
+            else:
+                buckets["le:inf"] = count
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": (None if self.minimum is None
+                    else round(self.minimum, 9)),
+            "max": (None if self.maximum is None
+                    else round(self.maximum, 9)),
+            "buckets": buckets,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram returned when disabled.
+
+    Lets construction-time code resolve instruments unconditionally;
+    only the per-observation hot path needs the ``enabled`` guard.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Metrics disabled: every operation is a no-op.
+
+    Slotted and stateless, mirroring :class:`~repro.obs.bus.NullTraceBus`.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, edges: Tuple[float, ...] = TIME_EDGES_S):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Optional[dict]:
+        return None
+
+
+#: Shared do-nothing registry; the default value of ``Simulator.metrics``.
+NULL_METRICS = NullMetricsRegistry()
+
+
+class MetricsRegistry:
+    """An enabled registry: get-or-create typed instruments by name.
+
+    Asking for an existing name returns the same instrument object
+    (asking with a conflicting type raises), so independent components
+    can share totals — e.g. every Link increments the same
+    ``link.drops.overflow`` counter.
+    """
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a {kind}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str,
+                  edges: Tuple[float, ...] = TIME_EDGES_S) -> Histogram:
+        return self._get(name, lambda: Histogram(name, edges), "histogram")
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain deterministic dict.
+
+        Keys are sorted, floats rounded to 9 decimals, empty instruments
+        (zero counters, never-observed histograms) dropped — so the JSON
+        form digests identically across runs and platforms.
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            kind = instrument.kind
+            if kind == "counter":
+                if instrument.value:
+                    counters[name] = round(instrument.value, 9)
+            elif kind == "gauge":
+                gauges[name] = round(instrument.value, 9)
+            else:
+                if instrument.count:
+                    histograms[name] = instrument.to_dict()
+        snapshot: dict = {}
+        if counters:
+            snapshot["counters"] = counters
+        if gauges:
+            snapshot["gauges"] = gauges
+        if histograms:
+            snapshot["histograms"] = histograms
+        return snapshot
+
+
+def make_metrics(mode: str):
+    """Build a registry for a CLI/runner metrics mode.
+
+    ``"off"`` returns :data:`NULL_METRICS`; ``"on"`` a fresh
+    :class:`MetricsRegistry`.  Unknown modes raise ``ValueError``.
+    """
+    if mode == "off":
+        return NULL_METRICS
+    if mode == "on":
+        return MetricsRegistry()
+    raise ValueError(f"unknown metrics mode {mode!r}")

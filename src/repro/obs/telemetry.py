@@ -197,6 +197,18 @@ class WorkerTelemetry:
             # ``size`` + ``duration_s`` make finish records directly
             # consumable as cost-model calibration samples
             # (:func:`run_log_wall_times`) without parsing the key.
+            extra = {}
+            world = getattr(result, "world", None)
+            if world is not None:
+                # Shared-world cells carry the background summary so
+                # analytics can join foreground SLA against background
+                # load straight from the run log.
+                extra["world"] = {
+                    "flows_started": world.get("flows_started"),
+                    "flows_completed": world.get("flows_completed"),
+                    "peak_concurrent": world.get("peak_concurrent"),
+                    "bg_goodput_bps": world.get("bg_goodput_bps"),
+                }
             self.run_log.log("finish", key=descriptor.key,
                              seed=descriptor.seed,
                              spec=descriptor.spec.identity,
@@ -204,7 +216,7 @@ class WorkerTelemetry:
                              duration_s=round(duration, 6), events=events,
                              completed=result.completed,
                              download_time=result.download_time,
-                             worker=self.label)
+                             worker=self.label, **extra)
         self._beat()
 
     def run_failed(self, descriptor, duration: float,

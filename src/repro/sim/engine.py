@@ -65,6 +65,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.obs.bus import NULL_TRACE_BUS
+from repro.obs.metrics import NULL_METRICS
 
 
 class SimulationError(RuntimeError):
@@ -234,6 +235,10 @@ class Simulator:
         #: protocol stack.  Tracing is passive -- swapping the bus
         #: never changes simulation results.
         self.trace = NULL_TRACE_BUS
+        #: Metrics registry (see :mod:`repro.obs.metrics`), the bus's
+        #: aggregating sibling, under the same contract: no-op default,
+        #: cached at construction, strictly passive.
+        self.metrics = NULL_METRICS
 
     @property
     def heap_len(self) -> int:

@@ -183,6 +183,8 @@ class TcpEndpoint:
         # subflow's index (None for plain single-path TCP).
         self._trace = sim.trace
         self.trace_sf: Optional[int] = None
+        # Metrics registry, cached under the same contract as the bus.
+        self._metrics = sim.metrics
 
         self.state = "closed"
         self.mss = config.mss
@@ -497,6 +499,8 @@ class TcpEndpoint:
         self.ssthresh = max(self._flight_size() / 2.0, 2.0 * self.mss)
         self.controller.on_loss(self)
         self.stats.fast_retransmits += 1
+        if self._metrics.enabled:
+            self._metrics.counter("tcp.fast_retransmit").inc()
         if self._trace.enabled:
             self._trace.emit(self.sim.now, "tcp.fast_retransmit",
                              subflow=self.trace_sf, name=self.name,
@@ -776,6 +780,13 @@ class TcpEndpoint:
         self._pipe -= flight_freed
         self._lost_count = total
         self.controller.on_loss(self)
+        if self._metrics.enabled:
+            metrics = self._metrics
+            metrics.counter("tcp.rto.fired").inc()
+            # The expired timeout is how long the sender sat stalled
+            # waiting for it: the per-run stall distribution.
+            metrics.histogram("tcp.rto.stall_s").observe(
+                self.rto_estimator.rto)
         self.rto_estimator.backoff()
         if self._trace.enabled:
             self._trace.emit(self.sim.now, "rto.fire",

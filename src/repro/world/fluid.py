@@ -35,6 +35,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import COUNT_EDGES
 from repro.sim.engine import Simulator
 
 #: Demand value marking a greedy flow (wants every bit it can get).
@@ -411,6 +412,13 @@ class FluidNetwork:
         if trace.enabled and self._live:
             trace.emit(self.sim.now, "world.alloc", live=self._live,
                        classes=len(self._classes))
+        metrics = self.sim.metrics
+        if metrics.enabled and self._live:
+            # Reallocation churn: how often the max-min solve reruns
+            # and how many flow classes it juggles each time.
+            metrics.counter("world.realloc").inc()
+            metrics.histogram("world.realloc.classes",
+                              COUNT_EDGES).observe(float(len(self._classes)))
         self._schedule_timer()
 
     def _schedule_timer(self) -> None:

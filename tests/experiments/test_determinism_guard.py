@@ -251,3 +251,75 @@ def test_world_cells_do_not_disturb_plain_cells(reference_csvs):
     _world_campaign_csv()
     assert _campaign_csvs(fast=True, level="metrics-only") == \
         reference_csvs
+
+
+# ----------------------------------------------------------------------
+# The SLA report (metrics registry + analytics store) under the guard
+# ----------------------------------------------------------------------
+
+from repro.cli import _report_tables  # noqa: E402
+from repro.experiments.storage import save_results  # noqa: E402
+from repro.obs.analytics import AnalyticsStore  # noqa: E402
+
+#: SHA-256 of the guard SLA report's CSVs, captured when the metrics
+#: registry and analytics store landed.  These bytes flow through the
+#: metrics instrumentation, the SQLite ingesters and the percentile /
+#: survival queries; any drift means `repro report` stopped being
+#: reproducible.
+PINNED_SLA = \
+    "7c188ca15a05e92fb2fe2b4d2b50fecbcb2590c058e16f04b619588afafe6364"
+PINNED_SURVIVAL = \
+    "3d3e4ccea54fddc899e85366d3c849c90cf391127f0854675df97042b63671d3"
+
+GUARD_OUTAGE = "outage:down=0.3,up=0.8"
+
+
+def _sla_guard_results(metrics: str = "on"):
+    """Run the guard's miniature SLA matrix: one undisturbed SP flow,
+    one MP-2 flow crossing a WiFi outage."""
+    spec = CampaignSpec(
+        name="guard-sla",
+        specs=(FlowSpec.single_path("wifi"),
+               FlowSpec.mptcp(carrier="att", controller="coupled",
+                              failure=GUARD_OUTAGE)),
+        sizes=(512 * KB,), repetitions=1,
+        periods=(TimeOfDay.NIGHT,), base_seed=7)
+    campaign = Campaign(spec, metrics=metrics)
+    results = campaign.run()
+    assert all(result.completed for result in results)
+    return results
+
+
+@pytest.fixture(scope="module")
+def sla_report_csvs(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("guard-sla")
+    save_results(directory / "guard-results.jsonl", _sla_guard_results())
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(directory))
+        tables = _report_tables(store)
+    return {name: csv_text(headers, rows).encode()
+            for name, headers, rows in tables}
+
+
+def test_sla_report_bytes_pinned(sla_report_csvs):
+    assert hashlib.sha256(sla_report_csvs["sla"]).hexdigest() == \
+        PINNED_SLA
+    assert hashlib.sha256(sla_report_csvs["survival"]).hexdigest() == \
+        PINNED_SURVIVAL
+
+
+def test_metrics_registry_is_passive(reference_csvs):
+    """The metrics registry observes, never participates: running the
+    identical campaign with metrics on and off must yield byte-identical
+    figure output — only the attached snapshot differs.  The metered
+    campaign must also leave the plain guard campaign's bytes alone."""
+    metered = _sla_guard_results(metrics="on")
+    plain = _sla_guard_results(metrics="off")
+    assert [result.download_time for result in metered] == \
+        [result.download_time for result in plain]
+    assert csv_text(*download_time_rows(metered)) == \
+        csv_text(*download_time_rows(plain))
+    assert all(result.obs_metrics for result in metered)
+    assert all(result.obs_metrics is None for result in plain)
+    assert _campaign_csvs(fast=True, level="metrics-only") == \
+        reference_csvs

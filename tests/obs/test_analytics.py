@@ -1,0 +1,154 @@
+"""AnalyticsStore: idempotent ingestion, torn-line tolerance, and the
+SLA query API over a small real campaign."""
+
+import shutil
+
+import pytest
+
+from repro.experiments.config import FlowSpec, parse_failure
+from repro.experiments.runner import Campaign, CampaignSpec
+from repro.experiments.storage import save_results
+from repro.obs.analytics import AnalyticsStore
+from repro.wireless.profiles import TimeOfDay
+
+KB = 1024
+OUTAGE = "outage:down=0.3,up=0.8"
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    """A completed mini campaign on disk: results + run log, metrics on.
+
+    One undisturbed SP-WiFi spec and one MP-2 spec crossing a WiFi
+    outage, two repetitions each at 512 KB.
+    """
+    directory = tmp_path_factory.mktemp("analytics-campaign")
+    spec = CampaignSpec(
+        name="analytics-mini",
+        specs=(FlowSpec.single_path("wifi"),
+               FlowSpec.mptcp(carrier="att", controller="coupled",
+                              failure=OUTAGE)),
+        sizes=(512 * KB,), repetitions=2,
+        periods=(TimeOfDay.NIGHT,), base_seed=41)
+    campaign = Campaign(spec, run_log=str(directory / "run_log.jsonl"),
+                        metrics="on")
+    results = campaign.run()
+    assert all(result.completed for result in results)
+    save_results(directory / "mini-results.jsonl", results)
+    return directory
+
+
+def _table_counts(store):
+    return {table: store.count(table)
+            for table in ("runs", "flows", "subflows", "failures",
+                          "metrics", "events")}
+
+
+def test_ingest_directory_is_idempotent(campaign_dir):
+    with AnalyticsStore() as store:
+        first = store.ingest_directory(str(campaign_dir))
+        counts = _table_counts(store)
+        assert first["results"] == 4
+        assert counts["runs"] == 4
+        assert counts["failures"] == 2  # only the outage cohort
+        store.ingest_directory(str(campaign_dir))
+        assert _table_counts(store) == counts
+
+
+def test_run_log_fills_wall_columns(campaign_dir):
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(campaign_dir))
+        walls = [row[0] for row in store._db.execute(
+            "SELECT wall_duration_s FROM runs")]
+        assert len(walls) == 4
+        assert all(wall is not None and wall > 0 for wall in walls)
+
+
+def test_torn_trailing_line_is_tolerated(campaign_dir, tmp_path):
+    torn = tmp_path / "torn"
+    torn.mkdir()
+    shutil.copy(campaign_dir / "mini-results.jsonl",
+                torn / "mini-results.jsonl")
+    with open(torn / "mini-results.jsonl", "a", encoding="utf-8") as handle:
+        handle.write('{"version": 2, "spec": {"mode": "sp"')  # cut mid-write
+    with AnalyticsStore() as store, pytest.warns(RuntimeWarning):
+        counts = store.ingest_directory(str(torn))
+        assert counts["results"] == 4  # intact rows survive the tail
+
+
+def test_percentile_ladder_and_stalls(campaign_dir):
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(campaign_dir))
+        ladder = store.percentile_ladder()
+        keys = {(row["label"], row["failure"]) for row in ladder}
+        assert keys == {("SP-WiFi", "none"), ("MP-2", OUTAGE)}
+        for row in ladder:
+            assert row["n"] == 2
+            assert 0 < row["p50"] <= row["p99"]
+        stalls = {row["label"]: row for row in store.stall_distribution()}
+        # The outage cohort must show RTO stall time; its per-run stall
+        # quantiles are positive.
+        assert stalls["MP-2"]["stalled"] == 2
+        assert stalls["MP-2"]["p99_stall_s"] > 0
+
+
+def test_path_shares_sum_to_one(campaign_dir):
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(campaign_dir))
+        rows = store.path_shares()
+        by_label = {}
+        for row in rows:
+            by_label.setdefault(row["label"], 0.0)
+            by_label[row["label"]] += row["mean_share"]
+        for label, total in by_label.items():
+            assert total == pytest.approx(1.0, abs=1e-6), label
+
+
+def test_survival_curve_steps_down_from_one(campaign_dir):
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(campaign_dir))
+        series = store.survival_curve()
+        points = series.to_rows()
+        assert points[0] == (0.0, 1.0)
+        values = [value for _, value in points]
+        assert values == sorted(values, reverse=True)
+        # Every crossing flow completed, so survival reaches zero.
+        assert values[-1] == 0.0
+        assert store._db.execute(
+            "SELECT COUNT(*) FROM failures WHERE crossed = 1"
+        ).fetchone()[0] == 2
+
+
+def test_sla_table_merges_cohorts(campaign_dir):
+    with AnalyticsStore() as store:
+        store.ingest_directory(str(campaign_dir))
+        rows = {(row["label"], row["failure"]): row
+                for row in store.sla_table()}
+        undisturbed = rows[("SP-WiFi", "none")]
+        outage = rows[("MP-2", OUTAGE)]
+        assert undisturbed["crossed_failure"] == 0
+        assert outage["crossed_failure"] == 2
+        assert outage["survived_failure"] == 2
+        assert outage["p50"] is not None
+
+
+def test_parse_failure_grammar():
+    schedule = parse_failure("outage:down=2,up=6")
+    assert schedule == {"kind": "outage", "down_at": 2.0, "up_at": 6.0,
+                        "path": "wifi"}
+    assert parse_failure("outage:down=1,up=never")["up_at"] is None
+    assert parse_failure("outage:down=1,up=2,path=cell")["path"] == "cell"
+    for bad in ("outage", "outage:down=x,up=1", "outage:down=1",
+                "blackout:down=1,up=2", "outage:down=2,up=1",
+                "outage:down=1,up=2,path=dsl"):
+        with pytest.raises(ValueError):
+            parse_failure(bad)
+
+
+def test_failure_identity_gating():
+    plain = FlowSpec.mptcp(carrier="att")
+    assert "failure" not in plain.identity
+    failing = FlowSpec.mptcp(carrier="att", failure=OUTAGE)
+    assert f"failure={OUTAGE}" in failing.identity
+    with pytest.raises(ValueError):
+        FlowSpec.mptcp(carrier="att", failure="nonsense")

@@ -110,6 +110,57 @@ def test_failed_worker_leaves_fail_record(tmp_path, jobs):
         assert fail["worker"]
 
 
+def test_parallel_crash_dump_attributed_and_ingestable(
+        crash_mid_simulation, tmp_path):
+    """A mid-simulation crash under ``--jobs 2`` leaves a flight-recorder
+    dump named after the failing descriptor (``flight-run-NNNN-SEED``),
+    the run log records the failure, and the analytics store attributes
+    the dumped events to that run.  (Workers are forked, so the parent's
+    crash monkeypatch reaches them.)"""
+    from repro.obs.analytics import AnalyticsStore
+
+    log_path = tmp_path / "run_log.jsonl"
+    spec = CampaignSpec(name="crashy-ring",
+                        specs=(FlowSpec.mptcp(carrier="att",
+                                              controller="coupled"),),
+                        sizes=(256 * KB,), repetitions=2,
+                        periods=(TimeOfDay.NIGHT,), base_seed=7)
+    campaign = Campaign(spec, jobs=2, trace="ring",
+                        trace_dir=str(tmp_path), run_log=str(log_path))
+    with pytest.raises(Boom):
+        campaign.run()
+    descriptors = {descriptor.seed: descriptor
+                   for descriptor in campaign.plan()}
+    dumps = sorted(tmp_path.glob("flight-run-*.jsonl"))
+    assert dumps, "no flight-recorder dump reached the trace dir"
+    failed_seeds = {record["seed"] for record in RunLog.read(log_path)
+                    if record["event"] == "fail"}
+    for dump in dumps:
+        index, seed = dump.stem.rsplit("-", 2)[-2:]
+        seed = int(seed)
+        # The filename names the failing descriptor, and that failure
+        # also reached the shared run log.
+        assert seed in descriptors
+        assert descriptors[seed].index == int(index)
+        assert seed in failed_seeds
+        assert read_jsonl(dump), f"{dump.name} dumped no events"
+    with AnalyticsStore() as store:
+        counts = store.ingest_directory(str(tmp_path))
+        assert counts["trace_events"] > 0
+        for dump in dumps:
+            seed = dump.stem.rsplit("-", 1)[-1]
+            row = store._db.execute(
+                "SELECT key, status FROM runs WHERE seed = ?",
+                (seed,)).fetchone()
+            assert row is not None, "dump not attributed to a run"
+            key, status = row
+            assert status == "fail"
+            attributed = store._db.execute(
+                "SELECT COUNT(*) FROM events WHERE run_key = ?",
+                (key,)).fetchone()[0]
+            assert attributed == len(read_jsonl(dump))
+
+
 def test_serial_failure_still_logs_through_execute_plan(tmp_path):
     """The serial telemetered path shares the worker code, so a crash
     in-process produces the same fail record."""

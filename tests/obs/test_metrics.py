@@ -1,0 +1,84 @@
+"""Metrics registry semantics: typed instruments, deterministic
+snapshots, and the near-zero-cost disabled path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_EDGES,
+    COUNT_EDGES,
+    NULL_METRICS,
+    TIME_EDGES_S,
+    MetricsRegistry,
+    decade_edges,
+    make_metrics,
+)
+
+
+def test_null_registry_is_disabled_and_inert():
+    assert NULL_METRICS.enabled is False
+    # Every instrument accessor hands back a shared no-op; observing
+    # through it must not raise and must not create state.
+    NULL_METRICS.counter("x").inc()
+    NULL_METRICS.gauge("y").set(3.0)
+    NULL_METRICS.histogram("z").observe(1.5)
+    assert NULL_METRICS.snapshot() is None
+
+
+def test_counter_gauge_accumulate():
+    registry = MetricsRegistry()
+    assert registry.enabled is True
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(2.5)
+    registry.gauge("g").set(7.5)
+    snap = registry.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["gauges"]["g"] == 7.5
+
+
+def test_histogram_buckets_and_stats():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h", edges=(1.0, 10.0))
+    for value in (0.5, 2.0, 5.0, 50.0):
+        histogram.observe(value)
+    data = registry.snapshot()["histograms"]["h"]
+    assert data["count"] == 4
+    assert data["sum"] == 57.5
+    assert data["min"] == 0.5
+    assert data["max"] == 50.0
+    assert data["buckets"] == {"le:1": 1, "le:10": 2, "le:inf": 1}
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    with pytest.raises(TypeError):
+        registry.gauge("a")  # same name, different kind
+
+
+def test_snapshot_drops_empty_instruments_and_sorts():
+    registry = MetricsRegistry()
+    registry.counter("zero")          # never incremented
+    registry.histogram("empty")       # never observed
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert "histograms" not in snap or "empty" not in snap.get(
+        "histograms", {})
+
+
+def test_decade_edges_are_decimal_literals():
+    # 1-2-5 per decade, built from decimal string literals so the edge
+    # floats are bit-identical on every platform.
+    assert decade_edges(0, 1) == (1.0, 2.0, 5.0, 10.0)
+    assert TIME_EDGES_S[0] == 1e-4
+    assert BYTES_EDGES[-1] == 1e9
+    assert COUNT_EDGES[0] == 1.0
+
+
+def test_make_metrics_modes():
+    assert make_metrics("off") is NULL_METRICS
+    assert isinstance(make_metrics("on"), MetricsRegistry)
+    with pytest.raises(ValueError):
+        make_metrics("sideways")
