@@ -1,0 +1,230 @@
+"""Distributed-backend benchmark: coordinator/worker dispatch overhead.
+
+The distributed backend trades per-cell socket round-trips (lease,
+renew, offer/want, publish) for the ability to put workers on other
+hosts.  This benchmark measures that trade on one machine, over the
+same fig02-style workload the pool benchmark uses:
+
+* **serial**       -- the single-process reference wall.
+* **pool**         -- the in-process worker pool at the same width.
+* **distributed**  -- two localhost ``repro worker`` subprocesses
+  leasing from the TCP coordinator.
+* **overhead**     -- the distributed pass again with a warm
+  worker-local cache: every cell is served from the worker's store,
+  so the remaining wall is (almost) pure coordination — leases,
+  renewals, digest negotiation and object transfer.  Divided by the
+  cell count, that is the dispatch overhead per cell.
+* **warm**         -- the distributed pass against a warm *shared*
+  store: every cell restores before anything is leased, so the hit
+  rate must be total.
+
+Every configuration is asserted byte-identical on download times.
+Results land in the ``distributed`` section of BENCH_PERF.json.
+``--check`` gates CI: the warm hit rate must be >= 99% (hard — that
+is determinism, not timing) and the per-cell dispatch overhead must
+stay under the soft ceiling (softened by REPRO_PERF_SOFT=1 on noisy
+runners).
+
+Usage::
+
+    python benchmarks/bench_perf_distributed.py           # run + JSON
+    python benchmarks/bench_perf_distributed.py --quick   # smaller (CI)
+    python benchmarks/bench_perf_distributed.py --check   # assert gates
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cache import RunCache  # noqa: E402
+from repro.experiments.config import FlowSpec  # noqa: E402
+from repro.experiments.parallel import execute_plan  # noqa: E402
+from repro.experiments.runner import Campaign, CampaignSpec  # noqa: E402
+from repro.wireless.profiles import TimeOfDay  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "output" / \
+    "BENCH_PERF.json"
+
+MB = 1024 * 1024
+KB = 1024
+
+#: Minimum warm shared-store hit rate ``--check`` enforces (hard: the
+#: acceptance bar for distributed reruns — a cold key means the wire
+#: format or the address drifted, a correctness bug, not noise).
+HIT_RATE_FLOOR = 0.99
+#: Per-cell dispatch overhead ceiling in milliseconds (soft).
+OVERHEAD_CEILING_MS = 250.0
+
+
+def _plan(quick: bool):
+    sizes = (256 * KB, 1 * MB) if quick else (1 * MB, 4 * MB)
+    spec = CampaignSpec(
+        name="bench-dist",
+        specs=(FlowSpec.mptcp(carrier="att", controller="coupled"),
+               FlowSpec.single_path("wifi")),
+        sizes=sizes, repetitions=2,
+        periods=(TimeOfDay.AFTERNOON,), base_seed=2013)
+    return Campaign(spec).plan()
+
+
+def _run(plan, reps, **kwargs):
+    """Best-of-reps wall clock for one execute_plan configuration."""
+    best = None
+    oracle = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        results = execute_plan(plan, **kwargs)
+        wall = time.perf_counter() - started
+        times = [result.download_time for result in results]
+        if any(time_s is None for time_s in times):
+            raise AssertionError("benchmark transfer incomplete")
+        if oracle is None:
+            oracle = times
+        elif times != oracle:
+            raise AssertionError(
+                f"determinism violation: {times!r} != {oracle!r}")
+        if best is None or wall < best:
+            best = wall
+    return best, oracle
+
+
+def bench(workers: int, reps: int, quick: bool, scratch: Path) -> dict:
+    plan = _plan(quick)
+    section = {"workers": workers, "reps": reps, "cells": len(plan),
+               "workload": "fig02 mix" + (" (quick)" if quick else "")}
+
+    serial_wall, oracle = _run(plan, reps, jobs=1)
+    section["serial_wall_s"] = round(serial_wall, 3)
+    print(f"{'serial':12s} {serial_wall:7.3f}s")
+
+    pool_wall, times = _run(plan, reps, jobs=workers)
+    if times != oracle:
+        raise AssertionError("pool backend changed results")
+    section["pool_wall_s"] = round(pool_wall, 3)
+    print(f"{'pool':12s} {pool_wall:7.3f}s")
+
+    dist_wall, times = _run(plan, reps, jobs=workers,
+                            backend="subprocess", chunk=2)
+    if times != oracle:
+        raise AssertionError("distributed backend changed results")
+    section["distributed_wall_s"] = round(dist_wall, 3)
+    section["distributed_vs_serial"] = round(dist_wall / serial_wall, 3)
+    print(f"{'distributed':12s} {dist_wall:7.3f}s   "
+          f"({section['distributed_vs_serial']:.2f}x serial)")
+
+    # Overhead: a warm worker-local store serves every leased cell, so
+    # the wall that remains is coordination + transfer, not simulation.
+    worker_root = scratch / "worker-cache"
+    shutil.rmtree(worker_root, ignore_errors=True)
+    _, times = _run(plan, 1, jobs=workers, backend="subprocess",
+                    chunk=2, worker_cache=str(worker_root))
+    if times != oracle:
+        raise AssertionError("worker cache cold pass changed results")
+    overhead_wall, times = _run(plan, reps, jobs=workers,
+                                backend="subprocess", chunk=2,
+                                worker_cache=str(worker_root))
+    if times != oracle:
+        raise AssertionError("worker cache warm pass changed results")
+    per_cell_ms = overhead_wall / len(plan) * 1000.0
+    section["overhead_wall_s"] = round(overhead_wall, 3)
+    section["dispatch_overhead_ms_per_cell"] = round(per_cell_ms, 2)
+    print(f"{'overhead':12s} {overhead_wall:7.3f}s   "
+          f"({per_cell_ms:.1f} ms/cell dispatch overhead)")
+
+    # Warm shared store: the distributed rerun restores everything
+    # before the coordinator would lease a single cell.
+    shared_root = scratch / "shared-cache"
+    shutil.rmtree(shared_root, ignore_errors=True)
+    _, times = _run(plan, 1, jobs=workers, backend="subprocess",
+                    chunk=2, cache=str(shared_root))
+    if times != oracle:
+        raise AssertionError("shared cache cold pass changed results")
+    cache = RunCache(shared_root)
+    warm_wall, times = _run(plan, 1, jobs=workers,
+                            backend="subprocess", chunk=2, cache=cache)
+    if times != oracle:
+        raise AssertionError("shared cache warm pass changed results")
+    hit_rate = cache.hit_rate
+    cache.close()
+    section["warm_wall_s"] = round(warm_wall, 3)
+    section["warm_hit_rate"] = round(hit_rate, 4)
+    print(f"{'warm rerun':12s} {warm_wall:7.3f}s   "
+          f"({hit_rate:.0%} hits)")
+    return section
+
+
+def merge_output(path: Path, section: dict) -> None:
+    document = {}
+    if path.exists():
+        document = json.loads(path.read_text())
+    document.setdefault("schema", "repro-bench-perf/1")
+    document["distributed"] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def check(section: dict) -> int:
+    """The CI gates; returns a shell exit status."""
+    soft = os.environ.get("REPRO_PERF_SOFT", "0") == "1"
+    failures = []
+    if section["warm_hit_rate"] < HIT_RATE_FLOOR:
+        # Never softened: a cold key is a correctness regression.
+        print(f"FAIL: warm hit rate {section['warm_hit_rate']:.0%} "
+              f"< {HIT_RATE_FLOOR:.0%}")
+        return 1
+    if section["dispatch_overhead_ms_per_cell"] > OVERHEAD_CEILING_MS:
+        failures.append(
+            f"dispatch overhead "
+            f"{section['dispatch_overhead_ms_per_cell']:.1f} ms/cell "
+            f"> {OVERHEAD_CEILING_MS:.0f} ms")
+    for failure in failures:
+        print(("WARN" if soft else "FAIL") + f": {failure}")
+    return 0 if (soft or not failures) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2,
+                        help="localhost worker processes (default 2)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per configuration; fastest "
+                             "rep kept (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="256 KB/1 MB flows instead of 1/4 MB (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the hit-rate and overhead gates")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--scratch", type=Path, default=None,
+                        help="cache scratch directory (default: a "
+                             "fresh temp dir, removed afterwards)")
+    args = parser.parse_args(argv)
+
+    scratch = args.scratch
+    cleanup = False
+    if scratch is None:
+        import tempfile
+        scratch = Path(tempfile.mkdtemp(prefix="bench-dist-"))
+        cleanup = True
+    try:
+        section = bench(args.workers, args.reps, args.quick, scratch)
+    finally:
+        if cleanup:
+            shutil.rmtree(scratch, ignore_errors=True)
+    merge_output(args.output, section)
+    print(f"wrote {args.output}")
+    if args.check:
+        return check(section)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

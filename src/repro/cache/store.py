@@ -51,9 +51,10 @@ import json
 import os
 import shutil
 import tempfile
+import time
 import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.experiments import storage as _storage
 from repro.experiments.runner import RunResult, descriptor_key
@@ -226,6 +227,193 @@ class RunCache:
         self._index.add(digest)
         self.puts += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Object-level transfer (distributed sync)
+    # ------------------------------------------------------------------
+    #
+    # The distributed backend moves *objects*, not results: a worker
+    # offers the digests it holds, the coordinator answers with the
+    # subset it lacks (``missing``), and only those wrappers travel.
+    # Because the digest is the content address, a transferred object
+    # lands in the shared ``objects/`` store bit-identical to one the
+    # coordinator would have written itself.
+
+    def digest_of(self, key: str) -> str:
+        """The content address this store files ``key`` under."""
+        return cache_digest(key, self.format_version)
+
+    def missing(self, digests) -> List[str]:
+        """Of ``digests``, the ones this store does not hold — the
+        want-list half of the offer/want sync negotiation."""
+        return [digest for digest in digests
+                if digest not in self._index]
+
+    def export_object(self, key: str) -> Optional[dict]:
+        """The raw content-addressed wrapper for one key (``{key,
+        format_version, result}``), or ``None`` on a miss/corruption.
+
+        This is the byte format that travels between hosts; importing
+        it elsewhere reproduces the entry exactly.
+        """
+        digest = cache_digest(key, self.format_version)
+        if digest not in self._index:
+            return None
+        try:
+            wrapper = json.loads(self._object_path(digest).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if wrapper.get("key") != key or \
+                wrapper.get("format_version") != self.format_version:
+            return None
+        return wrapper
+
+    def import_object(self, wrapper: dict) -> bool:
+        """Store one exported wrapper verbatim (idempotent per key).
+
+        Validates the address before writing: a wrapper whose key or
+        format version does not hash to its own object path is
+        rejected, so a bad peer cannot poison the store.
+        """
+        key = wrapper.get("key")
+        if not isinstance(key, str) or \
+                wrapper.get("format_version") != self.format_version:
+            raise ValueError(
+                f"cannot import object for format version "
+                f"{wrapper.get('format_version')!r} into a v"
+                f"{self.format_version} store")
+        digest = cache_digest(key, self.format_version)
+        if digest in self._index:
+            return False
+        if self._index_handle is None:
+            raise ValueError(f"run cache {self.root} is closed")
+        path = self._object_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_json(path, {"key": key,
+                                "format_version": self.format_version,
+                                "result": wrapper["result"]})
+        self._index_handle.write(digest + "\n")
+        self._index_handle.flush()
+        self._index.add(digest)
+        self.puts += 1
+        return True
+
+    def sync_into(self, other: "RunCache") -> int:
+        """Copy every object the ``other`` store lacks into it.
+
+        The shared-filesystem flavour of the wire sync: two cache
+        directories (e.g. a worker-local store and an NFS-mounted
+        shared one) converge by digest, skipping everything already
+        present.  Returns the number of objects transferred.
+        """
+        if other.format_version != self.format_version:
+            raise ValueError("cannot sync caches across format versions")
+        copied = 0
+        for digest in sorted(other.missing(self._index)):
+            try:
+                wrapper = json.loads(
+                    self._object_path(digest).read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # corrupt at the source: skip, never spread
+            if other.import_object(wrapper):
+                copied += 1
+        return copied
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc(self, dry_run: bool = False,
+           older_than_s: Optional[float] = None) -> dict:
+        """Prune orphaned temp files, unreferenced objects and stale
+        entries; heal the index.
+
+        Three classes of garbage accumulate in a long-lived store:
+
+        * ``.*.tmp`` files — a worker SIGKILLed between ``mkstemp``
+          and ``os.replace`` leaves its temp file behind forever.
+        * unreferenced objects — an object whose digest never made it
+          into ``index.jsonl`` (killed between the object replace and
+          the index append); it reads as a miss, so it is dead weight.
+        * stale entries (only with ``older_than_s``) — entries whose
+          object file was last written more than that many seconds
+          ago, pruned *from the index too*.
+
+        Index lines pointing at missing object files are dropped by
+        rewriting the index atomically.  ``dry_run`` reports without
+        touching anything.  Returns a stats dict.
+        """
+        stats = {"tmp_files": 0, "unreferenced_objects": 0,
+                 "stale_entries": 0, "dangling_index_lines": 0,
+                 "bytes_reclaimed": 0, "entries_kept": 0,
+                 "dry_run": dry_run}
+        now = time.time()
+        keep = set(self._index)
+        doomed: List[Path] = []
+        roots = [self.root, self._objects]
+        if self._objects.exists():
+            roots.extend(path for path in sorted(self._objects.iterdir())
+                         if path.is_dir())
+        for directory in roots:
+            try:
+                children = sorted(directory.iterdir())
+            except OSError:
+                continue
+            for path in children:
+                if not path.is_file():
+                    continue
+                name = path.name
+                if name.startswith(".") and name.endswith(".tmp"):
+                    stats["tmp_files"] += 1
+                    doomed.append(path)
+                elif directory.parent == self._objects \
+                        and name.endswith(".json"):
+                    digest = name[:-5]
+                    if digest not in self._index:
+                        stats["unreferenced_objects"] += 1
+                        doomed.append(path)
+                    elif older_than_s is not None:
+                        try:
+                            mtime = path.stat().st_mtime
+                        except OSError:
+                            continue
+                        if now - mtime > older_than_s:
+                            stats["stale_entries"] += 1
+                            keep.discard(digest)
+                            doomed.append(path)
+        dangling = {digest for digest in keep
+                    if not self._object_path(digest).exists()}
+        stats["dangling_index_lines"] = len(dangling)
+        keep -= dangling
+        for path in doomed:
+            try:
+                stats["bytes_reclaimed"] += path.stat().st_size
+            except OSError:
+                pass
+        stats["entries_kept"] = len(keep)
+        if dry_run:
+            return stats
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if keep != self._index or stats["dangling_index_lines"]:
+            # Rewrite the index atomically, then re-open the append
+            # handle on the new file so later puts land after it.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=".index.jsonl.", suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                for digest in sorted(keep):
+                    handle.write(digest + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self._index_path)
+            if self._index_handle is not None:
+                self._index_handle.close()
+                self._index_handle = open(self._index_path, "a")
+            self._index = set(keep)
+        return stats
 
     # ------------------------------------------------------------------
     # Stats / lifecycle

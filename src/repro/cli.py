@@ -222,7 +222,12 @@ def _run_artifact(artifact: Artifact, args: argparse.Namespace,
                         run_log=run_log, heartbeat_dir=heartbeat_dir,
                         instrumentation=instrumentation,
                         cache=cache, cost_model=cost_model,
-                        chunk=args.chunk)
+                        chunk=args.chunk,
+                        backend=args.backend,
+                        hosts=(tuple(args.hosts) if args.hosts else None),
+                        bind=args.bind,
+                        lease_timeout=args.lease_timeout,
+                        worker_cache=args.worker_cache)
     if renderer is not None:
         renderer.start()
     try:
@@ -326,7 +331,12 @@ def _run_report(args: argparse.Namespace, cache=None,
                                    else None),
                         run_log=run_log, metrics="on",
                         cache=cache, cost_model=cost_model,
-                        chunk=args.chunk)
+                        chunk=args.chunk,
+                        backend=args.backend,
+                        hosts=(tuple(args.hosts) if args.hosts else None),
+                        bind=args.bind,
+                        lease_timeout=args.lease_timeout,
+                        worker_cache=args.worker_cache)
     results = campaign.run()
     save_results(out_dir / "report-results.jsonl", results)
     print(f"done in {time.time() - started:.1f}s "
@@ -347,6 +357,92 @@ def _run_report(args: argparse.Namespace, cache=None,
         print(f"wrote {path}")
 
 
+def _worker_main(argv: List[str]) -> int:
+    """``repro worker``: the distributed-campaign worker daemon.
+
+    Connects to a coordinator (``repro <artifact> --backend tcp`` or
+    any ``execute_plan`` with a distributed backend), leases campaign
+    cells, executes them with the standard worker init path, and
+    publishes content-addressed result objects back — skipping
+    anything the coordinator already has.  Exits 0 when the
+    coordinator's plan drains.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Lease and execute campaign cells from a "
+                    "distributed-campaign coordinator.")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator endpoint to lease work from")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run up to N leased cells concurrently in "
+                             "a local process pool (0 = one per "
+                             "available core, CPU-affinity aware; "
+                             "default 1)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="worker-local run cache: leased cells "
+                             "already stored there are served (and "
+                             "offered to the coordinator by digest) "
+                             "without re-execution")
+    parser.add_argument("--label", metavar="NAME", default=None,
+                        help="worker label in the coordinator's run "
+                             "log and heartbeats (default: "
+                             "hostname-pid)")
+    parser.add_argument("--retry-s", type=float, default=10.0,
+                        metavar="S",
+                        help="keep retrying the initial connection for "
+                             "S seconds (an ssh-spawned worker can "
+                             "beat the coordinator's listener; "
+                             "default 10)")
+    args = parser.parse_args(argv)
+    from repro.experiments.distributed import run_worker
+    return run_worker(args.connect, jobs=args.jobs,
+                      cache_dir=args.cache, label=args.label,
+                      retry_s=args.retry_s)
+
+
+def _cache_main(argv: List[str]) -> int:
+    """``repro cache``: maintenance commands for the run-cache store."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and maintain the content-addressed run "
+                    "cache.")
+    parser.add_argument("command", choices=["gc", "stats"],
+                        help="gc prunes orphaned temp files, "
+                             "unreferenced objects and (with "
+                             "--older-than) stale entries; stats "
+                             "prints entry counts")
+    parser.add_argument("--cache", metavar="DIR", default=".repro-cache",
+                        help="cache directory (default .repro-cache)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what gc would remove without "
+                             "touching the store")
+    parser.add_argument("--older-than", type=float, default=None,
+                        metavar="DAYS",
+                        help="also prune entries whose objects were "
+                             "written more than DAYS days ago "
+                             "(removed from the index too)")
+    args = parser.parse_args(argv)
+    from repro.cache import RunCache
+    with RunCache(args.cache) as store:
+        if args.command == "stats":
+            stats = store.stats()
+            print(f"run cache {args.cache}: {stats['entries']} entries")
+            return 0
+        older_than_s = (args.older_than * 86400.0
+                        if args.older_than is not None else None)
+        stats = store.gc(dry_run=args.dry_run,
+                         older_than_s=older_than_s)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"run cache {args.cache}: {verb} "
+          f"{stats['tmp_files']} temp file(s), "
+          f"{stats['unreferenced_objects']} unreferenced object(s), "
+          f"{stats['stale_entries']} stale entr(ies), "
+          f"{stats['dangling_index_lines']} dangling index line(s) "
+          f"({stats['bytes_reclaimed']} bytes); "
+          f"{stats['entries_kept']} entries kept")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
@@ -358,6 +454,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand routing ahead of the artifact parser: `repro worker`
+    # and `repro cache` have their own flag sets and never run a
+    # campaign themselves.
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     artifacts = _artifacts()
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +512,38 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the run cache: recompute every "
                              "cell even if a stored result exists")
+    parser.add_argument("--backend", default="pool",
+                        choices=["pool", "subprocess", "ssh", "tcp"],
+                        help="campaign execution backend: 'pool' is "
+                             "the in-process worker pool (default); "
+                             "'subprocess' spawns --jobs local "
+                             "`repro worker` daemons over TCP; 'ssh' "
+                             "spawns one worker per --hosts entry; "
+                             "'tcp' binds the coordinator and waits "
+                             "for externally started workers (`repro "
+                             "worker --connect HOST:PORT`). All "
+                             "backends produce byte-identical results")
+    parser.add_argument("--hosts", metavar="HOST", nargs="+",
+                        default=None,
+                        help="ssh backend: hosts to spawn one worker "
+                             "on each (passwordless ssh; `repro` must "
+                             "be on the remote PATH)")
+    parser.add_argument("--bind", metavar="HOST:PORT",
+                        default="127.0.0.1:0",
+                        help="coordinator listen address for "
+                             "distributed backends (port 0 picks a "
+                             "free port; default 127.0.0.1:0 — use "
+                             "0.0.0.0:PORT for ssh/tcp workers on "
+                             "other hosts)")
+    parser.add_argument("--lease-timeout", type=float, default=60.0,
+                        metavar="S",
+                        help="distributed backends: reassign a "
+                             "worker's leased cells after S seconds "
+                             "without a renewal (default 60)")
+    parser.add_argument("--worker-cache", metavar="DIR", default=None,
+                        help="subprocess backend: worker-local run "
+                             "cache directory (warm cells are served "
+                             "by digest without re-execution)")
     parser.add_argument("--chunk", type=int, default=4, metavar="N",
                         help="batch up to N tiny cells per worker "
                              "task to amortize pickling/IPC overhead "

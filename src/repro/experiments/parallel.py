@@ -199,6 +199,13 @@ def execute_plan(plan: Sequence[RunDescriptor],
                  dispatch: str = "ljf",
                  chunk: int = 1,
                  window: int = 2,
+                 backend: str = "pool",
+                 hosts: Optional[Sequence[str]] = None,
+                 bind: str = "127.0.0.1:0",
+                 advertise: Optional[str] = None,
+                 lease_timeout: float = 60.0,
+                 worker_cache: Optional[str] = None,
+                 drain_timeout: Optional[float] = None,
                  ) -> List[RunResult]:
     """Execute campaign cells, serially or across worker processes.
 
@@ -229,6 +236,16 @@ def execute_plan(plan: Sequence[RunDescriptor],
     ``instrumentation`` (a parent-process :class:`Instrumentation`)
     receives every worker's merged phase timers and counters, which is
     what makes ``--profile`` meaningful under ``--jobs N``.
+
+    ``backend`` selects *where* workers run: ``"pool"`` (the default
+    single-host process pool), or a distributed backend served by a
+    TCP coordinator (:mod:`repro.experiments.distributed`) —
+    ``"subprocess"`` spawns ``jobs`` localhost ``repro worker``
+    processes, ``"ssh"`` spawns one per entry in ``hosts``, ``"tcp"``
+    only listens so workers can be attached by hand.  Whatever host
+    runs whatever cell, results are reassembled by plan position and
+    stay byte-identical to serial execution; journal, cache, run log
+    and progress plumbing are shared with the pool path.
     """
     plan = list(plan)
     total = len(plan)
@@ -282,7 +299,29 @@ def execute_plan(plan: Sequence[RunDescriptor],
         if cost_model is None:
             cost_model = _default_cost_model(run_log)
 
-        if jobs <= 1 or len(pending) <= 1:
+        if backend != "pool":
+            if instrumentation is not None:
+                raise ValueError(
+                    "--profile is not supported under distributed "
+                    "backends: worker instrumentation does not travel "
+                    "over the wire")
+            if pending:
+                from repro.experiments.distributed import \
+                    execute_distributed
+                execute_distributed(
+                    plan, pending, total=total,
+                    is_filled=lambda position: slots[position] is not None,
+                    finish=finish,
+                    observe=lambda position, wall:
+                        cost_model.observe(plan[position], wall),
+                    cost_model=cost_model, dispatch=dispatch,
+                    chunk=chunk, jobs=jobs, backend=backend,
+                    hosts=hosts, bind=bind, advertise=advertise,
+                    lease_timeout=lease_timeout,
+                    worker_cache=worker_cache,
+                    run_log=run_log, heartbeat_dir=heartbeat_dir,
+                    drain_timeout=drain_timeout)
+        elif jobs <= 1 or len(pending) <= 1:
             if telemetered:
                 _init_worker(run_log, heartbeat_dir, total,
                              instrumentation is not None)

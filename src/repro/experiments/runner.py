@@ -529,7 +529,13 @@ class Campaign:
                  instrumentation=None,
                  cache=None, cost_model=None,
                  dispatch: str = "ljf", chunk: int = 1,
-                 window: int = 2) -> None:
+                 window: int = 2,
+                 backend: str = "pool",
+                 hosts: Optional[Tuple[str, ...]] = None,
+                 bind: str = "127.0.0.1:0",
+                 advertise: Optional[str] = None,
+                 lease_timeout: float = 60.0,
+                 worker_cache: Optional[str] = None) -> None:
         self.spec = spec
         self.progress = progress
         self.jobs = jobs
@@ -546,6 +552,17 @@ class Campaign:
         self.dispatch = dispatch
         self.chunk = chunk
         self.window = window
+        #: Execution backend: ``"pool"`` (single-host process pool) or
+        #: a distributed backend (``"subprocess"`` / ``"ssh"`` /
+        #: ``"tcp"``) where a TCP coordinator leases cells to ``repro
+        #: worker`` processes — possibly on other machines — and
+        #: results stay byte-identical to serial execution.
+        self.backend = backend
+        self.hosts = hosts
+        self.bind = bind
+        self.advertise = advertise
+        self.lease_timeout = lease_timeout
+        self.worker_cache = worker_cache
         #: Campaigns only consume aggregate metrics, so the cheapest
         #: capture level is the default; raise it to ``"full"`` when
         #: per-packet records are wanted for post-hoc analysis.
@@ -606,7 +623,13 @@ class Campaign:
                                     cost_model=self.cost_model,
                                     dispatch=self.dispatch,
                                     chunk=self.chunk,
-                                    window=self.window)
+                                    window=self.window,
+                                    backend=self.backend,
+                                    hosts=self.hosts,
+                                    bind=self.bind,
+                                    advertise=self.advertise,
+                                    lease_timeout=self.lease_timeout,
+                                    worker_cache=self.worker_cache)
         return self.results
 
     # ------------------------------------------------------------------

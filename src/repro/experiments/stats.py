@@ -122,10 +122,15 @@ def jain_fairness(allocations: Sequence[float]) -> float:
         raise ValueError("jain_fairness of an empty allocation set")
     if any(value < 0 for value in allocations):
         raise ValueError("allocations must be non-negative")
-    total = sum(allocations)
-    squares = sum(value * value for value in allocations)
-    if squares == 0:
+    peak = max(allocations)
+    if peak == 0:
         return 1.0  # everyone got zero: vacuously fair
+    # The index is scale-invariant; normalizing by the peak keeps the
+    # squares away from subnormal underflow (squaring ~1e-159 loses
+    # precision and can push the ratio above 1).
+    scaled = [value / peak for value in allocations]
+    total = sum(scaled)
+    squares = sum(value * value for value in scaled)
     return (total * total) / (len(allocations) * squares)
 
 

@@ -29,6 +29,11 @@ import json
 import os
 import tempfile
 import warnings
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: advisory locking disabled
+    fcntl = None
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -254,6 +259,10 @@ def merge_results(*paths: Union[str, Path]) -> List[RunResult]:
     return merged
 
 
+class JournalLockedError(RuntimeError):
+    """Another live writer holds the journal's advisory lock."""
+
+
 class ResultJournal:
     """Append-only resume cache of completed campaign cells.
 
@@ -281,8 +290,14 @@ class ResultJournal:
         self.path = Path(path)
         self.max_samples = max_samples
         self._results: Dict[str, RunResult] = {}
+        # Open (and lock) eagerly, *before* the recovery scan: an
+        # unwritable journal path must fail before any simulation work
+        # is spent, and a second live appender must be rejected before
+        # either process can truncate or append under the other.
+        self._handle = open(self.path, "a")
+        self._take_lock()
         unterminated = False
-        if self.path.exists():
+        if self.path.stat().st_size > 0:
             results, good = _scan_results(self.path)
             for result in results:
                 self._results[self.key_of(result)] = result
@@ -300,12 +315,33 @@ class ResultJournal:
                     unterminated = handle.read(1) != b"\n"
         #: Cells restored from a previous invocation.
         self.restored = len(self._results)
-        # Open eagerly: an unwritable journal path must fail before any
-        # simulation work is spent, not after the first completed run.
-        self._handle = open(self.path, "a")
         if unterminated:
             self._handle.write("\n")
             self._handle.flush()
+
+    def _take_lock(self) -> None:
+        """Exclusive advisory ``flock`` for the journal's lifetime.
+
+        Multi-host resume can point two campaign invocations at the
+        same journal on a shared results directory; two live
+        appenders would interleave partial lines and race the
+        recovery truncation.  The lock is tied to the append handle
+        (released automatically by :meth:`close` or process death —
+        a SIGKILLed holder never wedges the file) and is skipped on
+        platforms without ``fcntl``.
+        """
+        if fcntl is None:
+            return
+        try:
+            fcntl.flock(self._handle.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._handle.close()
+            self._handle = None
+            raise JournalLockedError(
+                f"journal {self.path} is held by another live writer; "
+                f"concurrent appenders would corrupt it — wait for the "
+                f"other campaign or point --resume elsewhere") from None
 
     @staticmethod
     def key_of(result: RunResult) -> str:

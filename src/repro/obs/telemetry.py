@@ -101,6 +101,21 @@ def run_log_wall_times(path) -> Dict[Tuple[str, int], List[float]]:
     return times
 
 
+def run_log_failovers(path) -> List[dict]:
+    """Distributed-execution failover records from a run log.
+
+    The coordinator (:class:`repro.experiments.distributed.Coordinator`)
+    logs ``worker_joined`` / ``worker_left`` / ``lease_expired`` records
+    next to the usual run lifecycle; this returns the ``lease_expired``
+    ones — each names the worker that stopped renewing and the cell
+    keys that were refronted for reassignment — so tests and post-hoc
+    analysis can assert that a died worker's cells were re-run
+    elsewhere.
+    """
+    return [record for record in RunLog.read(path)
+            if record.get("event") == "lease_expired"]
+
+
 # ----------------------------------------------------------------------
 # Heartbeats
 # ----------------------------------------------------------------------

@@ -37,7 +37,8 @@ PINNED_SHARES = \
 
 def _campaign_csvs(fast: bool = True, level: str = "metrics-only",
                    trace: str = "off", trace_dir=None, jobs: int = 1,
-                   cache=None, chunk: int = 1, dispatch: str = "ljf"):
+                   cache=None, chunk: int = 1, dispatch: str = "ljf",
+                   backend: str = "pool"):
     """Run the guard campaign; return its figure CSVs as bytes."""
     original = Link.use_fast_scheduling
     Link.use_fast_scheduling = fast
@@ -50,7 +51,8 @@ def _campaign_csvs(fast: bool = True, level: str = "metrics-only",
             periods=(TimeOfDay.NIGHT,), base_seed=7)
         campaign = Campaign(spec, capture_level=level, trace=trace,
                             trace_dir=trace_dir, jobs=jobs,
-                            cache=cache, chunk=chunk, dispatch=dispatch)
+                            cache=cache, chunk=chunk, dispatch=dispatch,
+                            backend=backend)
         results = campaign.run()
     finally:
         Link.use_fast_scheduling = original
@@ -114,6 +116,28 @@ def test_cached_chunked_ljf_combined(reference_csvs, tmp_path):
                           dispatch="ljf") == reference_csvs
     assert _campaign_csvs(jobs=2, cache=str(root), chunk=2,
                           dispatch="ljf") == reference_csvs
+
+
+def test_distributed_backend_matches(reference_csvs):
+    """Cells executed by separate `repro worker` processes over the
+    TCP coordinator — the distributed backend — must reproduce the
+    serial reference byte for byte."""
+    assert _campaign_csvs(backend="subprocess", jobs=2) == reference_csvs
+
+
+def test_distributed_cached_combined(reference_csvs, tmp_path):
+    """Distributed cold pass populates the shared store; the warm pass
+    restores every cell without spawning a single worker — both must
+    match the serial bytes."""
+    root = tmp_path / "cache"
+    assert _campaign_csvs(backend="subprocess", jobs=2,
+                          cache=str(root)) == reference_csvs
+    warm_cache = RunCache(root)
+    warm = _campaign_csvs(backend="subprocess", jobs=2,
+                          cache=warm_cache)
+    assert warm_cache.hits == 2, "warm pass must serve every cell"
+    warm_cache.close()
+    assert warm == reference_csvs
 
 
 def test_campaign_bytes_pinned_across_prs(reference_csvs):

@@ -11,6 +11,7 @@ from repro.experiments.scenarios import download_time_rows, \
     traffic_share_rows
 from repro.experiments.storage import (
     FORMAT_VERSION,
+    JournalLockedError,
     ResultJournal,
     _thin,
     load_results,
@@ -255,3 +256,57 @@ def test_journal_restores_missing_trailing_newline(
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         assert len(load_results(path)) == 2
+
+
+def test_journal_rejects_second_live_writer(tmp_path, sample_results):
+    """Two concurrent writers would race the truncation-repair scan and
+    interleave appends; the advisory lock turns that into a loud error."""
+    path = tmp_path / "journal.jsonl"
+    with ResultJournal(path) as journal:
+        journal.record(sample_results[0])
+        with pytest.raises(JournalLockedError, match="another live"):
+            ResultJournal(path)
+        # The refused open must not have truncated or corrupted
+        # anything the holder wrote.
+        journal.record(sample_results[1])
+    assert ResultJournal(path).restored == 2
+
+
+def test_journal_lock_released_by_writer_death(tmp_path, sample_results):
+    """The lock dies with the process (flock is tied to the open file
+    description), so a SIGKILLed campaign never wedges its journal."""
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    path = tmp_path / "journal.jsonl"
+    with ResultJournal(path) as journal:
+        journal.record(sample_results[0])
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    holder = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys, time\n"
+         "from repro.experiments.storage import ResultJournal\n"
+         f"journal = ResultJournal({str(path)!r})\n"
+         "print('LOCKED', flush=True)\n"
+         "time.sleep(60)\n"],
+        stdout=subprocess.PIPE,
+        env={**os.environ,
+             "PYTHONPATH": os.path.abspath(src) + os.pathsep
+             + os.environ.get("PYTHONPATH", "")})
+    try:
+        assert holder.stdout.readline().strip() == b"LOCKED"
+        with pytest.raises(JournalLockedError):
+            ResultJournal(path)
+        holder.send_signal(signal.SIGKILL)
+        holder.wait(timeout=30)
+        journal = ResultJournal(path)     # lock released by death
+        assert journal.restored == 1
+        journal.record(sample_results[1])
+        journal.close()
+    finally:
+        if holder.poll() is None:
+            holder.kill()
+            holder.wait()
+    assert len(load_results(path)) == 2
